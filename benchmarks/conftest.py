@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness (pytest-benchmark).
+
+Every module in this directory regenerates one table or figure of the paper's
+evaluation (see DESIGN.md, Section 3 "Experiment index").  The benchmarks are
+configured to run a single round so that regenerating the whole evaluation
+stays in the range of a few minutes; increase ``--benchmark-min-rounds`` for
+more stable timing measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once():
+    return run_once

@@ -1,0 +1,43 @@
+"""Experiment E6: the Appendix F candlestick figures (Figures 10-48).
+
+One benchmark per program: regenerate the bound-vs-measured sweep series
+(the data behind each candlestick plot) and check the defining property of
+those figures -- the inferred bound lies above the measured expected cost at
+every swept input.
+
+The sweeps use two inputs and a reduced number of runs so that all 39 figures
+regenerate in a few minutes; ``python -m repro.bench.figures --figure appendix``
+produces the full-resolution series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import sweep_series
+from repro.bench.registry import all_benchmarks
+
+BENCHMARKS = all_benchmarks()
+
+#: Number of Monte-Carlo runs per swept input in the quick regeneration.
+QUICK_RUNS = 40
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_appendix_figure_series(benchmark, bench, bench_once):
+    plan = bench.simulation
+    values = plan.sweep_values[:2]
+    series = bench_once(benchmark, sweep_series, bench, runs=QUICK_RUNS, values=values,
+                        seed=29)
+    assert series.bound is not None, f"{bench.name}: no bound inferred"
+    assert len(series.points) == len(values)
+    # The defining property of the Appendix F plots: the bound line lies above
+    # the measured means (up to Monte-Carlo noise).
+    for point in series.points:
+        noise = 4 * point.measured.standard_error() + 0.05 * max(1.0, point.measured.mean)
+        assert point.bound_value + noise >= point.measured.mean, (
+            f"{bench.name}: bound {point.bound_value} below measurement "
+            f"{point.measured.mean} at {series.swept_variable}={point.swept_value}")
+    benchmark.extra_info["bound"] = str(series.bound)
+    benchmark.extra_info["gaps_percent"] = [round(p.gap_percent(), 2)
+                                            for p in series.points]

@@ -1,0 +1,59 @@
+"""Experiments E3-E5: the three panels of Figure 8.
+
+* left  -- histogram of rdwalk's tick distribution at n = 100, with the
+           measured mean and the inferred bound;
+* centre -- trader's inferred bound vs. measured expected cost over an
+           (s, smin) grid;
+* right -- pol04 candlesticks: bound vs. sampled quartiles over x.
+
+The timed quantity is the full data-series generation (analysis + sampling),
+i.e. what one would run to redraw the figure.  Reduced run counts keep the
+harness fast; ``python -m repro.bench.figures --figure 8`` uses larger ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    figure8_histogram,
+    figure8_pol04_series,
+    figure8_trader_surface,
+)
+
+
+def test_figure8_rdwalk_histogram(benchmark, bench_once):
+    figure = bench_once(benchmark, figure8_histogram, runs=1500, n=100, seed=0)
+    assert figure.counts.sum() == 1500
+    # Paper reports a measured mean of ~200.8 and an inferred bound of 202.
+    assert figure.measured_mean == pytest.approx(200.8, rel=0.05)
+    assert figure.bound_value >= figure.measured_mean
+    assert figure.bound_value == pytest.approx(201, abs=2)
+    benchmark.extra_info["measured_mean"] = round(figure.measured_mean, 2)
+    benchmark.extra_info["bound"] = figure.bound_value
+
+
+def test_figure8_trader_surface(benchmark, bench_once):
+    points = bench_once(benchmark, figure8_trader_surface,
+                        s_values=(120, 160, 200), smin_values=(100,), runs=80, seed=0)
+    assert len(points) == 3
+    for point in points:
+        assert point.bound_value >= point.measured_mean * 0.95
+    # The bound grows with s (same qualitative shape as the paper's surface).
+    bounds = [point.bound_value for point in points]
+    assert bounds == sorted(bounds)
+    benchmark.extra_info["points"] = [
+        {"s": p.s, "smin": p.smin, "measured": round(p.measured_mean, 1),
+         "bound": round(p.bound_value, 1)} for p in points]
+
+
+def test_figure8_pol04_candlesticks(benchmark, bench_once):
+    series = bench_once(benchmark, figure8_pol04_series,
+                        runs=80, seed=0, values=(20, 40, 60))
+    assert series.bound is not None and series.bound.degree() == 2
+    assert len(series.points) == 3
+    assert series.bound_dominates(slack=0.10)
+    # Quadratic growth: the measured mean at x=60 is much more than 3x the one at x=20.
+    first, last = series.points[0], series.points[-1]
+    assert last.measured.mean > 4 * first.measured.mean
+    benchmark.extra_info["csv"] = series.to_csv()

@@ -1,0 +1,56 @@
+"""Experiment E1: Table 1, linear programs (30 rows).
+
+For every linear benchmark this measures the analysis time (the paper's
+"Time(s)" column is the timed quantity) and checks that
+
+* a bound is found,
+* the bound has the expected (linear) degree, and
+* the bound dominates a quick sampled estimate of the expected cost
+  (the basis of the paper's "Error(%)" column).
+
+Run with ``pytest benchmarks/test_table1_linear.py --benchmark-only``; a full
+table (including the error column computed from a larger simulation) is
+produced by ``python -m repro.bench.table1 --group linear``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import linear_benchmarks
+from repro.core.analyzer import analyze_program
+from repro.semantics.sampler import estimate_expected_cost
+
+LINEAR = linear_benchmarks()
+
+#: Reduced simulation size for the in-benchmark domination check.
+QUICK_RUNS = 60
+
+
+@pytest.mark.parametrize("bench", LINEAR, ids=lambda b: b.name)
+def test_table1_linear_row(benchmark, bench, bench_once):
+    program = bench.build()
+    result = bench_once(benchmark, analyze_program, program, **bench.analyzer_options)
+
+    assert result.success, f"{bench.name}: {result.message}"
+    assert result.bound is not None
+    assert result.bound.degree() <= 2
+
+    benchmark.extra_info["bound"] = result.bound.pretty()
+    benchmark.extra_info["paper_bound"] = bench.paper_bound
+    benchmark.extra_info["lp_variables"] = result.lp_variables
+    benchmark.extra_info["source"] = bench.source
+
+    # Quick error-column style check on the smallest sweep input.
+    plan = bench.simulation
+    state = dict(plan.fixed_state)
+    state[plan.swept_variable] = min(plan.sweep_values, key=abs)
+    stats = estimate_expected_cost(program, state, runs=QUICK_RUNS, seed=17,
+                                   max_steps=plan.max_steps)
+    bound_value = float(result.bound.evaluate(state))
+    slack = 4 * stats.standard_error() + 1e-6
+    assert bound_value + slack >= stats.mean, (
+        f"{bench.name}: bound {bound_value} below measured mean {stats.mean}")
+    if stats.mean:
+        benchmark.extra_info["gap_percent"] = round(
+            (bound_value - stats.mean) / stats.mean * 100.0, 3)

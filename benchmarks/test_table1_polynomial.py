@@ -1,0 +1,48 @@
+"""Experiment E2: Table 1, polynomial programs (9 rows).
+
+Same protocol as the linear half (see ``test_table1_linear.py``), but the
+bounds must be genuinely polynomial (degree 2) and the simulation sweep uses
+the smaller inputs of the paper ("We reduced the input ranges of polynomial
+programs by an order of magnitude").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import polynomial_benchmarks
+from repro.core.analyzer import analyze_program
+from repro.semantics.sampler import estimate_expected_cost
+
+POLYNOMIAL = polynomial_benchmarks()
+
+QUICK_RUNS = 50
+
+
+@pytest.mark.parametrize("bench", POLYNOMIAL, ids=lambda b: b.name)
+def test_table1_polynomial_row(benchmark, bench, bench_once):
+    program = bench.build()
+    result = bench_once(benchmark, analyze_program, program, **bench.analyzer_options)
+
+    assert result.success, f"{bench.name}: {result.message}"
+    assert result.bound is not None
+    assert result.bound.degree() == 2, (
+        f"{bench.name}: expected a quadratic bound, got {result.bound}")
+
+    benchmark.extra_info["bound"] = result.bound.pretty()
+    benchmark.extra_info["paper_bound"] = bench.paper_bound
+    benchmark.extra_info["lp_variables"] = result.lp_variables
+    benchmark.extra_info["source"] = bench.source
+
+    plan = bench.simulation
+    state = dict(plan.fixed_state)
+    state[plan.swept_variable] = min(plan.sweep_values, key=abs)
+    stats = estimate_expected_cost(program, state, runs=QUICK_RUNS, seed=23,
+                                   max_steps=plan.max_steps)
+    bound_value = float(result.bound.evaluate(state))
+    slack = 4 * stats.standard_error() + 1e-6
+    assert bound_value + slack >= stats.mean, (
+        f"{bench.name}: bound {bound_value} below measured mean {stats.mean}")
+    if stats.mean:
+        benchmark.extra_info["gap_percent"] = round(
+            (bound_value - stats.mean) / stats.mean * 100.0, 3)

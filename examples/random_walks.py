@@ -1,0 +1,38 @@
+"""Random-walk gallery: the walk-shaped benchmarks of the paper side by side.
+
+For each program the script prints the inferred symbolic bound, the paper's
+reported bound, and a small sweep comparing the bound with measured expected
+costs -- a textual version of the Appendix F candlestick figures.
+
+Run with::
+
+    python examples/random_walks.py
+"""
+
+from repro import analyze_program
+from repro.bench.figures import sweep_series
+from repro.bench.registry import get_benchmark
+
+WALKS = ("rdwalk", "sprdwalk", "prdwalk", "2drwalk", "race", "bin")
+
+
+def main() -> None:
+    for name in WALKS:
+        benchmark = get_benchmark(name)
+        result = analyze_program(benchmark.build(), **benchmark.analyzer_options)
+        print(f"== {name} ==")
+        print(f"   {benchmark.description}")
+        print(f"   inferred bound : {result.bound}")
+        print(f"   paper bound    : {benchmark.paper_bound}")
+        series = sweep_series(benchmark, runs=150)
+        print(f"   {series.swept_variable:>10s} |   measured mean |  [q1, q3]        |  bound")
+        for point in series.points:
+            q1, q3 = point.measured.first_quartile, point.measured.third_quartile
+            print(f"   {point.swept_value:10d} | {point.measured.mean:15.1f} | "
+                  f"[{q1:7.1f}, {q3:7.1f}] | {point.bound_value:10.1f}")
+        print(f"   bound dominates measurements: {series.bound_dominates()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

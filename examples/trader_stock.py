@@ -1,0 +1,82 @@
+"""The paper's motivating example (Fig. 1): the stock trader.
+
+A stock price `s` follows a biased random walk above a floor `smin`.  After
+every price move the trader buys between 0 and 10 shares (uniformly), paying
+the current price per share; the global counter ``cost`` accumulates the total
+spending.  The paper's headline claims (Sec. 1) are:
+
+* the expected number of price moves is bounded by ``2 * max(0, s - smin)``;
+* the expected total spending is bounded by a quadratic polynomial,
+  ``5|[smin,s]|^2 + 10|[smin,s]| |[0,smin]| + 5|[smin,s]|``.
+
+This example reproduces both bounds and validates them against simulation.
+
+Run with::
+
+    python examples/trader_stock.py
+"""
+
+from repro import analyze_program, estimate_expected_cost
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+
+
+def trader_program():
+    """The trader with its spending modelled by the global `cost` counter."""
+    return B.program(
+        B.proc("main", ["smin", "s"],
+            B.assume("smin >= 0"),
+            B.while_("s > smin",
+                B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+                B.call("trade"))),
+        B.proc("trade", [],
+            B.sample("nShares", Uniform(0, 10)),
+            B.while_("nShares > 0",
+                B.assign("nShares", "nShares - 1"),
+                B.assign("cost", "cost + s"))))
+
+
+def iteration_count_program():
+    """The same walk with one tick per price move (expected #iterations)."""
+    return B.program(B.proc("main", ["smin", "s"],
+        B.assume("smin >= 0"),
+        B.while_("s > smin",
+            B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+            B.tick(1))))
+
+
+def main() -> None:
+    # --- expected number of loop iterations ----------------------------------
+    iteration_result = analyze_program(iteration_count_program())
+    print("bound on E[#iterations]   :", iteration_result.bound)
+    print("  paper                   : 2*max(0, s - smin)")
+
+    # --- expected total spending ---------------------------------------------
+    spending_result = analyze_program(
+        trader_program(), max_degree=2, auto_degree=False, resource_counter="cost")
+    print("bound on E[total cost]    :", spending_result.bound)
+    print("  paper                   : 5*|[smin,s]|^2 + 10*|[smin,s]|*|[0,smin]| + 5*|[smin,s]|")
+    print("  analysis time           :", f"{spending_result.time_seconds:.1f}s")
+
+    # --- validate against simulation (the paper's Figure 8, centre) -----------
+    program = trader_program()
+    print("\n   s   smin |   measured E[cost] |     inferred bound")
+    for smin, s in ((100, 120), (100, 160), (100, 200), (50, 150)):
+        # The simulated cost is the final value of the `cost` counter, which
+        # the interpreter tracks as an ordinary variable; easiest is to model
+        # it with the analyzer's resource-counter view for the bound and read
+        # the variable from simulation runs.
+        stats = estimate_expected_cost(
+            analyze_and_convert(program), {"s": s, "smin": smin}, runs=300, seed=1)
+        bound_value = float(spending_result.bound.evaluate({"s": s, "smin": smin}))
+        print(f"{s:5d} {smin:6d} | {stats.mean:18.1f} | {bound_value:18.1f}")
+
+
+def analyze_and_convert(program):
+    """Convert the cost-counter program into an equivalent tick-based one."""
+    from repro.lang.transform import counter_as_resource
+    return counter_as_resource(program, "cost")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro -- expected-cost resource analysis for probabilistic programs.
+
+A from-scratch Python reproduction of
+
+    Van Chan Ngo, Quentin Carbonneaux, Jan Hoffmann.
+    "Bounded Expectations: Resource Analysis for Probabilistic Programs."
+    PLDI 2018 (the Absynth analyzer).
+
+The public API, in the order a new user usually needs it:
+
+* build or parse a program: :mod:`repro.lang`
+  (:func:`repro.lang.parse_program`, the builder DSL in
+  :mod:`repro.lang.builder`),
+* analyze it: :func:`repro.analyze_program` /
+  :class:`repro.ExpectedCostAnalyzer` return an :class:`repro.AnalysisResult`
+  carrying an :class:`repro.ExpectedBound` and a checkable certificate,
+* simulate it: :func:`repro.estimate_expected_cost` samples the program to
+  compare measurements against the bound (the paper's evaluation protocol),
+* reproduce the paper: :mod:`repro.bench` contains the 39-program benchmark
+  suite and the harnesses regenerating Table 1 and the figures.
+
+Quick start::
+
+    from repro.lang import builder as B
+    from repro import analyze_program, estimate_expected_cost
+
+    prog = B.program(B.proc("main", ["x"],
+        B.while_("x > 0",
+            B.prob("3/4", B.assign("x", "x - 1"), B.assign("x", "x + 1")),
+            B.tick(1))))
+
+    result = analyze_program(prog)
+    print(result.bound)                       # 2*|[0, x]|
+    print(estimate_expected_cost(prog, {"x": 50}).mean)   # ~100
+"""
+
+from repro.core.analyzer import (
+    AnalysisResult,
+    AnalyzerConfig,
+    ExpectedCostAnalyzer,
+    analyze_program,
+)
+from repro.core.bounds import ExpectedBound
+from repro.core.certificates import Certificate, check_certificate
+from repro.lang.ast import Program, Procedure
+from repro.lang.parser import parse_program
+from repro.semantics.ert import expected_cost_ert
+from repro.semantics.interp import run_program
+from repro.semantics.mdp import expected_cost_mdp
+from repro.semantics.sampler import estimate_expected_cost, sweep_expected_cost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "AnalyzerConfig",
+    "ExpectedCostAnalyzer",
+    "analyze_program",
+    "ExpectedBound",
+    "Certificate",
+    "check_certificate",
+    "Program",
+    "Procedure",
+    "parse_program",
+    "expected_cost_ert",
+    "expected_cost_mdp",
+    "run_program",
+    "estimate_expected_cost",
+    "sweep_expected_cost",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Evaluation harness: the 39-program benchmark suite, Table 1 and the figures.
+
+Layout:
+
+* :mod:`repro.bench.programs` -- every benchmark of the paper's Table 1
+  written in the builder DSL, with the bound the paper reports and the
+  simulation plan used for the error column;
+* :mod:`repro.bench.table1` -- runs the analyzer + the Monte-Carlo sampler to
+  regenerate Table 1;
+* :mod:`repro.bench.figures` -- regenerates the data series behind Figure 8
+  and the Appendix F candlestick plots;
+* :mod:`repro.bench.reporting` -- plain-text / CSV rendering of the results.
+
+Everything is callable programmatically and from the command line::
+
+    python -m repro.bench.table1 --group linear --quick
+    python -m repro.bench.figures --figure 8
+"""
+
+from repro.bench.registry import (
+    BenchmarkProgram,
+    SimulationPlan,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+    linear_benchmarks,
+    polynomial_benchmarks,
+)
+
+__all__ = [
+    "BenchmarkProgram",
+    "SimulationPlan",
+    "all_benchmarks",
+    "benchmark_names",
+    "get_benchmark",
+    "linear_benchmarks",
+    "polynomial_benchmarks",
+]

@@ -1,0 +1,200 @@
+"""Regenerate the data behind Figure 8 and the Appendix F candlestick plots.
+
+The paper's figures compare, for each benchmark, the statically inferred
+bound (a line/surface in the input) against the sampled expected number of
+ticks (mean + candlesticks showing min, quartiles and max).  This module
+produces exactly those data series as plain Python objects / CSV text, so
+they can be inspected in tests, dumped to disk, or plotted with any tool.
+
+* :func:`figure8_histogram` -- Figure 8 (left): the sampled tick distribution
+  of ``rdwalk`` for ``n = 100`` with the measured mean and the inferred bound.
+* :func:`figure8_trader_surface` -- Figure 8 (centre): ``trader``'s bound and
+  measured means over a grid of ``(s, smin)`` inputs.
+* :func:`sweep_series` -- Figure 8 (right) and every Appendix F figure
+  (Figures 10-48): bound versus measured candlesticks over an input sweep.
+* :func:`appendix_f_series` -- the sweep series for every benchmark in the
+  registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.registry import BenchmarkProgram, all_benchmarks, get_benchmark
+from repro.bench.reporting import rows_to_csv
+from repro.core.analyzer import analyze_program
+from repro.core.bounds import ExpectedBound
+from repro.semantics.sampler import (
+    SampleStatistics,
+    estimate_expected_cost,
+    histogram_of_costs,
+)
+
+
+@dataclass
+class SweepPoint:
+    """One x-position of a candlestick plot."""
+
+    state: Dict[str, int]
+    swept_value: int
+    measured: SampleStatistics
+    bound_value: float
+
+    def gap_percent(self) -> float:
+        if self.measured.mean == 0:
+            return 0.0
+        return (self.bound_value - self.measured.mean) / self.measured.mean * 100.0
+
+
+@dataclass
+class SweepSeries:
+    """The full data series of one Appendix F figure."""
+
+    benchmark: str
+    bound: Optional[ExpectedBound]
+    swept_variable: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def bound_dominates(self, slack: float = 0.05) -> bool:
+        """Whether the bound is above every measured mean (with relative slack)."""
+        return all(point.bound_value + slack * max(1.0, abs(point.measured.mean))
+                   >= point.measured.mean for point in self.points)
+
+    def to_csv(self) -> str:
+        headers = (self.swept_variable, "measured_mean", "measured_min", "q1", "q3",
+                   "measured_max", "bound")
+        rows = [(p.swept_value, p.measured.mean, p.measured.minimum,
+                 p.measured.first_quartile, p.measured.third_quartile,
+                 p.measured.maximum, p.bound_value) for p in self.points]
+        return rows_to_csv(headers, rows)
+
+
+def sweep_series(benchmark: BenchmarkProgram, runs: Optional[int] = None,
+                 values: Optional[Sequence[int]] = None, seed: int = 0) -> SweepSeries:
+    """Compute one candlestick series (bound vs. sampled cost over a sweep)."""
+    program = benchmark.build()
+    result = analyze_program(program, **benchmark.analyzer_options)
+    simulated = benchmark.build_for_simulation()
+    plan = benchmark.simulation
+    series = SweepSeries(benchmark=benchmark.name,
+                         bound=result.bound if result.success else None,
+                         swept_variable=plan.swept_variable if plan else "")
+    if plan is None:
+        return series
+    sweep_values = tuple(values) if values is not None else plan.sweep_values
+    for index, value in enumerate(sweep_values):
+        state = dict(plan.fixed_state)
+        state[plan.swept_variable] = int(value)
+        stats = estimate_expected_cost(
+            simulated, state, runs=runs if runs is not None else plan.runs,
+            seed=seed + index, max_steps=plan.max_steps)
+        bound_value = float(result.bound.evaluate(state)) if result.success else float("nan")
+        series.points.append(SweepPoint(state, int(value), stats, bound_value))
+    return series
+
+
+def appendix_f_series(names: Optional[Sequence[str]] = None,
+                      runs: Optional[int] = None, seed: int = 0) -> List[SweepSeries]:
+    """The candlestick series of every benchmark (Appendix F, Figures 10-48)."""
+    benchmarks = [get_benchmark(name) for name in names] if names else all_benchmarks()
+    return [sweep_series(benchmark, runs=runs, seed=seed) for benchmark in benchmarks]
+
+
+# ---------------------------------------------------------------------------
+# Figure 8
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HistogramFigure:
+    """Figure 8 (left): tick histogram of rdwalk with mean and bound markers."""
+
+    benchmark: str
+    state: Dict[str, int]
+    counts: np.ndarray
+    edges: np.ndarray
+    measured_mean: float
+    bound_value: float
+
+
+def figure8_histogram(runs: int = 10_000, n: int = 100, seed: int = 0) -> HistogramFigure:
+    """The rdwalk histogram of Figure 8 (left)."""
+    benchmark = get_benchmark("rdwalk")
+    program = benchmark.build()
+    result = analyze_program(program, **benchmark.analyzer_options)
+    state = {"x": 0, "n": n}
+    counts, edges, mean = histogram_of_costs(program, state, runs=runs, seed=seed)
+    bound_value = float(result.bound.evaluate(state)) if result.success else float("nan")
+    return HistogramFigure(benchmark="rdwalk", state=state, counts=counts,
+                           edges=edges, measured_mean=mean, bound_value=bound_value)
+
+
+@dataclass
+class SurfacePoint:
+    s: int
+    smin: int
+    measured_mean: float
+    bound_value: float
+
+
+def figure8_trader_surface(s_values: Sequence[int] = (120, 160, 200, 240),
+                           smin_values: Sequence[int] = (50, 100, 150),
+                           runs: int = 200, seed: int = 0) -> List[SurfacePoint]:
+    """Figure 8 (centre): trader bound vs. measurements over an (s, smin) grid."""
+    benchmark = get_benchmark("trader")
+    program = benchmark.build()
+    result = analyze_program(program, **benchmark.analyzer_options)
+    simulated = benchmark.build_for_simulation()
+    points: List[SurfacePoint] = []
+    index = 0
+    for smin in smin_values:
+        for s in s_values:
+            if s <= smin:
+                continue
+            state = {"s": int(s), "smin": int(smin)}
+            stats = estimate_expected_cost(simulated, state, runs=runs, seed=seed + index)
+            bound_value = float(result.bound.evaluate(state)) if result.success \
+                else float("nan")
+            points.append(SurfacePoint(int(s), int(smin), stats.mean, bound_value))
+            index += 1
+    return points
+
+
+def figure8_pol04_series(runs: int = 200, seed: int = 0,
+                         values: Sequence[int] = (20, 40, 60, 100)) -> SweepSeries:
+    """Figure 8 (right): pol04 candlesticks."""
+    return sweep_series(get_benchmark("pol04"), runs=runs, values=values, seed=seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate the paper's figures (data series)")
+    parser.add_argument("--figure", choices=("8", "appendix"), default="8")
+    parser.add_argument("--names", nargs="*", default=None)
+    parser.add_argument("--runs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.figure == "8":
+        histogram = figure8_histogram(runs=args.runs or 2000)
+        print(f"Figure 8 (left): rdwalk n=100; measured mean = "
+              f"{histogram.measured_mean:.2f}, inferred bound = {histogram.bound_value:.2f}")
+        surface = figure8_trader_surface(runs=args.runs or 100)
+        print("Figure 8 (centre): trader")
+        for point in surface:
+            print(f"  s={point.s:4d} smin={point.smin:4d} measured={point.measured_mean:12.1f} "
+                  f"bound={point.bound_value:12.1f}")
+        series = figure8_pol04_series(runs=args.runs or 100)
+        print("Figure 8 (right): pol04")
+        print(series.to_csv())
+    else:
+        for series in appendix_f_series(args.names, runs=args.runs or 100):
+            print(f"# {series.benchmark} (bound: {series.bound})")
+            print(series.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

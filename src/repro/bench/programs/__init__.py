@@ -1,0 +1,10 @@
+"""The 39 benchmark programs of the paper's Table 1.
+
+Programs whose source is printed in the paper (Figures 1, 2, 4, 5, 49, 50)
+are transcribed verbatim; the remaining programs are reconstructions from
+their names, provenance and reported bounds (``source == 'reconstructed'`` in
+the registry).  Importing this package registers every program with
+:mod:`repro.bench.registry`.
+"""
+
+from repro.bench.programs import linear, polynomial  # noqa: F401

@@ -1,0 +1,215 @@
+"""The 9 polynomial-bound benchmarks of Table 1.
+
+All of these need degree-2 potential templates (``max_degree=2`` in the
+analyzer options).  ``trader`` and ``rdbub`` are transcribed from the paper
+(Figures 1 and 50); the others are reconstructions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.bench.registry import BenchmarkProgram, SimulationPlan, register
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+
+_POLY_OPTIONS = {"max_degree": 2, "auto_degree": False}
+
+
+def _build_trader():
+    """Fig. 1: stock trader; the resource is the global ``cost`` counter."""
+    return B.program(
+        B.proc("main", ["smin", "s"],
+            B.assume("smin >= 0"),
+            B.while_("s > smin",
+                B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+                B.call("trade"))),
+        B.proc("trade", [],
+            B.sample("nShares", Uniform(0, 10)),
+            B.while_("nShares > 0",
+                B.assign("nShares", "nShares - 1"),
+                B.assign("cost", "cost + s"))))
+
+
+register(BenchmarkProgram(
+    name="trader", category="polynomial", factory=_build_trader,
+    paper_bound="5*|[smin, s]|^2 + 5*|[smin, s]| + 10*|[smin, s]|*|[0, smin]|",
+    source="paper",
+    description="Stock trader of Fig. 1; bound on the expected final value of `cost`.",
+    analyzer_options={"max_degree": 2, "auto_degree": False, "resource_counter": "cost"},
+    paper_time_seconds=7.262, paper_error_percent="0.251",
+    simulation=SimulationPlan("s", (120, 160, 200, 260), {"smin": 100}, runs=300)))
+
+
+def _build_rdbub():
+    """Fig. 50: probabilistic bubble sort (swaps only happen with probability 1/3)."""
+    return B.program(B.proc("main", ["n"],
+        B.while_("n > 0",
+            B.decr_sample("n", Uniform(0, 1)),
+            B.assign("m", "n"),
+            B.while_("m > 0",
+                B.prob("1/3", B.assign("m", "m - 1"), B.skip()),
+                B.tick(1)))))
+
+
+register(BenchmarkProgram(
+    name="rdbub", category="polynomial", factory=_build_rdbub,
+    paper_bound="3*|[0, n]|^2", source="paper",
+    description="Probabilistic bubble sort (paper Appendix G, Fig. 50).",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=0.190, paper_error_percent="0.106",
+    simulation=SimulationPlan("n", (20, 40, 60, 100), {}, runs=300)))
+
+
+def _build_complex():
+    """Nested probabilistic loops over n and m plus a trailing linear loop."""
+    return B.program(B.proc("main", ["n", "m", "y"],
+        B.while_("n > 0",
+            B.assign("n", "n - 1"),
+            B.assign("j", "m"),
+            B.while_("j > 0",
+                B.prob("1/2", B.assign("j", "j - 1"), B.skip()),
+                B.tick(3)),
+            B.tick(3)),
+        B.while_("y > 0",
+            B.assign("y", "y - 1"),
+            B.tick(1))))
+
+
+register(BenchmarkProgram(
+    name="complex", category="polynomial", factory=_build_complex,
+    paper_bound="6*|[0, m]|*|[0, n]| + 3*|[0, n]| + |[0, y]|", source="reconstructed",
+    description="Nested loops over n and m followed by a linear clean-up loop.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=3.415, paper_error_percent="0.118",
+    simulation=SimulationPlan("n", (20, 40, 60, 100), {"m": 50, "y": 50}, runs=300)))
+
+
+def _build_multirace():
+    """n independent races, each of expected length 2m, plus constant overhead."""
+    return B.program(B.proc("main", ["n", "m"],
+        B.while_("n > 0",
+            B.assign("n", "n - 1"),
+            B.assign("j", "m"),
+            B.while_("j > 0",
+                B.prob("1/2", B.assign("j", "j - 1"), B.skip()),
+                B.tick(1)),
+            B.tick(4))))
+
+
+register(BenchmarkProgram(
+    name="multirace", category="polynomial", factory=_build_multirace,
+    paper_bound="2*|[0, m]|*|[0, n]| + 4*|[0, n]|", source="reconstructed",
+    description="Repeated races: n rounds of a geometric inner loop over m.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=9.034, paper_error_percent="0.703",
+    simulation=SimulationPlan("n", (20, 40, 60, 100), {"m": 50}, runs=300)))
+
+
+def _build_pol04():
+    """Quadratic cost: each outer step (probabilistic) replays a linear inner loop."""
+    return B.program(B.proc("main", ["x"],
+        B.while_("x > 0",
+            B.prob("2/3", B.assign("x", "x - 1"), B.skip()),
+            B.assign("y", "x"),
+            B.while_("y > 0",
+                B.assign("y", "y - 1"),
+                B.tick(3)),
+            B.tick(1))))
+
+
+register(BenchmarkProgram(
+    name="pol04", category="polynomial", factory=_build_pol04,
+    paper_bound="4.5*|[0, x]|^2 + 7.5*|[0, x]|", source="reconstructed",
+    description="Quadratic: probabilistic outer countdown replaying a linear inner loop.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=0.585, paper_error_percent="0.779",
+    simulation=SimulationPlan("x", (20, 40, 60, 100), {}, runs=300)))
+
+
+def _build_pol05():
+    return B.program(B.proc("main", ["x"],
+        B.while_("x > 0",
+            B.assign("x", "x - 1"),
+            B.assign("y", "x"),
+            B.while_("y > 0",
+                B.prob("1/2", B.assign("y", "y - 1"), B.skip()),
+                B.tick(1)),
+            B.tick(1))))
+
+
+register(BenchmarkProgram(
+    name="pol05", category="polynomial", factory=_build_pol05,
+    paper_bound="|[0, x]|^2 + |[0, x]|", source="reconstructed",
+    description="Quadratic: deterministic outer countdown with a geometric inner loop.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=0.353, paper_error_percent="0.431",
+    simulation=SimulationPlan("x", (20, 40, 60, 100), {}, runs=300)))
+
+
+def _build_pol06():
+    """Trader-like walk where the per-step work is a small uniform batch."""
+    return B.program(B.proc("main", ["min", "s"],
+        B.assume("min >= 0"),
+        B.while_("s > min",
+            B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+            B.sample("k", Uniform(0, 2)),
+            B.while_("k > 0",
+                B.assign("k", "k - 1"),
+                B.tick(B.expr("s"))))))
+
+
+register(BenchmarkProgram(
+    name="pol06", category="polynomial", factory=_build_pol06,
+    paper_bound="0.625*|[min, s]|^2 + 2*|[min, s]|*|[0, min]| + 0.625*|[min, s]|",
+    source="reconstructed",
+    description="Random walk whose per-step cost is proportional to the current position.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=7.066, paper_error_percent="A.S",
+    simulation=SimulationPlan("s", (120, 160, 200, 260), {"min": 100}, runs=300)))
+
+
+def _build_pol07():
+    return B.program(B.proc("main", ["n"],
+        B.while_("n > 1",
+            B.prob("2/3", B.assign("n", "n - 1"), B.skip()),
+            B.assign("m", "n"),
+            B.while_("m > 0",
+                B.assign("m", "m - 1"),
+                B.tick(1)))))
+
+
+register(BenchmarkProgram(
+    name="pol07", category="polynomial", factory=_build_pol07,
+    paper_bound="1.5*|[0, n - 2]|*|[0, n - 1]|", source="reconstructed",
+    description="Quadratic: the inner loop length tracks the (slowly falling) outer counter.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=4.534, paper_error_percent="0.008",
+    simulation=SimulationPlan("n", (20, 40, 60, 100), {}, runs=300)))
+
+
+def _build_recursive():
+    """A recursive procedure narrowing the interval [l, h] with linear work per level."""
+    return B.program(
+        B.proc("main", ["l", "h"],
+            B.call("narrow")),
+        B.proc("narrow", [],
+            B.if_("h > l",
+                  B.seq(
+                      B.assign("d", "h - l"),
+                      B.while_("d > 0",
+                          B.assign("d", "d - 1"),
+                          B.tick(Fraction(1, 2))),
+                      B.prob("1/2", B.assign("l", "l + 1"), B.assign("h", "h - 1")),
+                      B.tick(1),
+                      B.call("narrow")),
+                  B.skip())))
+
+
+register(BenchmarkProgram(
+    name="recursive", category="polynomial", factory=_build_recursive,
+    paper_bound="0.25*|[l, h]|^2 + 1.75*|[l, h]|", source="reconstructed",
+    description="Recursive interval narrowing with per-level work proportional to the width.",
+    analyzer_options=dict(_POLY_OPTIONS),
+    paper_time_seconds=3.791, paper_error_percent="0.281",
+    simulation=SimulationPlan("h", (20, 40, 60, 100), {"l": 0}, runs=300)))

@@ -1,0 +1,121 @@
+"""Benchmark registry: metadata + lookup for the 39 programs of Table 1.
+
+Each benchmark records
+
+* a factory building the program AST (so that node ids are fresh per use),
+* the bound reported in the paper's Table 1 (for side-by-side comparison),
+* whether the program text comes straight from the paper (``source ==
+  'paper'``) or is a reconstruction from the benchmark's name, provenance and
+  reported bound (``source == 'reconstructed'``) -- see DESIGN.md,
+* analyzer options (maximal degree, resource counter, hints),
+* a :class:`SimulationPlan` describing the input sweep used to measure the
+  expected cost (the paper sweeps one input over a range while fixing the
+  others; the default ranges here are scaled down so the whole evaluation
+  runs in minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import Program
+
+
+@dataclass
+class SimulationPlan:
+    """How to measure a benchmark's expected cost by sampling."""
+
+    swept_variable: str
+    sweep_values: Tuple[int, ...]
+    fixed_state: Dict[str, int] = field(default_factory=dict)
+    runs: int = 400
+    max_steps: int = 2_000_000
+
+    def states(self) -> List[Dict[str, int]]:
+        states = []
+        for value in self.sweep_values:
+            state = dict(self.fixed_state)
+            state[self.swept_variable] = int(value)
+            states.append(state)
+        return states
+
+
+@dataclass
+class BenchmarkProgram:
+    """One row of Table 1."""
+
+    name: str
+    category: str                       # 'linear' or 'polynomial'
+    factory: Callable[[], Program]
+    paper_bound: str
+    description: str
+    source: str = "reconstructed"       # 'paper' or 'reconstructed'
+    analyzer_options: Dict[str, object] = field(default_factory=dict)
+    simulation: Optional[SimulationPlan] = None
+    paper_time_seconds: Optional[float] = None
+    paper_error_percent: Optional[str] = None
+
+    def build(self) -> Program:
+        return self.factory()
+
+    def build_for_simulation(self) -> Program:
+        """The program whose ``tick`` cost matches the analysed resource.
+
+        Benchmarks whose cost model is a resource-counter variable (e.g.
+        ``trader``'s ``cost``) are lowered with
+        :func:`repro.lang.transform.counter_as_resource` so that the
+        interpreter's tick count measures the same quantity the bound talks
+        about.
+        """
+        from repro.lang.transform import counter_as_resource
+
+        program = self.factory()
+        counter = self.analyzer_options.get("resource_counter")
+        if counter:
+            program = counter_as_resource(program, str(counter))
+        return program
+
+    def __repr__(self) -> str:
+        return f"BenchmarkProgram({self.name!r}, {self.category})"
+
+
+_REGISTRY: Dict[str, BenchmarkProgram] = {}
+
+
+def register(benchmark: BenchmarkProgram) -> BenchmarkProgram:
+    """Add a benchmark to the global registry (used by the program modules)."""
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def _ensure_loaded() -> None:
+    # Importing the program modules populates the registry.
+    from repro.bench.programs import linear, polynomial  # noqa: F401
+
+
+def all_benchmarks() -> List[BenchmarkProgram]:
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda b: (b.category, b.name))
+
+
+def linear_benchmarks() -> List[BenchmarkProgram]:
+    return [b for b in all_benchmarks() if b.category == "linear"]
+
+
+def polynomial_benchmarks() -> List[BenchmarkProgram]:
+    return [b for b in all_benchmarks() if b.category == "polynomial"]
+
+
+def benchmark_names() -> List[str]:
+    return [b.name for b in all_benchmarks()]
+
+
+def get_benchmark(name: str) -> BenchmarkProgram:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}") from exc

@@ -1,0 +1,52 @@
+"""Plain-text and CSV rendering of evaluation results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table (used for the Table 1 reproduction)."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render the same data as CSV (for plotting / archiving)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([str(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}f}"
+
+
+def format_percentage(value: float, digits: int = 3) -> str:
+    if value != value:
+        return "n/a"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,142 @@
+"""Command-line front end (the Python counterpart of the ``absynth`` binary).
+
+Usage::
+
+    absynth-py analyze program.imp [--degree 2] [--counter cost] [--certificate]
+    absynth-py simulate program.imp --input x=100 n=500 [--runs 1000]
+    absynth-py bench [--group linear|polynomial|all] [--quick]
+    absynth-py list
+
+``analyze`` parses a program in the concrete syntax (see
+:mod:`repro.lang.parser`), runs the expected-cost analysis and prints the
+bound; ``simulate`` estimates the expected cost by sampling; ``bench``
+regenerates Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.registry import benchmark_names
+from repro.core.analyzer import analyze_program
+from repro.core.certificates import check_certificate
+from repro.lang.parser import parse_program
+from repro.semantics.sampler import estimate_expected_cost
+
+
+def _parse_assignments(pairs: Sequence[str]) -> Dict[str, int]:
+    state: Dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"invalid input assignment {pair!r}; expected name=value")
+        name, _, value = pair.partition("=")
+        state[name.strip()] = int(value)
+    return state
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    options = {"max_degree": args.degree, "auto_degree": not args.no_auto_degree}
+    if args.counter:
+        options["resource_counter"] = args.counter
+    result = analyze_program(program, **options)
+    if not result.success:
+        print(f"no bound found: {result.message}")
+        return 1
+    print(f"expected cost bound: {result.bound}")
+    print(f"degree: {result.degree}   analysis time: {result.time_seconds:.3f}s   "
+          f"LP size: {result.lp_variables} variables / {result.lp_constraints} constraints")
+    if args.certificate:
+        problems = check_certificate(result.certificate)
+        if problems:
+            print("certificate check FAILED:")
+            for problem in problems[:10]:
+                print(f"  - {problem}")
+            return 2
+        print(f"certificate check passed "
+              f"({len(result.certificate.points)} annotated program points, "
+              f"{len(result.certificate.weakenings)} weakenings)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    state = _parse_assignments(args.input or [])
+    stats = estimate_expected_cost(program, state, runs=args.runs, seed=args.seed)
+    print(f"runs: {stats.runs}   mean cost: {stats.mean:.3f}   std: {stats.std:.3f}")
+    print(f"min/q1/median/q3/max: {stats.minimum:.1f} / {stats.first_quartile:.1f} / "
+          f"{stats.median:.1f} / {stats.third_quartile:.1f} / {stats.maximum:.1f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import table1
+
+    forwarded: List[str] = ["--group", args.group]
+    if args.quick:
+        forwarded.append("--quick")
+    if args.no_simulation:
+        forwarded.append("--no-simulation")
+    if args.names:
+        forwarded.extend(["--names", *args.names])
+    return table1.main(forwarded)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="absynth-py",
+        description="Expected-cost bound analysis for probabilistic programs "
+                    "(reproduction of PLDI 2018 'Bounded Expectations').")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="infer an expected-cost bound")
+    analyze.add_argument("program", help="path to a program in the concrete syntax")
+    analyze.add_argument("--degree", type=int, default=1, help="maximal bound degree")
+    analyze.add_argument("--no-auto-degree", action="store_true",
+                         help="do not retry with a higher degree on failure")
+    analyze.add_argument("--counter", default=None,
+                         help="treat this global variable as the resource counter")
+    analyze.add_argument("--certificate", action="store_true",
+                         help="re-check the derivation certificate")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    simulate = subparsers.add_parser("simulate", help="estimate the expected cost by sampling")
+    simulate.add_argument("program")
+    simulate.add_argument("--input", nargs="*", default=[], help="initial values, e.g. x=10 n=100")
+    simulate.add_argument("--runs", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    bench = subparsers.add_parser("bench", help="regenerate Table 1")
+    bench.add_argument("--group", choices=("all", "linear", "polynomial"), default="all")
+    bench.add_argument("--names", nargs="*", default=None)
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--no-simulation", action="store_true")
+    bench.set_defaults(func=_cmd_bench)
+
+    listing = subparsers.add_parser("list", help="list the benchmark programs")
+    listing.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

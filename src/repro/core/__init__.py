@@ -1,0 +1,33 @@
+"""The expected potential method: derivation system, LP inference, bounds.
+
+This package is the reproduction of the paper's primary contribution
+(Sections 4, 5 and 7): automatic inference of symbolic upper bounds on the
+expected resource consumption of probabilistic programs by
+
+1. fixing the shape of potential functions to linear combinations of base
+   functions (monomials over interval atoms, :mod:`repro.core.basegen`),
+2. applying the derivation rules of Fig. 6 backwards over the program while
+   collecting linear constraints over the unknown coefficients
+   (:mod:`repro.core.derivation`, :mod:`repro.core.annotations`),
+3. justifying weakenings with non-negative rewrite functions
+   (:mod:`repro.core.rewrite`),
+4. solving the resulting linear program with an off-the-shelf LP solver and
+   the paper's iterative degree-by-degree objective
+   (:mod:`repro.core.solver`),
+5. reporting the bound (:mod:`repro.core.bounds`) together with a checkable
+   derivation certificate (:mod:`repro.core.certificates`).
+
+The top-level entry point is :class:`repro.core.analyzer.ExpectedCostAnalyzer`
+(or the convenience function :func:`repro.core.analyzer.analyze_program`).
+"""
+
+from repro.core.analyzer import AnalysisResult, AnalyzerConfig, ExpectedCostAnalyzer, analyze_program
+from repro.core.bounds import ExpectedBound
+
+__all__ = [
+    "AnalysisResult",
+    "AnalyzerConfig",
+    "ExpectedCostAnalyzer",
+    "analyze_program",
+    "ExpectedBound",
+]

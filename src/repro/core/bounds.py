@@ -1,0 +1,66 @@
+"""Expected-cost bounds: the analyzer's user-facing result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.utils.polynomials import Monomial, Polynomial
+from repro.utils.rationals import pretty_fraction
+
+State = Mapping[str, Union[int, float, Fraction]]
+
+
+@dataclass(frozen=True)
+class ExpectedBound:
+    """A symbolic upper bound on the expected resource consumption.
+
+    The bound is a polynomial over interval base functions, e.g.
+    ``2*|[x, n]| + 1`` or ``4.5*|[0, x]|^2 + 7.5*|[0, x]|`` -- exactly the
+    shape reported in Table 1 of the paper.
+    """
+
+    polynomial: Polynomial
+
+    # -- queries -------------------------------------------------------------
+
+    def degree(self) -> int:
+        return self.polynomial.degree()
+
+    def is_constant(self) -> bool:
+        return self.polynomial.is_constant()
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.polynomial.variables()
+
+    def evaluate(self, state: State) -> Fraction:
+        """The bound's value for a concrete input valuation."""
+        return self.polynomial.evaluate(state)
+
+    def evaluate_float(self, state: State) -> float:
+        return float(self.evaluate(state))
+
+    def coefficient(self, monomial: Monomial) -> Fraction:
+        return self.polynomial.coefficient(monomial)
+
+    def dominates_value(self, state: State, measured: float,
+                        tolerance: float = 1e-9) -> bool:
+        """Whether the bound is at least ``measured`` on ``state``."""
+        return float(self.evaluate(state)) + tolerance >= measured
+
+    # -- presentation -------------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Table-1 style rendering, e.g. ``2*|[x, n]|``."""
+        return str(self.polynomial)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {str(monomial): pretty_fraction(coeff)
+                for monomial, coeff in self.polynomial.terms.items()}
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+    def __repr__(self) -> str:
+        return f"ExpectedBound({self.pretty()})"

@@ -1,0 +1,225 @@
+"""Linear constraint system over symbolic potential-annotation coefficients.
+
+During the first phase of the analysis (Sec. 5) the coefficients of potential
+annotations are left symbolic; each symbolic coefficient becomes a variable
+of a linear program.  This module provides
+
+* :class:`LPVar` -- a single LP variable,
+* :class:`AffExpr` -- affine expressions ``const + sum(coeff_i * var_i)`` with
+  exact rational coefficients; annotation coefficients are such expressions so
+  that rules like ``Q:PIf`` (weighted sums) or ``Q:Tick`` need no fresh
+  variables,
+* :class:`ConstraintSystem` -- collects equality and inequality constraints
+  and hands them to the LP solver (:mod:`repro.core.solver`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.utils.rationals import Number, pretty_fraction, to_fraction
+
+
+@dataclass(frozen=True)
+class LPVar:
+    """One variable of the linear program."""
+
+    index: int
+    name: str
+    nonneg: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class AffExpr:
+    """An affine expression over LP variables with rational coefficients."""
+
+    __slots__ = ("_terms", "_const")
+
+    def __init__(self, terms: Optional[Mapping[LPVar, Number]] = None,
+                 const: Number = 0) -> None:
+        clean: Dict[LPVar, Fraction] = {}
+        if terms:
+            for var, coeff in terms.items():
+                frac = to_fraction(coeff)
+                if frac != 0:
+                    clean[var] = frac
+        self._terms = clean
+        self._const = to_fraction(const)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def of_var(cls, var: LPVar) -> "AffExpr":
+        return cls({var: 1})
+
+    @classmethod
+    def constant(cls, value: Number) -> "AffExpr":
+        return cls({}, value)
+
+    @classmethod
+    def zero(cls) -> "AffExpr":
+        return cls()
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def terms(self) -> Dict[LPVar, Fraction]:
+        return dict(self._terms)
+
+    @property
+    def const(self) -> Fraction:
+        return self._const
+
+    def is_constant(self) -> bool:
+        return not self._terms
+
+    def is_zero(self) -> bool:
+        return not self._terms and self._const == 0
+
+    def variables(self) -> Tuple[LPVar, ...]:
+        return tuple(self._terms)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __add__(self, other: Union["AffExpr", Number]) -> "AffExpr":
+        other_expr = _as_affexpr(other)
+        terms = dict(self._terms)
+        for var, coeff in other_expr._terms.items():
+            terms[var] = terms.get(var, Fraction(0)) + coeff
+        return AffExpr(terms, self._const + other_expr._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffExpr":
+        return AffExpr({var: -coeff for var, coeff in self._terms.items()}, -self._const)
+
+    def __sub__(self, other: Union["AffExpr", Number]) -> "AffExpr":
+        return self + (-_as_affexpr(other))
+
+    def __rsub__(self, other: Union["AffExpr", Number]) -> "AffExpr":
+        return _as_affexpr(other) + (-self)
+
+    def __mul__(self, scalar: Number) -> "AffExpr":
+        factor = to_fraction(scalar)
+        return AffExpr({var: coeff * factor for var, coeff in self._terms.items()},
+                       self._const * factor)
+
+    __rmul__ = __mul__
+
+    def evaluate(self, assignment: Mapping[LPVar, Union[float, Fraction]]) -> Fraction:
+        total = self._const
+        for var, coeff in self._terms.items():
+            total += coeff * to_fraction(assignment[var])
+        return total
+
+    # -- rendering --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffExpr):
+            return NotImplemented
+        return self._terms == other._terms and self._const == other._const
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted(((v.index, c) for v, c in self._terms.items()))),
+                     self._const))
+
+    def __repr__(self) -> str:
+        return f"AffExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coeff in sorted(self._terms.items(), key=lambda item: item[0].index):
+            if coeff == 1:
+                parts.append(str(var))
+            else:
+                parts.append(f"{pretty_fraction(coeff)}*{var}")
+        if self._const != 0 or not parts:
+            parts.append(pretty_fraction(self._const))
+        return " + ".join(parts)
+
+
+def _as_affexpr(value: Union[AffExpr, Number]) -> AffExpr:
+    if isinstance(value, AffExpr):
+        return value
+    return AffExpr.constant(value)
+
+
+@dataclass
+class Constraint:
+    """``expr == 0`` (kind 'eq') or ``expr >= 0`` (kind 'ge')."""
+
+    expr: AffExpr
+    kind: str
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("eq", "ge"):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+
+
+class ConstraintSystem:
+    """Accumulates LP variables and linear constraints."""
+
+    def __init__(self) -> None:
+        self.variables: List[LPVar] = []
+        self.constraints: List[Constraint] = []
+
+    # -- variables ------------------------------------------------------------
+
+    def new_var(self, name: str, nonneg: bool = False) -> AffExpr:
+        """Create a fresh LP variable and return it wrapped in an expression."""
+        var = LPVar(len(self.variables), name, nonneg)
+        self.variables.append(var)
+        return AffExpr.of_var(var)
+
+    def new_vars(self, count: int, prefix: str, nonneg: bool = False) -> List[AffExpr]:
+        return [self.new_var(f"{prefix}_{i}", nonneg) for i in range(count)]
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # -- constraints -------------------------------------------------------------
+
+    def add_eq(self, left: Union[AffExpr, Number], right: Union[AffExpr, Number] = 0,
+               origin: str = "") -> None:
+        """Add ``left == right``."""
+        expr = _as_affexpr(left) - _as_affexpr(right)
+        if expr.is_constant():
+            if expr.const != 0:
+                # Record an obviously infeasible constraint so the solver
+                # reports failure instead of silently dropping it.
+                self.constraints.append(Constraint(expr, "eq", origin or "contradiction"))
+            return
+        self.constraints.append(Constraint(expr, "eq", origin))
+
+    def add_ge(self, left: Union[AffExpr, Number], right: Union[AffExpr, Number] = 0,
+               origin: str = "") -> None:
+        """Add ``left >= right``."""
+        expr = _as_affexpr(left) - _as_affexpr(right)
+        if expr.is_constant():
+            if expr.const < 0:
+                self.constraints.append(Constraint(expr, "ge", origin or "contradiction"))
+            return
+        self.constraints.append(Constraint(expr, "ge", origin))
+
+    def add_le(self, left: Union[AffExpr, Number], right: Union[AffExpr, Number] = 0,
+               origin: str = "") -> None:
+        self.add_ge(_as_affexpr(right), _as_affexpr(left), origin)
+
+    # -- statistics / debugging ------------------------------------------------------
+
+    def describe(self) -> str:
+        return (f"ConstraintSystem with {self.num_variables} variables and "
+                f"{self.num_constraints} constraints")
+
+    def __repr__(self) -> str:
+        return self.describe()

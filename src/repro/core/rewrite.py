@@ -1,0 +1,190 @@
+"""Rewrite functions: certified non-negative polynomials used by ``Q:Weaken``.
+
+The ``Relax`` rule (paper Fig. 6) lets the analysis replace an annotation
+``Q`` by ``Q' = Q - F * u`` where the columns of ``F`` are *rewrite
+functions* -- linear combinations of base functions that are provably
+non-negative under the current logical context -- and ``u >= 0``.  Rewrite
+functions are how constant potential is extracted from interval potential
+(e.g. ``|[x, n]| - |[x+1, n]| - 1 >= 0`` when ``x < n``) and how potential is
+transferred between related base functions.
+
+Generators implemented here (``c`` denotes a rational constant, ``A``/``B``
+interval atoms, ``M`` a base monomial, and ``Gamma`` the logical context):
+
+1. ``M`` itself -- every base function is non-negative, so potential may
+   always be *discarded*.
+2. ``A - c`` whenever ``Gamma |= D_A >= c`` with ``c > 0`` -- extracts
+   constant potential from an interval known to be large.
+3. ``A - B - c`` whenever ``Gamma |= D_A - D_B >= c`` and (for ``c > 0``)
+   ``Gamma |= D_A >= c`` -- transfers potential between related intervals,
+   possibly extracting (``c > 0``) or paying (``c < 0``) constants.
+4. Products ``F * M`` of a degree-1 rewrite function with a base monomial --
+   non-negative because both factors are, covering the polynomial cases
+   (e.g. ``|[0,n]|^2`` telescoping).
+
+This matches the heuristic described in Sec. 7.1 ("for the base function
+max(0, n-x) we add the rewrite function max(0,n-x) - max(0,n-x-1) - 1 ...")
+while additionally recording, for every generated function, the entailment
+that justifies its non-negativity so certificates can be re-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.contexts import Context
+from repro.utils.linear import LinExpr
+from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
+
+
+@dataclass
+class RewriteFunction:
+    """A polynomial provably non-negative under a logical context."""
+
+    polynomial: Polynomial
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"RewriteFunction({self.polynomial}  [{self.reason}])"
+
+
+def _atoms_of(monomials: Iterable[Monomial]) -> List[IntervalAtom]:
+    atoms: List[IntervalAtom] = []
+    seen: Set[IntervalAtom] = set()
+    for monomial in monomials:
+        for atom in monomial.atoms():
+            if atom not in seen:
+                seen.add(atom)
+                atoms.append(atom)
+    return atoms
+
+
+def _share_variable(a: IntervalAtom, b: IntervalAtom) -> bool:
+    return bool(set(a.variables()) & set(b.variables()))
+
+
+def _pair_constant(context: Context, a: IntervalAtom, b: IntervalAtom,
+                   lower_a: Optional[Fraction]) -> Optional[Fraction]:
+    """The largest sound ``c`` for the rewrite ``A - B - c`` (None if invalid).
+
+    ``lower_a`` is the (cached) greatest lower bound of ``D_A`` under the
+    context, or ``None`` when unbounded below.
+    """
+    difference = a.diff - b.diff
+    if difference.is_constant():
+        gap: Optional[Fraction] = difference.const_term
+    else:
+        gap = context.greatest_lower_bound(difference)
+    if gap is None:
+        return None
+    if gap <= 0:
+        return gap
+    # For a positive extraction we additionally need D_A >= c.
+    if lower_a is None or lower_a <= 0:
+        return Fraction(0)
+    return min(gap, lower_a)
+
+
+def generate_rewrites(context: Context,
+                      monomials: Iterable[Monomial],
+                      max_degree: int,
+                      max_pair_rewrites: int = 3000) -> List[RewriteFunction]:
+    """Generate rewrite functions relevant to a weakening between annotations.
+
+    ``monomials`` should be the union of the base functions appearing in the
+    stronger and weaker annotations; only atoms occurring there are
+    considered, which keeps the LP small (the paper similarly only enriches
+    the rewrite set on demand).
+    """
+    pool = sorted(set(monomials), key=lambda m: m.sort_key())
+    atoms = _atoms_of(pool)
+    rewrites: List[RewriteFunction] = []
+
+    # 1. every base function may be discarded.
+    for monomial in pool:
+        rewrites.append(RewriteFunction(Polynomial.of_monomial(monomial),
+                                        reason=f"{monomial} >= 0"))
+
+    # 2. constant extraction from single atoms (cache the lower bounds; they
+    #    are reused by the pair rewrites below).
+    degree_one: List[Tuple[Polynomial, str, IntervalAtom]] = []
+    lower_bounds: Dict[IntervalAtom, Optional[Fraction]] = {}
+    for atom in atoms:
+        lower = context.greatest_lower_bound(atom.diff)
+        lower_bounds[atom] = lower
+        if lower is not None and lower > 0:
+            poly = Polynomial.of_monomial(Monomial.of_atom(atom)) - Polynomial.constant(lower)
+            reason = f"{atom} >= {lower} under context"
+            rewrites.append(RewriteFunction(poly, reason))
+            degree_one.append((poly, reason, atom))
+
+    # 3. transfers between pairs of atoms.  Pairs differing only by a constant
+    #    (the telescoping rewrites of Sec. 7.1) are generated first -- they
+    #    need no entailment query and are the ones the derivations rely on --
+    #    followed by general shared-variable pairs up to the budget.
+    pair_candidates: List[Tuple[int, Fraction, IntervalAtom, IntervalAtom]] = []
+    for a in atoms:
+        for b in atoms:
+            if a is b:
+                continue
+            difference = a.diff - b.diff
+            if difference.is_constant():
+                # Smaller shifts first: the telescoping rewrites between
+                # neighbouring offsets are the ones every derivation needs.
+                pair_candidates.append((0, abs(difference.const_term), a, b))
+            elif _share_variable(a, b):
+                pair_candidates.append((1, Fraction(0), a, b))
+    pair_candidates.sort(key=lambda item: (item[0], item[1]))
+    pair_count = 0
+    for _priority, _gap, a, b in pair_candidates:
+        if pair_count >= max_pair_rewrites:
+            break
+        constant = _pair_constant(context, a, b, lower_bounds.get(a))
+        if constant is None:
+            continue
+        poly = (Polynomial.of_monomial(Monomial.of_atom(a))
+                - Polynomial.of_monomial(Monomial.of_atom(b))
+                - Polynomial.constant(constant))
+        reason = f"{a} - {b} >= {constant} under context"
+        rewrites.append(RewriteFunction(poly, reason))
+        degree_one.append((poly, reason, a))
+        pair_count += 1
+
+    # 4. lift degree-1 rewrites to higher degrees by multiplying with base
+    #    monomials (both factors are non-negative).  Only atoms that actually
+    #    occur inside higher-degree monomials of the pool are useful factors,
+    #    which keeps the number of lifted columns small.
+    if max_degree >= 2:
+        higher_atoms: Set[IntervalAtom] = set()
+        for monomial in pool:
+            if monomial.degree() >= 2:
+                higher_atoms.update(monomial.atoms())
+        lifted: List[RewriteFunction] = []
+        max_lifted = 2000
+        for poly, reason, base_atom in degree_one:
+            if higher_atoms and base_atom not in higher_atoms:
+                continue
+            for atom in sorted(higher_atoms, key=lambda a: a.sort_key()):
+                factor = Monomial.of_atom(atom)
+                if factor.degree() + poly.degree() > max_degree:
+                    continue
+                product = poly * Polynomial.of_monomial(factor)
+                lifted.append(RewriteFunction(
+                    product, reason=f"({reason}) * {factor}"))
+                if len(lifted) >= max_lifted:
+                    break
+            if len(lifted) >= max_lifted:
+                break
+        rewrites.extend(lifted)
+
+    return rewrites
+
+
+def applicable_monomials(rewrites: Sequence[RewriteFunction]) -> Set[Monomial]:
+    """All monomials mentioned by a collection of rewrite functions."""
+    monomials: Set[Monomial] = set()
+    for rewrite in rewrites:
+        monomials.update(rewrite.polynomial.terms)
+    return monomials

@@ -1,0 +1,133 @@
+"""LP solving back end (paper Sec. 5, "Solving the constraints").
+
+Absynth feeds its constraints to CoinOr's CLP; here we use SciPy's HiGGS/
+HiGHS-based ``linprog``.  The module provides
+
+* :func:`solve_lp` -- solve one LP (minimise a linear objective subject to the
+  collected equalities/inequalities),
+* :class:`IterativeMinimizer` -- the paper's iterative objective scheme:
+  starting with the highest degree, minimise the weighted coefficients of
+  that degree, *fix* the achieved value as a constraint, and continue with
+  the next lower degree.  This yields the tightest bound degree by degree and
+  mirrors how modern LP solvers are used incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import lil_matrix
+
+from repro.core.constraints import AffExpr, Constraint, ConstraintSystem, LPVar
+from repro.utils.rationals import snap_fraction
+
+
+@dataclass
+class LPSolution:
+    """A solved assignment of the LP variables."""
+
+    assignment: Dict[LPVar, Fraction]
+    raw_values: np.ndarray
+    objective_values: List[float] = field(default_factory=list)
+    iterations: int = 0
+
+    def value(self, var: LPVar) -> Fraction:
+        return self.assignment[var]
+
+    def evaluate(self, expr: AffExpr) -> Fraction:
+        return expr.evaluate(self.assignment)
+
+
+class SolverError(Exception):
+    """Raised when the LP solver fails unexpectedly (not mere infeasibility)."""
+
+
+def _build_matrices(system: ConstraintSystem,
+                    extra: Sequence[Tuple[AffExpr, float]] = ()):
+    """Translate the constraint system into the arrays ``linprog`` expects.
+
+    ``extra`` contains additional upper-bound constraints ``expr <= bound``
+    added by the iterative objective scheme.
+    """
+    num_vars = system.num_variables
+    eq_rows = [c for c in system.constraints if c.kind == "eq"]
+    ge_rows = [c for c in system.constraints if c.kind == "ge"]
+
+    a_eq = lil_matrix((len(eq_rows), num_vars)) if eq_rows else None
+    b_eq = np.zeros(len(eq_rows)) if eq_rows else None
+    for row, constraint in enumerate(eq_rows):
+        for var, coeff in constraint.expr.terms.items():
+            a_eq[row, var.index] = float(coeff)
+        b_eq[row] = -float(constraint.expr.const)
+
+    num_ub = len(ge_rows) + len(extra)
+    a_ub = lil_matrix((num_ub, num_vars)) if num_ub else None
+    b_ub = np.zeros(num_ub) if num_ub else None
+    for row, constraint in enumerate(ge_rows):
+        # expr >= 0   <=>   -expr <= 0
+        for var, coeff in constraint.expr.terms.items():
+            a_ub[row, var.index] = -float(coeff)
+        b_ub[row] = float(constraint.expr.const)
+    for offset, (expr, bound) in enumerate(extra):
+        row = len(ge_rows) + offset
+        for var, coeff in expr.terms.items():
+            a_ub[row, var.index] = float(coeff)
+        b_ub[row] = bound - float(expr.const)
+
+    bounds = [(0.0, None) if var.nonneg else (None, None) for var in system.variables]
+    return (a_ub.tocsr() if a_ub is not None else None, b_ub,
+            a_eq.tocsr() if a_eq is not None else None, b_eq, bounds)
+
+
+def solve_lp(system: ConstraintSystem, objective: Optional[AffExpr] = None,
+             extra: Sequence[Tuple[AffExpr, float]] = ()) -> Optional[np.ndarray]:
+    """Minimise ``objective`` subject to the system; return values or None."""
+    num_vars = system.num_variables
+    if num_vars == 0:
+        return np.zeros(0)
+    c = np.zeros(num_vars)
+    if objective is not None:
+        for var, coeff in objective.terms.items():
+            c[var.index] = float(coeff)
+    a_ub, b_ub, a_eq, b_eq, bounds = _build_matrices(system, extra)
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                     bounds=bounds, method="highs")
+    if not result.success:
+        return None
+    return result.x
+
+
+class IterativeMinimizer:
+    """Minimise a sequence of objectives, fixing each optimum before the next."""
+
+    def __init__(self, system: ConstraintSystem, tolerance: float = 1e-6) -> None:
+        self.system = system
+        self.tolerance = tolerance
+
+    def solve(self, objectives: Sequence[AffExpr]) -> Optional[LPSolution]:
+        extra: List[Tuple[AffExpr, float]] = []
+        values: Optional[np.ndarray] = None
+        achieved: List[float] = []
+        stages = list(objectives) or [AffExpr.zero()]
+        for objective in stages:
+            values = solve_lp(self.system, objective, extra)
+            if values is None:
+                return None
+            achieved_value = float(sum(float(coeff) * values[var.index]
+                                       for var, coeff in objective.terms.items())
+                                   + float(objective.const))
+            achieved.append(achieved_value)
+            if not objective.is_constant():
+                extra.append((objective, achieved_value + self.tolerance))
+        assignment = {var: snap_fraction(float(values[var.index]))
+                      for var in self.system.variables}
+        # Clamp tiny negatives introduced by floating point on non-negative vars.
+        for var in self.system.variables:
+            if var.nonneg and assignment[var] < 0:
+                assignment[var] = Fraction(0)
+        return LPSolution(assignment=assignment, raw_values=values,
+                          objective_values=achieved, iterations=len(stages))

@@ -1,0 +1,53 @@
+"""Procedure specification contexts (paper rules ``Q:Call`` / ``ValidCtx``).
+
+A specification assigns to a procedure a pre-annotation and a post-annotation
+that are valid for its body.  The analyzer registers a specification for
+every procedure that is analysed modularly (in this implementation: the
+recursive procedures; non-recursive calls are inlined), and the ``Q:Call``
+rule instantiates it at call sites, adding a *frame* of potential built from
+base functions the callee cannot modify -- the paper's constant frame
+``x in Q>=0`` is the special case of the constant base function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.annotations import PotentialAnnotation
+
+
+@dataclass
+class ProcedureSpec:
+    """Pre/post annotation pair for one procedure plus its write effects."""
+
+    name: str
+    pre: PotentialAnnotation
+    post: PotentialAnnotation
+    modified_variables: Set[str] = field(default_factory=set)
+
+    def frameable(self, monomial) -> bool:
+        """Whether a base function is unaffected by the callee (can be framed)."""
+        return not (set(monomial.variables()) & self.modified_variables)
+
+
+class SpecContext:
+    """The specification context Delta of the derivation system."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ProcedureSpec] = {}
+
+    def register(self, spec: ProcedureSpec) -> None:
+        self._specs[spec.name] = spec
+
+    def lookup(self, name: str) -> Optional[ProcedureSpec]:
+        return self._specs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> Iterable[str]:
+        return self._specs.keys()
+
+    def __len__(self) -> int:
+        return len(self._specs)

@@ -1,0 +1,62 @@
+"""The probabilistic programming language of the paper (Fig. 3).
+
+The language is a simple imperative integer language with
+
+* probabilistic branching ``c1 (+)p c2``,
+* sampling assignments ``x = e bop R`` with ``R`` drawn from a discrete
+  distribution with finite support,
+* non-deterministic branching ``if * c1 else c2``,
+* ``tick(q)`` commands defining the cost model (``q`` may be a constant or a
+  program expression, modelling resource-counter variables),
+* (possibly recursive) procedure calls operating on global state.
+
+Programs can be constructed three ways:
+
+* directly from the AST classes in :mod:`repro.lang.ast`,
+* with the fluent builder DSL in :mod:`repro.lang.builder`,
+* by parsing the C-like concrete syntax with :func:`repro.lang.parser.parse_program`.
+"""
+
+from repro.lang.ast import (
+    Abort,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    Call,
+    Command,
+    Const,
+    Expr,
+    If,
+    NonDetChoice,
+    ProbChoice,
+    Procedure,
+    Program,
+    Sample,
+    Seq,
+    Skip,
+    Star,
+    Tick,
+    Var,
+    While,
+)
+from repro.lang.distributions import (
+    Bernoulli,
+    Binomial,
+    Distribution,
+    Finite,
+    HyperGeometric,
+    Uniform,
+)
+from repro.lang.builder import ProcedureBuilder, ProgramBuilder
+from repro.lang.parser import parse_program, parse_command
+from repro.lang.printer import program_to_source, command_to_source
+
+__all__ = [
+    "Abort", "Assert", "Assign", "Assume", "BinOp", "Call", "Command", "Const",
+    "Expr", "If", "NonDetChoice", "ProbChoice", "Procedure", "Program",
+    "Sample", "Seq", "Skip", "Star", "Tick", "Var", "While",
+    "Bernoulli", "Binomial", "Distribution", "Finite", "HyperGeometric", "Uniform",
+    "ProcedureBuilder", "ProgramBuilder",
+    "parse_program", "parse_command", "program_to_source", "command_to_source",
+]

@@ -1,0 +1,553 @@
+"""Abstract syntax of the probabilistic language (paper Fig. 3).
+
+Expressions
+-----------
+
+``e := id | n | e1 bop e2`` with the binary operators of the paper
+(arithmetic, comparisons and boolean connectives).  The special expression
+:class:`Star` denotes the non-deterministic boolean ``*`` so that guards such
+as ``while (y >= 100 && *)`` (program ``prnes``) can be written directly.
+
+Commands
+--------
+
+``skip``, ``abort``, ``assert e``, ``assume e``, ``tick(q)``, ``id = e``,
+``id = e bop R`` (sampling assignment), ``if e c1 else c2``,
+``if * c1 else c2`` (non-deterministic choice), ``c1 (+)p c2`` (probabilistic
+branching), ``c1; c2``, ``while e c`` and ``call P``.
+
+Every command node receives a unique ``node_id`` when it is constructed.  The
+abstract interpreter stores the logical context valid *before* each node under
+that id and the derivation system looks contexts up by id during the backward
+constraint-generation pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lang.distributions import Distribution
+from repro.lang.errors import LoweringError
+from repro.utils.linear import LinExpr
+from repro.utils.rationals import Number, pretty_fraction, to_fraction
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+ARITH_OPS = ("+", "-", "*", "div", "mod")
+COMPARE_OPS = ("==", "!=", "<", ">", "<=", ">=")
+BOOL_OPS = ("and", "or")
+ALL_OPS = ARITH_OPS + COMPARE_OPS + BOOL_OPS
+
+
+class Expr:
+    """Base class of expressions."""
+
+    def variables(self) -> Set[str]:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Var(Expr):
+    """A program variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """An integer or rational constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number) -> None:
+        self.value = to_fraction(value)
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+    def __str__(self) -> str:
+        return pretty_fraction(self.value)
+
+
+class Star(Expr):
+    """The non-deterministic boolean ``*`` (resolved by a scheduler)."""
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Star)
+
+    def __hash__(self) -> int:
+        return hash("Star")
+
+    def __str__(self) -> str:
+        return "*"
+
+
+class BinOp(Expr):
+    """A binary operation ``left op right``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in ALL_OPS:
+            raise ValueError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BinOp) and other.op == self.op
+                and other.left == self.left and other.right == self.right)
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.left, self.right))
+
+    def __str__(self) -> str:
+        op = {"and": "&&", "or": "||"}.get(self.op, self.op)
+        return f"({self.left} {op} {self.right})"
+
+
+class Not(Expr):
+    """Boolean negation (used for printing / interpretation of guards)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def variables(self) -> Set[str]:
+        return self.operand.variables()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+def expr_to_linexpr(expr: Expr) -> LinExpr:
+    """Lower an arithmetic expression to a :class:`LinExpr`.
+
+    Raises :class:`LoweringError` if the expression is not linear (e.g. it
+    multiplies two variables, or uses ``div``/``mod``/comparisons).
+    """
+    if isinstance(expr, Var):
+        return LinExpr.var(expr.name)
+    if isinstance(expr, Const):
+        return LinExpr.const(expr.value)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return expr_to_linexpr(expr.left) + expr_to_linexpr(expr.right)
+        if expr.op == "-":
+            return expr_to_linexpr(expr.left) - expr_to_linexpr(expr.right)
+        if expr.op == "*":
+            left = expr_to_linexpr(expr.left)
+            right = expr_to_linexpr(expr.right)
+            if left.is_constant():
+                return right * left.const_term
+            if right.is_constant():
+                return left * right.const_term
+            raise LoweringError(f"non-linear multiplication: {expr}")
+        raise LoweringError(f"operator {expr.op!r} is not linear: {expr}")
+    raise LoweringError(f"cannot lower {expr} to a linear expression")
+
+
+def is_linear_expr(expr: Expr) -> bool:
+    """Whether :func:`expr_to_linexpr` would succeed on ``expr``."""
+    try:
+        expr_to_linexpr(expr)
+    except LoweringError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+_NODE_COUNTER = itertools.count(1)
+
+
+class Command:
+    """Base class of commands; every node gets a unique ``node_id``."""
+
+    def __init__(self) -> None:
+        self.node_id: int = next(_NODE_COUNTER)
+
+    def children(self) -> Tuple["Command", ...]:
+        return ()
+
+    def iter_nodes(self) -> Iterator["Command"]:
+        """Pre-order traversal of this command and all sub-commands."""
+        yield self
+        for child in self.children():
+            yield from child.iter_nodes()
+
+    def assigned_variables(self) -> Set[str]:
+        """Variables written by this command (not following calls)."""
+        names: Set[str] = set()
+        for node in self.iter_nodes():
+            if isinstance(node, (Assign, Sample)):
+                names.add(node.target)
+        return names
+
+    def used_variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for node in self.iter_nodes():
+            if isinstance(node, (Assert, Assume, If, While)):
+                names |= node.condition.variables()
+            if isinstance(node, (Assign, Sample)):
+                names.add(node.target)
+                names |= node.expr.variables()
+            if isinstance(node, Tick) and isinstance(node.amount, Expr):
+                names |= node.amount.variables()
+        return names
+
+    def called_procedures(self) -> Set[str]:
+        return {node.procedure for node in self.iter_nodes() if isinstance(node, Call)}
+
+    def __repr__(self) -> str:
+        from repro.lang.printer import command_to_source
+        return command_to_source(self)
+
+
+class Skip(Command):
+    """``skip`` -- no effect."""
+
+
+class Abort(Command):
+    """``abort`` -- diverges (expected cost 0 under the `ert` semantics)."""
+
+
+class Assert(Command):
+    """``assert e`` -- terminates the program when ``e`` evaluates to 0."""
+
+    def __init__(self, condition: Expr) -> None:
+        super().__init__()
+        self.condition = condition
+
+
+class Assume(Command):
+    """``assume e`` -- refines the logical context, no runtime effect.
+
+    The paper's examples use ``assume`` for input preconditions such as
+    ``assume(smin >= 0)`` in ``trader``.  At runtime it behaves like
+    ``assert`` (executions violating the assumption are discarded).
+    """
+
+    def __init__(self, condition: Expr) -> None:
+        super().__init__()
+        self.condition = condition
+
+
+class Tick(Command):
+    """``tick(q)`` -- consume ``q`` resource units.
+
+    ``q`` is a non-negative rational constant in the paper; we additionally
+    allow a program expression so that resource-counter updates such as
+    ``cost = cost + s`` can be modelled directly as ``tick(s)``.
+    """
+
+    def __init__(self, amount: Union[Number, Expr]) -> None:
+        super().__init__()
+        if isinstance(amount, Expr):
+            self.amount: Union[Fraction, Expr] = amount
+        else:
+            self.amount = to_fraction(amount)
+
+    @property
+    def is_constant(self) -> bool:
+        return not isinstance(self.amount, Expr)
+
+
+class Assign(Command):
+    """``x = e`` -- deterministic assignment."""
+
+    def __init__(self, target: str, expr: Expr) -> None:
+        super().__init__()
+        self.target = str(target)
+        self.expr = expr
+
+
+class Sample(Command):
+    """``x = e bop R`` -- sampling assignment (paper Fig. 3).
+
+    ``R`` is drawn from ``distribution`` and combined with the evaluated
+    ``expr`` using ``op`` (one of ``+``, ``-``, ``*``).  The common pattern
+    ``x = unif(0, 10)`` is represented as ``x = 0 + R``.
+    """
+
+    def __init__(self, target: str, expr: Expr, op: str,
+                 distribution: Distribution) -> None:
+        super().__init__()
+        if op not in ("+", "-", "*"):
+            raise ValueError(f"unsupported sampling operator {op!r}")
+        self.target = str(target)
+        self.expr = expr
+        self.op = op
+        self.distribution = distribution
+
+    def outcome_exprs(self) -> List[Tuple[Fraction, Expr]]:
+        """The pmf as ``[(probability, equivalent deterministic expression)]``."""
+        outcomes: List[Tuple[Fraction, Expr]] = []
+        for value, prob in self.distribution.support():
+            outcomes.append((prob, BinOp(self.op, self.expr, Const(value))))
+        return outcomes
+
+
+class If(Command):
+    """``if e c1 else c2``."""
+
+    def __init__(self, condition: Expr, then_branch: Command,
+                 else_branch: Optional[Command] = None) -> None:
+        super().__init__()
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch if else_branch is not None else Skip()
+
+    def children(self) -> Tuple[Command, ...]:
+        return (self.then_branch, self.else_branch)
+
+
+class NonDetChoice(Command):
+    """``if * c1 else c2`` -- demonic non-deterministic choice."""
+
+    def __init__(self, left: Command, right: Command) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Command, ...]:
+        return (self.left, self.right)
+
+
+class ProbChoice(Command):
+    """``c1 (+)p c2`` -- run ``left`` with probability ``p`` else ``right``."""
+
+    def __init__(self, probability: Number, left: Command, right: Command) -> None:
+        super().__init__()
+        self.probability = to_fraction(probability)
+        if not 0 <= self.probability <= 1:
+            raise ValueError("branching probability must lie in [0, 1]")
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Command, ...]:
+        return (self.left, self.right)
+
+
+class Seq(Command):
+    """``c1; c2; ...`` -- sequential composition of a list of commands."""
+
+    def __init__(self, commands: Sequence[Command]) -> None:
+        super().__init__()
+        flattened: List[Command] = []
+        for command in commands:
+            if isinstance(command, Seq):
+                flattened.extend(command.commands)
+            else:
+                flattened.append(command)
+        self.commands: Tuple[Command, ...] = tuple(flattened)
+
+    def children(self) -> Tuple[Command, ...]:
+        return self.commands
+
+
+class While(Command):
+    """``while e c``."""
+
+    def __init__(self, condition: Expr, body: Command) -> None:
+        super().__init__()
+        self.condition = condition
+        self.body = body
+
+    def children(self) -> Tuple[Command, ...]:
+        return (self.body,)
+
+
+class Call(Command):
+    """``call P`` -- call the procedure named ``P`` (global-state convention)."""
+
+    def __init__(self, procedure: str) -> None:
+        super().__init__()
+        self.procedure = str(procedure)
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+class Procedure:
+    """A named procedure: parameters, local variables and a body.
+
+    Parameters and locals exist for convenience in the front end; the
+    analysis uses the paper's global-state convention, and
+    :func:`repro.lang.transform.inline_calls` removes parameterised calls of
+    non-recursive procedures before analysis.
+    """
+
+    def __init__(self, name: str, body: Command,
+                 params: Sequence[str] = (),
+                 locals_: Sequence[str] = ()) -> None:
+        self.name = str(name)
+        self.body = body
+        self.params: Tuple[str, ...] = tuple(str(p) for p in params)
+        self.locals: Tuple[str, ...] = tuple(str(v) for v in locals_)
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.name}, params={list(self.params)})"
+
+
+class Program:
+    """A complete program ``(c, D)``: a main procedure plus declarations."""
+
+    def __init__(self, procedures: Union[Dict[str, Procedure], Sequence[Procedure]],
+                 main: str = "main") -> None:
+        if isinstance(procedures, dict):
+            table = dict(procedures)
+        else:
+            table = {proc.name: proc for proc in procedures}
+        if main not in table:
+            raise ValueError(f"program has no procedure named {main!r}")
+        self.procedures: Dict[str, Procedure] = table
+        self.main = main
+
+    @property
+    def main_procedure(self) -> Procedure:
+        return self.procedures[self.main]
+
+    def procedure(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    def variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for proc in self.procedures.values():
+            names |= proc.body.used_variables()
+            names |= set(proc.params)
+            names |= set(proc.locals)
+        return names
+
+    def global_inputs(self) -> Tuple[str, ...]:
+        """The main procedure's parameters (the analysis inputs)."""
+        return self.main_procedure.params
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        return {name: proc.body.called_procedures()
+                for name, proc in self.procedures.items()}
+
+    def recursive_procedures(self) -> Set[str]:
+        """Names of procedures on a call-graph cycle (incl. self recursion)."""
+        graph = self.call_graph()
+        recursive: Set[str] = set()
+        for start in graph:
+            stack = list(graph.get(start, ()))
+            seen: Set[str] = set()
+            while stack:
+                current = stack.pop()
+                if current == start:
+                    recursive.add(start)
+                    break
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(graph.get(current, ()))
+        return recursive
+
+    def iter_nodes(self) -> Iterator[Command]:
+        for proc in self.procedures.values():
+            yield from proc.body.iter_nodes()
+
+    def __repr__(self) -> str:
+        return f"Program(main={self.main!r}, procedures={sorted(self.procedures)})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience expression constructors
+# ---------------------------------------------------------------------------
+
+def add(left: Expr, right: Expr) -> BinOp:
+    return BinOp("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinOp:
+    return BinOp("-", left, right)
+
+
+def mul(left: Expr, right: Expr) -> BinOp:
+    return BinOp("*", left, right)
+
+
+def lt(left: Expr, right: Expr) -> BinOp:
+    return BinOp("<", left, right)
+
+
+def le(left: Expr, right: Expr) -> BinOp:
+    return BinOp("<=", left, right)
+
+
+def gt(left: Expr, right: Expr) -> BinOp:
+    return BinOp(">", left, right)
+
+
+def ge(left: Expr, right: Expr) -> BinOp:
+    return BinOp(">=", left, right)
+
+
+def eq(left: Expr, right: Expr) -> BinOp:
+    return BinOp("==", left, right)
+
+
+def neq(left: Expr, right: Expr) -> BinOp:
+    return BinOp("!=", left, right)
+
+
+def conj(left: Expr, right: Expr) -> BinOp:
+    return BinOp("and", left, right)
+
+
+def disj(left: Expr, right: Expr) -> BinOp:
+    return BinOp("or", left, right)

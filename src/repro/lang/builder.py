@@ -1,0 +1,238 @@
+"""A small DSL for building programs directly in Python.
+
+Two styles are offered and freely mixed:
+
+* **combinators** -- module-level functions (:func:`seq`, :func:`while_`,
+  :func:`prob`, :func:`assign`, ...) that accept expressions either as AST
+  nodes or as source strings (parsed with the front-end parser)::
+
+      from repro.lang import builder as B
+      body = B.seq(
+          B.while_("x > 0",
+              B.seq(B.prob("3/4", B.assign("x", "x - 1"), B.assign("x", "x + 1")),
+                    B.tick(1))))
+      program = B.program(B.proc("main", ["x"], body))
+
+* **builder objects** -- :class:`ProgramBuilder` / :class:`ProcedureBuilder`
+  accumulate statements imperatively, which is convenient in notebooks.
+
+The benchmark suite (:mod:`repro.bench.programs`) is written with the
+combinators.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Union
+
+from repro.lang import ast
+from repro.lang.distributions import Distribution
+from repro.lang.parser import parse_expr
+from repro.utils.rationals import Number, to_fraction
+
+ExprLike = Union[ast.Expr, str, int, Fraction]
+CommandLike = Union[ast.Command, Sequence[ast.Command]]
+
+
+def expr(value: ExprLike) -> ast.Expr:
+    """Coerce a value into an expression AST node."""
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, str):
+        return parse_expr(value)
+    return ast.Const(value)
+
+
+def _command(value: CommandLike) -> ast.Command:
+    if isinstance(value, ast.Command):
+        return value
+    return seq(*value)
+
+
+# -- commands -----------------------------------------------------------------
+
+def skip() -> ast.Skip:
+    return ast.Skip()
+
+
+def abort() -> ast.Abort:
+    return ast.Abort()
+
+
+def assert_(condition: ExprLike) -> ast.Assert:
+    return ast.Assert(expr(condition))
+
+
+def assume(condition: ExprLike) -> ast.Assume:
+    return ast.Assume(expr(condition))
+
+
+def tick(amount: Union[Number, ExprLike] = 1) -> ast.Tick:
+    if isinstance(amount, (ast.Expr, str)):
+        node = expr(amount)
+        if isinstance(node, ast.Const):
+            return ast.Tick(node.value)
+        return ast.Tick(node)
+    return ast.Tick(amount)
+
+
+def assign(target: str, value: ExprLike) -> ast.Assign:
+    return ast.Assign(target, expr(value))
+
+
+def sample(target: str, distribution: Distribution,
+           base: ExprLike = 0, op: str = "+") -> ast.Sample:
+    """``target = base op R`` with ``R ~ distribution``.
+
+    ``sample("x", Uniform(0, 10))`` is ``x = unif(0,10)`` and
+    ``sample("x", Uniform(0, 10), base="x")`` is ``x = x + unif(0,10)``.
+    """
+    return ast.Sample(target, expr(base), op, distribution)
+
+
+def incr_sample(target: str, distribution: Distribution) -> ast.Sample:
+    """``target = target + R`` -- the most common sampling idiom."""
+    return sample(target, distribution, base=target, op="+")
+
+
+def decr_sample(target: str, distribution: Distribution) -> ast.Sample:
+    """``target = target - R``."""
+    return sample(target, distribution, base=target, op="-")
+
+
+def if_(condition: ExprLike, then_branch: CommandLike,
+        else_branch: Optional[CommandLike] = None) -> ast.If:
+    else_cmd = _command(else_branch) if else_branch is not None else None
+    return ast.If(expr(condition), _command(then_branch), else_cmd)
+
+
+def nondet(left: CommandLike, right: CommandLike) -> ast.NonDetChoice:
+    return ast.NonDetChoice(_command(left), _command(right))
+
+
+def prob(probability: Union[Number, str], left: CommandLike,
+         right: Optional[CommandLike] = None) -> ast.ProbChoice:
+    """``left (+)p right``; ``right`` defaults to ``skip``."""
+    if isinstance(probability, str):
+        probability = Fraction(probability)
+    right_cmd = _command(right) if right is not None else ast.Skip()
+    return ast.ProbChoice(to_fraction(probability), _command(left), right_cmd)
+
+
+def seq(*commands: CommandLike) -> ast.Command:
+    flat: List[ast.Command] = []
+    for command in commands:
+        flat.append(_command(command))
+    if not flat:
+        return ast.Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return ast.Seq(flat)
+
+
+def while_(condition: ExprLike, *body: CommandLike) -> ast.While:
+    return ast.While(expr(condition), seq(*body))
+
+
+def call(name: str) -> ast.Call:
+    return ast.Call(name)
+
+
+def star() -> ast.Star:
+    return ast.Star()
+
+
+# -- procedures and programs ------------------------------------------------------
+
+def proc(name: str, params: Sequence[str], *body: CommandLike,
+         locals_: Sequence[str] = ()) -> ast.Procedure:
+    return ast.Procedure(name, seq(*body), params=params, locals_=locals_)
+
+
+def program(*procedures: ast.Procedure, main: Optional[str] = None) -> ast.Program:
+    main_name = main if main is not None else procedures[0].name
+    return ast.Program(list(procedures), main=main_name)
+
+
+# -- builder classes ----------------------------------------------------------------
+
+
+class ProcedureBuilder:
+    """Imperative builder collecting statements for one procedure."""
+
+    def __init__(self, name: str, params: Sequence[str] = (),
+                 locals_: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params = list(params)
+        self.locals = list(locals_)
+        self._commands: List[ast.Command] = []
+
+    # Each statement helper appends and returns ``self`` for chaining.
+
+    def add(self, command: CommandLike) -> "ProcedureBuilder":
+        self._commands.append(_command(command))
+        return self
+
+    def skip(self) -> "ProcedureBuilder":
+        return self.add(skip())
+
+    def assume(self, condition: ExprLike) -> "ProcedureBuilder":
+        return self.add(assume(condition))
+
+    def assert_(self, condition: ExprLike) -> "ProcedureBuilder":
+        return self.add(assert_(condition))
+
+    def assign(self, target: str, value: ExprLike) -> "ProcedureBuilder":
+        return self.add(assign(target, value))
+
+    def sample(self, target: str, distribution: Distribution,
+               base: ExprLike = 0, op: str = "+") -> "ProcedureBuilder":
+        return self.add(sample(target, distribution, base, op))
+
+    def tick(self, amount: Union[Number, ExprLike] = 1) -> "ProcedureBuilder":
+        return self.add(tick(amount))
+
+    def call(self, name: str) -> "ProcedureBuilder":
+        return self.add(call(name))
+
+    def while_(self, condition: ExprLike, *body: CommandLike) -> "ProcedureBuilder":
+        return self.add(while_(condition, *body))
+
+    def if_(self, condition: ExprLike, then_branch: CommandLike,
+            else_branch: Optional[CommandLike] = None) -> "ProcedureBuilder":
+        return self.add(if_(condition, then_branch, else_branch))
+
+    def prob(self, probability: Union[Number, str], left: CommandLike,
+             right: Optional[CommandLike] = None) -> "ProcedureBuilder":
+        return self.add(prob(probability, left, right))
+
+    def build(self) -> ast.Procedure:
+        return ast.Procedure(self.name, seq(*self._commands),
+                             params=self.params, locals_=self.locals)
+
+
+class ProgramBuilder:
+    """Collects procedures into a :class:`~repro.lang.ast.Program`."""
+
+    def __init__(self, main: str = "main") -> None:
+        self.main = main
+        self._procedures: List[ast.Procedure] = []
+
+    def procedure(self, name: str, params: Sequence[str] = (),
+                  locals_: Sequence[str] = ()) -> ProcedureBuilder:
+        builder = ProcedureBuilder(name, params, locals_)
+        self._pending = builder
+        return builder
+
+    def add(self, procedure: Union[ast.Procedure, ProcedureBuilder]) -> "ProgramBuilder":
+        if isinstance(procedure, ProcedureBuilder):
+            procedure = procedure.build()
+        self._procedures.append(procedure)
+        return self
+
+    def build(self) -> ast.Program:
+        if not self._procedures:
+            raise ValueError("a program needs at least one procedure")
+        main = self.main if any(p.name == self.main for p in self._procedures) \
+            else self._procedures[0].name
+        return ast.Program(self._procedures, main=main)

@@ -1,0 +1,232 @@
+"""Discrete probability distributions with finite support.
+
+The paper's sampling assignments ``x = e bop R`` draw ``R`` from a discrete
+distribution with a finite domain (Sec. 3.5).  Absynth ships Bernoulli,
+binomial, hyper-geometric and uniform distributions; this module provides the
+same set plus arbitrary finite distributions.
+
+Every distribution exposes
+
+* :meth:`Distribution.support` -- the exact probability mass function as a
+  list of ``(value, Fraction probability)`` pairs (used by ``Q:Sample`` and by
+  the ``ert`` transformer),
+* :meth:`Distribution.mean` / :meth:`Distribution.variance` -- exact moments,
+* :meth:`Distribution.sample` -- draw a value using a ``numpy`` generator
+  (used by the simulation substrate).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.rationals import Number, to_fraction
+
+SupportItem = Tuple[int, Fraction]
+
+
+class Distribution:
+    """Base class of all finite discrete distributions."""
+
+    name = "distribution"
+
+    def support(self) -> List[SupportItem]:
+        """Return the pmf as ``[(value, probability), ...]`` with exact probabilities."""
+        raise NotImplementedError
+
+    # -- derived quantities -------------------------------------------------
+
+    def mean(self) -> Fraction:
+        return sum((prob * value for value, prob in self.support()), Fraction(0))
+
+    def variance(self) -> Fraction:
+        mean = self.mean()
+        return sum((prob * (value - mean) ** 2 for value, prob in self.support()),
+                   Fraction(0))
+
+    def min_value(self) -> int:
+        return min(value for value, _ in self.support())
+
+    def max_value(self) -> int:
+        return max(value for value, _ in self.support())
+
+    def probabilities_sum(self) -> Fraction:
+        return sum((prob for _, prob in self.support()), Fraction(0))
+
+    def sample(self, rng) -> int:
+        """Draw one value using ``rng`` (a ``numpy.random.Generator``)."""
+        items = self.support()
+        u = rng.random()
+        cumulative = 0.0
+        for value, prob in items:
+            cumulative += float(prob)
+            if u < cumulative:
+                return value
+        return items[-1][0]
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Finite(Distribution):
+    """An explicitly given finite distribution ``{value: probability}``."""
+
+    name = "finite"
+
+    def __init__(self, pmf: Dict[int, Number]) -> None:
+        if not pmf:
+            raise ValueError("a finite distribution needs at least one outcome")
+        items: List[SupportItem] = []
+        for value, prob in sorted(pmf.items()):
+            frac = to_fraction(prob)
+            if frac < 0:
+                raise ValueError(f"negative probability for outcome {value}")
+            if frac > 0:
+                items.append((int(value), frac))
+        total = sum((prob for _, prob in items), Fraction(0))
+        if total != 1:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        self._support = items
+
+    def support(self) -> List[SupportItem]:
+        return list(self._support)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{value}: {prob}" for value, prob in self._support)
+        return f"finite({{{inner}}})"
+
+
+class Bernoulli(Distribution):
+    """``1`` with probability ``p`` and ``0`` with probability ``1 - p``."""
+
+    name = "ber"
+
+    def __init__(self, p: Number) -> None:
+        self.p = to_fraction(p)
+        if not 0 <= self.p <= 1:
+            raise ValueError("Bernoulli parameter must lie in [0, 1]")
+
+    def support(self) -> List[SupportItem]:
+        items: List[SupportItem] = []
+        if self.p != 1:
+            items.append((0, 1 - self.p))
+        if self.p != 0:
+            items.append((1, self.p))
+        return items
+
+    def __str__(self) -> str:
+        return f"ber({self.p})"
+
+
+class Uniform(Distribution):
+    """The uniform distribution over the integers ``a, a+1, ..., b`` (inclusive)."""
+
+    name = "unif"
+
+    def __init__(self, lower: int, upper: int) -> None:
+        if lower > upper:
+            raise ValueError("uniform distribution needs lower <= upper")
+        self.lower = int(lower)
+        self.upper = int(upper)
+
+    def support(self) -> List[SupportItem]:
+        count = self.upper - self.lower + 1
+        prob = Fraction(1, count)
+        return [(value, prob) for value in range(self.lower, self.upper + 1)]
+
+    def sample(self, rng) -> int:
+        return int(rng.integers(self.lower, self.upper + 1))
+
+    def __str__(self) -> str:
+        return f"unif({self.lower}, {self.upper})"
+
+
+class Binomial(Distribution):
+    """The number of successes in ``n`` independent trials of probability ``p``."""
+
+    name = "bin"
+
+    def __init__(self, n: int, p: Number) -> None:
+        if n < 0:
+            raise ValueError("binomial distribution needs n >= 0")
+        self.n = int(n)
+        self.p = to_fraction(p)
+        if not 0 <= self.p <= 1:
+            raise ValueError("binomial parameter p must lie in [0, 1]")
+
+    def support(self) -> List[SupportItem]:
+        items: List[SupportItem] = []
+        for k in range(self.n + 1):
+            prob = (Fraction(math.comb(self.n, k))
+                    * self.p ** k * (1 - self.p) ** (self.n - k))
+            if prob > 0:
+                items.append((k, prob))
+        return items
+
+    def sample(self, rng) -> int:
+        return int(rng.binomial(self.n, float(self.p)))
+
+    def __str__(self) -> str:
+        return f"bin({self.n}, {self.p})"
+
+
+class HyperGeometric(Distribution):
+    """Successes when drawing ``draws`` items without replacement.
+
+    Population of size ``population`` containing ``successes`` marked items.
+    """
+
+    name = "hyper"
+
+    def __init__(self, population: int, successes: int, draws: int) -> None:
+        if not 0 <= successes <= population:
+            raise ValueError("need 0 <= successes <= population")
+        if not 0 <= draws <= population:
+            raise ValueError("need 0 <= draws <= population")
+        self.population = int(population)
+        self.successes = int(successes)
+        self.draws = int(draws)
+
+    def support(self) -> List[SupportItem]:
+        items: List[SupportItem] = []
+        denominator = math.comb(self.population, self.draws)
+        low = max(0, self.draws - (self.population - self.successes))
+        high = min(self.draws, self.successes)
+        for k in range(low, high + 1):
+            numerator = (math.comb(self.successes, k)
+                         * math.comb(self.population - self.successes, self.draws - k))
+            prob = Fraction(numerator, denominator)
+            if prob > 0:
+                items.append((k, prob))
+        return items
+
+    def sample(self, rng) -> int:
+        return int(rng.hypergeometric(self.successes,
+                                      self.population - self.successes,
+                                      self.draws))
+
+    def __str__(self) -> str:
+        return f"hyper({self.population}, {self.successes}, {self.draws})"
+
+
+#: Registry used by the parser: distribution keyword -> constructor.
+DISTRIBUTION_CONSTRUCTORS = {
+    "unif": Uniform,
+    "uniform": Uniform,
+    "ber": Bernoulli,
+    "bernoulli": Bernoulli,
+    "bin": Binomial,
+    "binomial": Binomial,
+    "hyper": HyperGeometric,
+    "hypergeometric": HyperGeometric,
+}
+
+
+def make_distribution(name: str, args: Sequence[Number]) -> Distribution:
+    """Construct a distribution from a keyword and argument list (parser hook)."""
+    try:
+        constructor = DISTRIBUTION_CONSTRUCTORS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown distribution {name!r}") from exc
+    return constructor(*args)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the language front end and the analysis."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when the concrete syntax cannot be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class LoweringError(ReproError):
+    """Raised when an expression cannot be lowered to linear arithmetic."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the interpreter on runtime errors (e.g. failed assertions)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the bound analysis cannot be set up for a program."""
+
+
+class NoBoundFoundError(AnalysisError):
+    """Raised (or reported) when the LP has no feasible solution.
+
+    This mirrors Absynth's behaviour: if no derivation exists within the
+    chosen base functions and degree, the tool reports that no bound was
+    found rather than returning an unsound result.
+    """
+
+
+class CertificateError(ReproError):
+    """Raised when a derivation certificate fails to validate."""

@@ -1,0 +1,140 @@
+"""Tokenizer for the concrete syntax of the probabilistic language.
+
+The concrete syntax is a small C-like language close to the listings of the
+paper (Figures 1, 2, 4 and 5)::
+
+    proc main(x, n) {
+        while (x < n) {
+            prob(3/4) { x = x + 1; } else { x = x - 1; }
+            tick(1);
+        }
+    }
+
+See :mod:`repro.lang.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.lang.errors import ParseError
+
+KEYWORDS = {
+    "proc", "def", "local", "while", "if", "else", "prob", "skip", "abort",
+    "assert", "assume", "tick", "call", "true", "false",
+}
+
+SYMBOLS = [
+    "&&", "||", "==", "!=", "<=", ">=", "<", ">", "=", "+", "-", "*", "%",
+    "(", ")", "{", "}", ";", ",", "/", "!",
+]
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    kind: str          # 'ident', 'number', 'keyword', 'symbol', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """A hand-written scanner producing :class:`Token` objects."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position:self.position + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "#" or (char == "/" and self._peek(1) == "/"):
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.position < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.position >= len(self.source):
+                yield Token("eof", "", self.line, self.column)
+                return
+            line, column = self.line, self.column
+            char = self._peek()
+            if char.isdigit():
+                yield Token("number", self._scan_number(), line, column)
+            elif char.isalpha() or char == "_":
+                word = self._scan_word()
+                kind = "keyword" if word in KEYWORDS else "ident"
+                yield Token(kind, word, line, column)
+            else:
+                symbol = self._scan_symbol()
+                yield Token("symbol", symbol, line, column)
+
+    def _scan_number(self) -> str:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        return self.source[start:self.position]
+
+    def _scan_word(self) -> str:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        return self.source[start:self.position]
+
+    def _scan_symbol(self) -> str:
+        for symbol in SYMBOLS:
+            if self.source.startswith(symbol, self.position):
+                self._advance(len(symbol))
+                return symbol
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an ``eof`` token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,384 @@
+"""Recursive-descent parser for the concrete syntax.
+
+Grammar (informal)::
+
+    program   ::= proc+
+    proc      ::= ("proc" | "def") IDENT "(" params? ")" block
+    params    ::= IDENT ("," IDENT)*
+    block     ::= "{" stmt* "}"
+    stmt      ::= "skip" ";" | "abort" ";"
+                | "assert" "(" expr ")" ";" | "assume" "(" expr ")" ";"
+                | "tick" "(" expr ")" ";"
+                | "call" IDENT ";"
+                | IDENT "=" rhs ";"
+                | "if" "(" cond ")" block ("else" block)?
+                | "while" "(" cond ")" block
+                | "prob" "(" number ")" block "else" block
+                | block
+    rhs       ::= expr                      (may contain one distribution call)
+    dist      ::= IDENT "(" args ")"        where IDENT is a distribution name
+    cond      ::= disjunction of conjunctions of comparisons, "*" allowed
+    expr      ::= additive arithmetic over variables and constants
+
+Probabilities accept fractions (``3/4``), decimals (``0.75``) and integers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang import ast
+from repro.lang.distributions import DISTRIBUTION_CONSTRUCTORS, Distribution, make_distribution
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+class _DistCall(ast.Expr):
+    """Internal parse-tree node for a distribution call appearing in a RHS."""
+
+    def __init__(self, distribution: Distribution) -> None:
+        self.distribution = distribution
+
+    def variables(self):
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.distribution)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self.tokens = list(tokens)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current()
+        return ParseError(message + f" (found {token.value!r})", token.line, token.column)
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._current()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            token = self._current()
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            expected = value if value is not None else kind
+            raise self._error(f"expected {expected!r}")
+        return token
+
+    def at_end(self) -> bool:
+        return self._check("eof")
+
+    # -- program / procedures ----------------------------------------------
+
+    def parse_program(self, main: Optional[str] = None) -> ast.Program:
+        procedures: List[ast.Procedure] = []
+        while not self.at_end():
+            procedures.append(self.parse_procedure())
+        if not procedures:
+            raise self._error("empty program")
+        main_name = main if main is not None else procedures[0].name
+        return ast.Program(procedures, main=main_name)
+
+    def parse_procedure(self) -> ast.Procedure:
+        if not (self._accept("keyword", "proc") or self._accept("keyword", "def")):
+            raise self._error("expected 'proc'")
+        name = self._expect("ident").value
+        self._expect("symbol", "(")
+        params: List[str] = []
+        if not self._check("symbol", ")"):
+            params.append(self._expect("ident").value)
+            while self._accept("symbol", ","):
+                params.append(self._expect("ident").value)
+        self._expect("symbol", ")")
+        locals_: List[str] = []
+        body = self.parse_block(locals_)
+        return ast.Procedure(name, body, params=params, locals_=locals_)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self, locals_sink: Optional[List[str]] = None) -> ast.Command:
+        self._expect("symbol", "{")
+        commands: List[ast.Command] = []
+        while not self._check("symbol", "}"):
+            if self._accept("keyword", "local"):
+                names = [self._expect("ident").value]
+                while self._accept("symbol", ","):
+                    names.append(self._expect("ident").value)
+                self._expect("symbol", ";")
+                if locals_sink is not None:
+                    locals_sink.extend(names)
+                continue
+            commands.append(self.parse_statement())
+        self._expect("symbol", "}")
+        if not commands:
+            return ast.Skip()
+        if len(commands) == 1:
+            return commands[0]
+        return ast.Seq(commands)
+
+    def parse_statement(self) -> ast.Command:
+        if self._check("symbol", "{"):
+            return self.parse_block()
+        if self._accept("keyword", "skip"):
+            self._expect("symbol", ";")
+            return ast.Skip()
+        if self._accept("keyword", "abort"):
+            self._expect("symbol", ";")
+            return ast.Abort()
+        if self._accept("keyword", "assert"):
+            self._expect("symbol", "(")
+            condition = self.parse_condition()
+            self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            return ast.Assert(condition)
+        if self._accept("keyword", "assume"):
+            self._expect("symbol", "(")
+            condition = self.parse_condition()
+            self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            return ast.Assume(condition)
+        if self._accept("keyword", "tick"):
+            self._expect("symbol", "(")
+            amount = self.parse_expression()
+            self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            if isinstance(amount, ast.Const):
+                return ast.Tick(amount.value)
+            return ast.Tick(amount)
+        if self._accept("keyword", "call"):
+            name = self._expect("ident").value
+            if self._accept("symbol", "("):
+                self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            return ast.Call(name)
+        if self._accept("keyword", "while"):
+            self._expect("symbol", "(")
+            condition = self.parse_condition()
+            self._expect("symbol", ")")
+            body = self.parse_block()
+            return ast.While(condition, body)
+        if self._accept("keyword", "if"):
+            self._expect("symbol", "(")
+            nondet = False
+            if self._check("symbol", "*"):
+                self._accept("symbol", "*")
+                nondet = True
+                condition: ast.Expr = ast.Star()
+            else:
+                condition = self.parse_condition()
+            self._expect("symbol", ")")
+            then_branch = self.parse_block()
+            else_branch: Optional[ast.Command] = None
+            if self._accept("keyword", "else"):
+                if self._check("keyword", "if"):
+                    else_branch = self.parse_statement()
+                else:
+                    else_branch = self.parse_block()
+            if nondet:
+                return ast.NonDetChoice(then_branch, else_branch or ast.Skip())
+            return ast.If(condition, then_branch, else_branch)
+        if self._accept("keyword", "prob"):
+            self._expect("symbol", "(")
+            probability = self.parse_probability()
+            self._expect("symbol", ")")
+            left = self.parse_block()
+            self._expect("keyword", "else")
+            right = self.parse_block()
+            return ast.ProbChoice(probability, left, right)
+        if self._check("ident"):
+            target = self._expect("ident").value
+            self._expect("symbol", "=")
+            rhs = self.parse_expression(allow_dist=True)
+            self._expect("symbol", ";")
+            return self._make_assignment(target, rhs)
+        raise self._error("expected a statement")
+
+    def _make_assignment(self, target: str, rhs: ast.Expr) -> ast.Command:
+        dist_nodes = _collect_dist_calls(rhs)
+        if not dist_nodes:
+            return ast.Assign(target, rhs)
+        if len(dist_nodes) > 1:
+            raise self._error("at most one distribution per assignment is supported")
+        if isinstance(rhs, _DistCall):
+            return ast.Sample(target, ast.Const(0), "+", rhs.distribution)
+        if isinstance(rhs, ast.BinOp) and isinstance(rhs.right, _DistCall) \
+                and rhs.op in ("+", "-", "*"):
+            return ast.Sample(target, rhs.left, rhs.op, rhs.right.distribution)
+        if isinstance(rhs, ast.BinOp) and isinstance(rhs.left, _DistCall) \
+                and rhs.op in ("+", "*"):
+            return ast.Sample(target, rhs.right, rhs.op, rhs.left.distribution)
+        raise self._error(
+            "distribution calls may only appear as 'e + dist(...)', "
+            "'e - dist(...)', 'e * dist(...)' or 'dist(...)'")
+
+    # -- probabilities ---------------------------------------------------------
+
+    def parse_probability(self) -> Fraction:
+        token = self._expect("number")
+        value = Fraction(token.value) if "." not in token.value else Fraction(token.value)
+        if self._accept("symbol", "/"):
+            denominator = self._expect("number")
+            value = value / Fraction(denominator.value)
+        return value
+
+    # -- conditions -------------------------------------------------------------
+
+    def parse_condition(self) -> ast.Expr:
+        left = self.parse_conjunction()
+        while self._accept("symbol", "||"):
+            right = self.parse_conjunction()
+            left = ast.BinOp("or", left, right)
+        return left
+
+    def parse_conjunction(self) -> ast.Expr:
+        left = self.parse_comparison()
+        while self._accept("symbol", "&&"):
+            right = self.parse_comparison()
+            left = ast.BinOp("and", left, right)
+        return left
+
+    def parse_comparison(self) -> ast.Expr:
+        if self._accept("symbol", "!"):
+            self._expect("symbol", "(")
+            inner = self.parse_condition()
+            self._expect("symbol", ")")
+            return ast.Not(inner)
+        if self._check("symbol", "*"):
+            self._accept("symbol", "*")
+            return ast.Star()
+        if self._accept("keyword", "true"):
+            return ast.Const(1)
+        if self._accept("keyword", "false"):
+            return ast.Const(0)
+        if self._check("symbol", "("):
+            # Could be a parenthesised condition or arithmetic; try condition.
+            saved = self.index
+            self._accept("symbol", "(")
+            try:
+                inner = self.parse_condition()
+                if self._accept("symbol", ")") and self._check_comparison_follow():
+                    return inner
+            except ParseError:
+                pass
+            self.index = saved
+        left = self.parse_expression()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self._accept("symbol", op):
+                right = self.parse_expression()
+                return ast.BinOp(op, left, right)
+        return left
+
+    def _check_comparison_follow(self) -> bool:
+        return (self._check("symbol", "&&") or self._check("symbol", "||")
+                or self._check("symbol", ")") or self._check("symbol", ";"))
+
+    # -- arithmetic expressions ---------------------------------------------------
+
+    def parse_expression(self, allow_dist: bool = False) -> ast.Expr:
+        left = self.parse_term(allow_dist)
+        while True:
+            if self._accept("symbol", "+"):
+                left = ast.BinOp("+", left, self.parse_term(allow_dist))
+            elif self._accept("symbol", "-"):
+                left = ast.BinOp("-", left, self.parse_term(allow_dist))
+            else:
+                return left
+
+    def parse_term(self, allow_dist: bool = False) -> ast.Expr:
+        left = self.parse_factor(allow_dist)
+        while True:
+            if self._accept("symbol", "*"):
+                left = ast.BinOp("*", left, self.parse_factor(allow_dist))
+            elif self._accept("symbol", "/"):
+                left = ast.BinOp("div", left, self.parse_factor(allow_dist))
+            elif self._accept("symbol", "%"):
+                left = ast.BinOp("mod", left, self.parse_factor(allow_dist))
+            else:
+                return left
+
+    def parse_factor(self, allow_dist: bool = False) -> ast.Expr:
+        if self._accept("symbol", "-"):
+            inner = self.parse_factor(allow_dist)
+            return ast.BinOp("-", ast.Const(0), inner)
+        if self._accept("symbol", "("):
+            inner = self.parse_expression(allow_dist)
+            self._expect("symbol", ")")
+            return inner
+        token = self._accept("number")
+        if token is not None:
+            return ast.Const(Fraction(token.value))
+        token = self._accept("ident")
+        if token is not None:
+            if allow_dist and token.value in DISTRIBUTION_CONSTRUCTORS \
+                    and self._check("symbol", "("):
+                self._expect("symbol", "(")
+                args: List[Fraction] = []
+                if not self._check("symbol", ")"):
+                    args.append(self.parse_probability())
+                    while self._accept("symbol", ","):
+                        args.append(self.parse_probability())
+                self._expect("symbol", ")")
+                numeric_args = [int(a) if a.denominator == 1 else a for a in args]
+                return _DistCall(make_distribution(token.value, numeric_args))
+            return ast.Var(token.value)
+        raise self._error("expected an expression")
+
+
+def _collect_dist_calls(expr: ast.Expr) -> List[_DistCall]:
+    found: List[_DistCall] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _DistCall):
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def parse_program(source: str, main: Optional[str] = None) -> ast.Program:
+    """Parse a complete program from source text."""
+    return Parser(tokenize(source)).parse_program(main=main)
+
+
+def parse_command(source: str) -> ast.Command:
+    """Parse a single statement or block (useful in tests and the REPL)."""
+    parser = Parser(tokenize(source))
+    commands = []
+    while not parser.at_end():
+        commands.append(parser.parse_statement())
+    if not commands:
+        return ast.Skip()
+    if len(commands) == 1:
+        return commands[0]
+    return ast.Seq(commands)
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse an arithmetic or boolean expression."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_condition()
+    if not parser.at_end():
+        raise parser._error("trailing input after expression")
+    return expr

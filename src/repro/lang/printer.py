@@ -1,0 +1,116 @@
+"""Pretty printer: AST back to the concrete syntax.
+
+The output of :func:`program_to_source` parses back to an equivalent program
+(tested as a round-trip property), which makes it convenient for debugging,
+logging derivations and storing benchmark programs in text form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.utils.rationals import pretty_fraction
+
+
+def _indent(lines: List[str], amount: str = "    ") -> List[str]:
+    return [amount + line for line in lines]
+
+
+def expr_to_source(expr: ast.Expr) -> str:
+    """Render an expression."""
+    return str(expr)
+
+
+def _fraction_literal(value) -> str:
+    from fractions import Fraction
+    frac = Fraction(value)
+    if frac.denominator == 1:
+        return str(frac.numerator)
+    return f"{frac.numerator}/{frac.denominator}"
+
+
+def command_lines(command: ast.Command) -> List[str]:
+    """Render a command as a list of source lines."""
+    if isinstance(command, ast.Skip):
+        return ["skip;"]
+    if isinstance(command, ast.Abort):
+        return ["abort;"]
+    if isinstance(command, ast.Assert):
+        return [f"assert({command.condition});"]
+    if isinstance(command, ast.Assume):
+        return [f"assume({command.condition});"]
+    if isinstance(command, ast.Tick):
+        if command.is_constant:
+            return [f"tick({_fraction_literal(command.amount)});"]
+        return [f"tick({command.amount});"]
+    if isinstance(command, ast.Assign):
+        return [f"{command.target} = {command.expr};"]
+    if isinstance(command, ast.Sample):
+        base = "" if _is_zero(command.expr) and command.op == "+" \
+            else f"{command.expr} {command.op} "
+        return [f"{command.target} = {base}{command.distribution};"]
+    if isinstance(command, ast.Call):
+        return [f"call {command.procedure};"]
+    if isinstance(command, ast.Seq):
+        lines: List[str] = []
+        for sub in command.commands:
+            lines.extend(command_lines(sub))
+        return lines
+    if isinstance(command, ast.If):
+        lines = [f"if ({command.condition}) {{"]
+        lines += _indent(command_lines(command.then_branch))
+        if isinstance(command.else_branch, ast.Skip):
+            lines.append("}")
+        else:
+            lines.append("} else {")
+            lines += _indent(command_lines(command.else_branch))
+            lines.append("}")
+        return lines
+    if isinstance(command, ast.NonDetChoice):
+        lines = ["if (*) {"]
+        lines += _indent(command_lines(command.left))
+        lines.append("} else {")
+        lines += _indent(command_lines(command.right))
+        lines.append("}")
+        return lines
+    if isinstance(command, ast.ProbChoice):
+        lines = [f"prob({_fraction_literal(command.probability)}) {{"]
+        lines += _indent(command_lines(command.left))
+        lines.append("} else {")
+        lines += _indent(command_lines(command.right))
+        lines.append("}")
+        return lines
+    if isinstance(command, ast.While):
+        lines = [f"while ({command.condition}) {{"]
+        lines += _indent(command_lines(command.body))
+        lines.append("}")
+        return lines
+    raise TypeError(f"unknown command {command!r}")
+
+
+def _is_zero(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.Const) and expr.value == 0
+
+
+def command_to_source(command: ast.Command) -> str:
+    """Render a command as a source string."""
+    return "\n".join(command_lines(command))
+
+
+def procedure_to_source(proc: ast.Procedure) -> str:
+    header = f"proc {proc.name}({', '.join(proc.params)}) {{"
+    lines = [header]
+    if proc.locals:
+        lines.append(f"    local {', '.join(proc.locals)};")
+    lines += _indent(command_lines(proc.body))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_source(program: ast.Program) -> str:
+    """Render a whole program, main procedure first."""
+    order = [program.main] + sorted(name for name in program.procedures
+                                    if name != program.main)
+    chunks = [procedure_to_source(program.procedures[name]) for name in order]
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,253 @@
+"""Program transformations used before analysis and simulation.
+
+* :func:`clone_command` -- deep copy with fresh node ids (needed whenever a
+  sub-tree is duplicated, e.g. by inlining).
+* :func:`rename_variables` -- capture-free renaming of program variables.
+* :func:`inline_calls` -- replace calls of non-recursive procedures by their
+  bodies (the global-state calling convention of the paper makes this a
+  simple splice).
+* :func:`modified_variables` -- the set of variables a procedure may write,
+  following calls transitively; used by the frame rule at call sites.
+* :func:`counter_as_resource` -- turn updates of a resource-counter variable
+  (``cost = cost + e``) into ``tick(e)`` commands, the paper's alternative
+  way of defining cost models.
+* :func:`is_loop_free` / :func:`program_size` -- small structural helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.lang import ast
+from repro.lang.errors import AnalysisError
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+def rename_expr(expr: ast.Expr, mapping: Mapping[str, str]) -> ast.Expr:
+    """Rename variables in an expression."""
+    if isinstance(expr, ast.Var):
+        return ast.Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, ast.Const) or isinstance(expr, ast.Star):
+        return expr
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(expr.op, rename_expr(expr.left, mapping),
+                         rename_expr(expr.right, mapping))
+    if isinstance(expr, ast.Not):
+        return ast.Not(rename_expr(expr.operand, mapping))
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Command cloning / renaming
+# ---------------------------------------------------------------------------
+
+def clone_command(command: ast.Command,
+                  rename: Optional[Mapping[str, str]] = None) -> ast.Command:
+    """Deep-copy ``command`` with fresh node ids, optionally renaming variables."""
+    mapping = dict(rename or {})
+
+    def rn(name: str) -> str:
+        return mapping.get(name, name)
+
+    def re(expr: ast.Expr) -> ast.Expr:
+        return rename_expr(expr, mapping) if mapping else expr
+
+    if isinstance(command, ast.Skip):
+        return ast.Skip()
+    if isinstance(command, ast.Abort):
+        return ast.Abort()
+    if isinstance(command, ast.Assert):
+        return ast.Assert(re(command.condition))
+    if isinstance(command, ast.Assume):
+        return ast.Assume(re(command.condition))
+    if isinstance(command, ast.Tick):
+        if command.is_constant:
+            return ast.Tick(command.amount)
+        return ast.Tick(re(command.amount))
+    if isinstance(command, ast.Assign):
+        return ast.Assign(rn(command.target), re(command.expr))
+    if isinstance(command, ast.Sample):
+        return ast.Sample(rn(command.target), re(command.expr), command.op,
+                          command.distribution)
+    if isinstance(command, ast.If):
+        return ast.If(re(command.condition),
+                      clone_command(command.then_branch, mapping),
+                      clone_command(command.else_branch, mapping))
+    if isinstance(command, ast.NonDetChoice):
+        return ast.NonDetChoice(clone_command(command.left, mapping),
+                                clone_command(command.right, mapping))
+    if isinstance(command, ast.ProbChoice):
+        return ast.ProbChoice(command.probability,
+                              clone_command(command.left, mapping),
+                              clone_command(command.right, mapping))
+    if isinstance(command, ast.Seq):
+        return ast.Seq([clone_command(sub, mapping) for sub in command.commands])
+    if isinstance(command, ast.While):
+        return ast.While(re(command.condition), clone_command(command.body, mapping))
+    if isinstance(command, ast.Call):
+        return ast.Call(command.procedure)
+    raise TypeError(f"unknown command {command!r}")
+
+
+def rename_variables(command: ast.Command, mapping: Mapping[str, str]) -> ast.Command:
+    """Alias of :func:`clone_command` with a mandatory renaming."""
+    return clone_command(command, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Call inlining
+# ---------------------------------------------------------------------------
+
+def inline_calls(program: ast.Program, max_depth: int = 32) -> ast.Program:
+    """Inline every call to a non-recursive procedure.
+
+    Recursive procedures are left as ``call`` commands (they are handled by
+    the specification-context machinery of the analyzer).  ``max_depth``
+    guards against pathological call chains.
+    """
+    recursive = program.recursive_procedures()
+
+    def inline(command: ast.Command, depth: int) -> ast.Command:
+        if isinstance(command, ast.Call):
+            name = command.procedure
+            if name in recursive:
+                return ast.Call(name)
+            if name not in program.procedures:
+                raise AnalysisError(f"call to undefined procedure {name!r}")
+            if depth >= max_depth:
+                raise AnalysisError(
+                    f"call inlining exceeded depth {max_depth} at {name!r}")
+            body = clone_command(program.procedures[name].body)
+            return inline(body, depth + 1)
+        if isinstance(command, ast.Seq):
+            return ast.Seq([inline(sub, depth) for sub in command.commands])
+        if isinstance(command, ast.If):
+            return ast.If(command.condition,
+                          inline(command.then_branch, depth),
+                          inline(command.else_branch, depth))
+        if isinstance(command, ast.NonDetChoice):
+            return ast.NonDetChoice(inline(command.left, depth),
+                                    inline(command.right, depth))
+        if isinstance(command, ast.ProbChoice):
+            return ast.ProbChoice(command.probability,
+                                  inline(command.left, depth),
+                                  inline(command.right, depth))
+        if isinstance(command, ast.While):
+            return ast.While(command.condition, inline(command.body, depth))
+        return clone_command(command)
+
+    new_procs: Dict[str, ast.Procedure] = {}
+    for name, proc in program.procedures.items():
+        new_procs[name] = ast.Procedure(name, inline(proc.body, 0),
+                                        params=proc.params, locals_=proc.locals)
+    return ast.Program(new_procs, main=program.main)
+
+
+# ---------------------------------------------------------------------------
+# Modified variables
+# ---------------------------------------------------------------------------
+
+def modified_variables(program: ast.Program, procedure: str,
+                       _seen: Optional[Set[str]] = None) -> Set[str]:
+    """Variables that running ``procedure`` may modify (transitively)."""
+    seen = _seen if _seen is not None else set()
+    if procedure in seen:
+        return set()
+    seen.add(procedure)
+    proc = program.procedures.get(procedure)
+    if proc is None:
+        raise AnalysisError(f"unknown procedure {procedure!r}")
+    modified = set(proc.body.assigned_variables())
+    for callee in proc.body.called_procedures():
+        modified |= modified_variables(program, callee, seen)
+    return modified
+
+
+def command_modified_variables(program: ast.Program, command: ast.Command) -> Set[str]:
+    """Variables that executing ``command`` may modify (following calls)."""
+    modified = set(command.assigned_variables())
+    for callee in command.called_procedures():
+        modified |= modified_variables(program, callee)
+    return modified
+
+
+# ---------------------------------------------------------------------------
+# Resource-counter variables
+# ---------------------------------------------------------------------------
+
+def counter_as_resource(program: ast.Program, counter: str) -> ast.Program:
+    """Model the global counter variable ``counter`` with ``tick`` commands.
+
+    Every assignment ``counter = counter + e`` becomes ``tick(e)``.  Any other
+    write to the counter (except initialisation to a constant, which becomes
+    ``skip``) is rejected, mirroring how the paper uses ``cost`` in the
+    ``trader`` example.
+    """
+
+    def rewrite(command: ast.Command) -> ast.Command:
+        if isinstance(command, ast.Assign) and command.target == counter:
+            expr = command.expr
+            if isinstance(expr, ast.BinOp) and expr.op == "+" \
+                    and isinstance(expr.left, ast.Var) and expr.left.name == counter:
+                amount = expr.right
+                if isinstance(amount, ast.Const):
+                    return ast.Tick(amount.value)
+                return ast.Tick(amount)
+            if isinstance(expr, ast.Const):
+                return ast.Skip()
+            raise AnalysisError(
+                f"cannot interpret write to resource counter: {command!r}")
+        if isinstance(command, ast.Seq):
+            return ast.Seq([rewrite(sub) for sub in command.commands])
+        if isinstance(command, ast.If):
+            return ast.If(command.condition, rewrite(command.then_branch),
+                          rewrite(command.else_branch))
+        if isinstance(command, ast.NonDetChoice):
+            return ast.NonDetChoice(rewrite(command.left), rewrite(command.right))
+        if isinstance(command, ast.ProbChoice):
+            return ast.ProbChoice(command.probability, rewrite(command.left),
+                                  rewrite(command.right))
+        if isinstance(command, ast.While):
+            return ast.While(command.condition, rewrite(command.body))
+        return clone_command(command)
+
+    new_procs = {name: ast.Procedure(name, rewrite(proc.body), params=proc.params,
+                                     locals_=proc.locals)
+                 for name, proc in program.procedures.items()}
+    return ast.Program(new_procs, main=program.main)
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+def is_loop_free(command: ast.Command) -> bool:
+    """Whether the command contains no loop and no call."""
+    return not any(isinstance(node, (ast.While, ast.Call))
+                   for node in command.iter_nodes())
+
+
+def program_size(program: ast.Program) -> int:
+    """Number of AST command nodes (a rough LoC proxy for reporting)."""
+    return sum(1 for _ in program.iter_nodes())
+
+
+def max_sampling_range(command: ast.Command) -> int:
+    """The largest distribution support width / constant shift in ``command``.
+
+    Used by the base-function heuristic to decide how far interval atoms
+    should be widened beyond the guard (e.g. ``|[h, t+9]|`` for ``race``).
+    """
+    widest = 0
+    for node in command.iter_nodes():
+        if isinstance(node, ast.Sample):
+            support = node.distribution.support()
+            widest = max(widest, max(abs(v) for v, _ in support))
+        if isinstance(node, ast.Assign):
+            expr = node.expr
+            if isinstance(expr, ast.BinOp) and isinstance(expr.right, ast.Const):
+                widest = max(widest, abs(int(expr.right.value)))
+    return widest

@@ -1,0 +1,129 @@
+"""Extracting linear facts from boolean guard expressions.
+
+Guards are boolean combinations of integer comparisons (plus the
+non-deterministic ``*``).  When the analysis enters the "true" branch of a
+guard it may soundly assume some facts, and likewise for the "false" branch.
+Only facts that are *certain* are extracted:
+
+* conjunctions contribute the facts of both conjuncts on the true branch;
+* disjunctions contribute facts only on the false branch (De Morgan);
+* ``*`` and non-linear comparisons contribute nothing;
+* strict comparisons are tightened by one unit when every coefficient is an
+  integer (program variables range over the integers).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.lang.errors import LoweringError
+from repro.utils.linear import LinExpr
+
+
+def _is_integral(expr: LinExpr) -> bool:
+    if expr.const_term.denominator != 1:
+        return False
+    return all(coeff.denominator == 1 for coeff in expr.coeffs.values())
+
+
+def _strict_positive_facts(diff: LinExpr) -> List[LinExpr]:
+    """Facts for ``diff > 0``: ``diff - 1 >= 0`` over the integers."""
+    if _is_integral(diff):
+        return [diff - 1]
+    return [diff]
+
+
+def _comparison_facts(op: str, left: LinExpr, right: LinExpr) -> List[LinExpr]:
+    if op == "<":
+        return _strict_positive_facts(right - left)
+    if op == "<=":
+        return [right - left]
+    if op == ">":
+        return _strict_positive_facts(left - right)
+    if op == ">=":
+        return [left - right]
+    if op == "==":
+        return [left - right, right - left]
+    if op == "!=":
+        return []
+    raise ValueError(f"not a comparison operator: {op!r}")
+
+
+_NEGATION = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+
+def facts_from_condition(condition: ast.Expr) -> List[LinExpr]:
+    """Facts that certainly hold when ``condition`` evaluates to true."""
+    if isinstance(condition, ast.Star):
+        return []
+    if isinstance(condition, ast.Const):
+        if condition.value == 0:
+            # The branch is unreachable; encode with an unsatisfiable fact.
+            return [LinExpr.const(-1)]
+        return []
+    if isinstance(condition, ast.Not):
+        return negated_facts_from_condition(condition.operand)
+    if isinstance(condition, ast.BinOp):
+        if condition.op == "and":
+            return (facts_from_condition(condition.left)
+                    + facts_from_condition(condition.right))
+        if condition.op == "or":
+            return []
+        if condition.op in ("==", "!=", "<", ">", "<=", ">="):
+            try:
+                left = ast.expr_to_linexpr(condition.left)
+                right = ast.expr_to_linexpr(condition.right)
+            except LoweringError:
+                return []
+            return _comparison_facts(condition.op, left, right)
+    # Arithmetic expressions used as booleans ("e != 0"): no information.
+    return []
+
+
+def negated_facts_from_condition(condition: ast.Expr) -> List[LinExpr]:
+    """Facts that certainly hold when ``condition`` evaluates to false."""
+    if isinstance(condition, ast.Star):
+        return []
+    if isinstance(condition, ast.Const):
+        if condition.value != 0:
+            return [LinExpr.const(-1)]
+        return []
+    if isinstance(condition, ast.Not):
+        return facts_from_condition(condition.operand)
+    if isinstance(condition, ast.BinOp):
+        if condition.op == "and":
+            # not (a && b) gives no certain conjunction of facts unless one
+            # side carries no information at all (e.g. ``e && *``).
+            left_facts = facts_from_condition(condition.left)
+            right_facts = facts_from_condition(condition.right)
+            if not left_facts:
+                return negated_facts_from_condition(condition.right) if \
+                    isinstance(condition.left, ast.Star) and not left_facts else []
+            if not right_facts and isinstance(condition.right, ast.Star):
+                # ``e && *`` false tells us nothing about e.
+                return []
+            return []
+        if condition.op == "or":
+            return (negated_facts_from_condition(condition.left)
+                    + negated_facts_from_condition(condition.right))
+        if condition.op in ("==", "!=", "<", ">", "<=", ">="):
+            try:
+                left = ast.expr_to_linexpr(condition.left)
+                right = ast.expr_to_linexpr(condition.right)
+            except LoweringError:
+                return []
+            return _comparison_facts(_NEGATION[condition.op], left, right)
+    return []
+
+
+def condition_may_be_true(condition: ast.Expr) -> bool:
+    """Whether the condition can possibly be true (syntactic check)."""
+    return not (isinstance(condition, ast.Const) and condition.value == 0)
+
+
+def condition_may_be_false(condition: ast.Expr) -> bool:
+    """Whether the condition can possibly be false (syntactic check)."""
+    if isinstance(condition, ast.Const) and condition.value != 0:
+        return False
+    return True

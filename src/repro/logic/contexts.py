@@ -1,0 +1,230 @@
+"""Logical contexts Gamma: conjunctions of linear inequalities over program state.
+
+A :class:`Context` corresponds to the paper's logical context Gamma, a
+predicate describing the set of permitted states at a program point.  It is
+represented as a conjunction of facts ``e >= 0`` (``LinExpr`` instances) plus
+an explicit "unreachable" flag for contexts equivalent to ``false``.
+
+Contexts support the operations the analysis needs:
+
+* entailment queries (``Gamma |= e >= 0``) and greatest lower bounds, used to
+  justify rewrite functions in ``Q:Weaken``,
+* the strongest-postcondition style transfers for assignments and sampling
+  assignments, used by the abstract interpreter,
+* join and widening, used for loop fixpoints.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic import fourier_motzkin as fm
+from repro.utils.linear import LinExpr
+from repro.utils.rationals import Number, to_fraction
+
+
+class Context:
+    """An immutable conjunction of linear facts ``e >= 0``."""
+
+    __slots__ = ("_facts", "_unreachable")
+
+    def __init__(self, facts: Iterable[LinExpr] = (), unreachable: bool = False) -> None:
+        cleaned: List[LinExpr] = []
+        seen = set()
+        for fact in facts:
+            if fact.is_constant():
+                if fact.const_term < 0:
+                    unreachable = True
+                continue
+            if fact not in seen:
+                seen.add(fact)
+                cleaned.append(fact)
+        self._facts: Tuple[LinExpr, ...] = tuple(cleaned)
+        self._unreachable = bool(unreachable)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def top(cls) -> "Context":
+        """The context with no information (all states permitted)."""
+        return cls()
+
+    @classmethod
+    def unreachable_context(cls) -> "Context":
+        return cls((), unreachable=True)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def facts(self) -> Tuple[LinExpr, ...]:
+        return self._facts
+
+    @property
+    def is_unreachable(self) -> bool:
+        return self._unreachable
+
+    def variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for fact in self._facts:
+            names.update(fact.variables())
+        return names
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Context):
+            return NotImplemented
+        return (self._unreachable == other._unreachable
+                and set(self._facts) == set(other._facts))
+
+    def __hash__(self) -> int:
+        return hash((self._unreachable, frozenset(self._facts)))
+
+    def __repr__(self) -> str:
+        if self._unreachable:
+            return "Context(unreachable)"
+        if not self._facts:
+            return "Context(top)"
+        inner = " && ".join(f"{fact} >= 0" for fact in self._facts)
+        return f"Context({inner})"
+
+    # -- logical operations ---------------------------------------------------------
+
+    def add_facts(self, facts: Iterable[LinExpr]) -> "Context":
+        """Conjoin additional facts ``e >= 0``."""
+        if self._unreachable:
+            return self
+        return Context(self._facts + tuple(facts))
+
+    def conjoin(self, other: "Context") -> "Context":
+        if self._unreachable or other._unreachable:
+            return Context.unreachable_context()
+        return Context(self._facts + other._facts)
+
+    def is_satisfiable(self) -> bool:
+        if self._unreachable:
+            return False
+        return fm.is_feasible(self._facts)
+
+    def entails(self, fact: LinExpr) -> bool:
+        """Whether ``self |= fact >= 0``."""
+        if self._unreachable:
+            return True
+        return fm.entails(self._facts, fact)
+
+    def entails_context(self, other: "Context") -> bool:
+        """Whether ``self |= other`` (every fact of ``other`` is implied)."""
+        if self._unreachable:
+            return True
+        if other._unreachable:
+            return not self.is_satisfiable()
+        return all(self.entails(fact) for fact in other._facts)
+
+    def greatest_lower_bound(self, expression: LinExpr) -> Optional[Fraction]:
+        """The largest ``c`` with ``self |= expression >= c`` (``None`` if unbounded)."""
+        if self._unreachable:
+            return None
+        return fm.greatest_lower_bound(self._facts, expression)
+
+    # -- state transformers (used by the abstract interpreter) ----------------------
+
+    def havoc(self, var: str) -> "Context":
+        """Forget all information about ``var``."""
+        if self._unreachable:
+            return self
+        kept = [fact for fact in self._facts if fact.coefficient(var) == 0]
+        return Context(kept)
+
+    def rename(self, mapping) -> "Context":
+        if self._unreachable:
+            return self
+        return Context(tuple(fact.rename(mapping) for fact in self._facts))
+
+    def assign(self, var: str, rhs: LinExpr) -> "Context":
+        """Strongest postcondition of the assignment ``var := rhs``.
+
+        Implemented by renaming the old value of ``var`` to a fresh symbol,
+        adding the defining equality for the new value and projecting the
+        fresh symbol away with Fourier-Motzkin elimination.  Exact for linear
+        right-hand sides.
+        """
+        if self._unreachable:
+            return self
+        old = f"__old_{var}__"
+        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in self._facts]
+        rhs_old = rhs.substitute(var, LinExpr.var(old))
+        new_var = LinExpr.var(var)
+        renamed.append(new_var - rhs_old)
+        renamed.append(rhs_old - new_var)
+        try:
+            projected = fm.eliminate_all(
+                renamed, keep=[v for fact in renamed for v in fact.variables()
+                               if v != old])
+        except fm.Infeasible:
+            return Context.unreachable_context()
+        except MemoryError:
+            return self.havoc(var)
+        return Context(projected)
+
+    def assign_interval(self, var: str, rhs: LinExpr,
+                        low_shift: Number, high_shift: Number) -> "Context":
+        """Postcondition of ``var := rhs + delta`` with ``delta in [low, high]``.
+
+        Used for sampling assignments ``x = e + R`` with ``R`` ranging over a
+        finite support: the new value lies between ``rhs + low`` and
+        ``rhs + high``.
+        """
+        if self._unreachable:
+            return self
+        old = f"__old_{var}__"
+        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in self._facts]
+        rhs_old = rhs.substitute(var, LinExpr.var(old))
+        new_var = LinExpr.var(var)
+        renamed.append(new_var - rhs_old - LinExpr.const(to_fraction(low_shift)))
+        renamed.append(rhs_old + LinExpr.const(to_fraction(high_shift)) - new_var)
+        try:
+            projected = fm.eliminate_all(
+                renamed, keep=[v for fact in renamed for v in fact.variables()
+                               if v != old])
+        except fm.Infeasible:
+            return Context.unreachable_context()
+        except MemoryError:
+            return self.havoc(var)
+        return Context(projected)
+
+    # -- lattice operations ------------------------------------------------------------
+
+    def join(self, other: "Context") -> "Context":
+        """A sound over-approximation of the union of the two state sets.
+
+        We keep the facts of each side that are entailed by the other side
+        (the "common facts" join); this is the simple abstract domain the
+        paper describes as sufficient in practice.
+        """
+        if self._unreachable:
+            return other
+        if other._unreachable:
+            return self
+        kept = [fact for fact in self._facts if other.entails(fact)]
+        for fact in other._facts:
+            if fact not in kept and self.entails(fact):
+                kept.append(fact)
+        return Context(kept)
+
+    def widen(self, newer: "Context") -> "Context":
+        """Standard widening: keep only the facts of ``self`` still valid in ``newer``."""
+        if self._unreachable:
+            return newer
+        if newer._unreachable:
+            return self
+        return Context(fact for fact in self._facts if newer.entails(fact))
+
+    # -- miscellaneous --------------------------------------------------------------------
+
+    def satisfied_by(self, state) -> bool:
+        """Whether a concrete state satisfies every fact (used in tests)."""
+        if self._unreachable:
+            return False
+        return all(fact.evaluate(state) >= 0 for fact in self._facts)

@@ -1,0 +1,35 @@
+"""Operational semantics, simulation and the weakest pre-expectation calculus.
+
+This package provides the three semantic substrates the paper relies on:
+
+* :mod:`repro.semantics.interp` -- a cost-counting operational interpreter
+  with pluggable schedulers for non-determinism (the runtime used by the
+  simulation-based evaluation, replacing the paper's C++/GSL harness),
+* :mod:`repro.semantics.sampler` -- Monte-Carlo estimation of expected cost
+  and the candlestick statistics shown in Figure 8 / Appendix F,
+* :mod:`repro.semantics.ert` -- the expected-cost transformer ``ert[c]``
+  (Appendix B) evaluated by bounded unrolling,
+* :mod:`repro.semantics.mdp` -- explicit-state (pushdown-free) MDP semantics
+  with expected total reward computed by value iteration (Appendix A).
+"""
+
+from repro.semantics.interp import (
+    AngelicScheduler,
+    DemonicScheduler,
+    ExecutionResult,
+    Interpreter,
+    RandomScheduler,
+    Scheduler,
+    run_program,
+)
+from repro.semantics.sampler import SampleStatistics, estimate_expected_cost, sweep_expected_cost
+from repro.semantics.ert import expected_cost_ert, ert_transformer
+from repro.semantics.mdp import MDPSemantics, expected_cost_mdp
+
+__all__ = [
+    "AngelicScheduler", "DemonicScheduler", "ExecutionResult", "Interpreter",
+    "RandomScheduler", "Scheduler", "run_program",
+    "SampleStatistics", "estimate_expected_cost", "sweep_expected_cost",
+    "expected_cost_ert", "ert_transformer",
+    "MDPSemantics", "expected_cost_mdp",
+]

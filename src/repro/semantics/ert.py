@@ -1,0 +1,245 @@
+"""The expected-cost transformer ``ert[c]`` (paper Appendix B, Table 2).
+
+``ert[c, D](f)(state)`` is the exact expected number of resource units
+consumed when running ``c`` from ``state``, followed by a continuation whose
+expected cost is ``f``.  Loops and recursive calls are defined as least fixed
+points; per Theorem C.2 / C.5 these are the suprema of bounded unrollings, so
+evaluating the transformer with a finite *fuel* yields a monotonically
+increasing lower approximation that converges to the true value.
+
+This module provides
+
+* :func:`ert_transformer` -- ``ert[c](f)`` as a Python callable on states
+  (exact for loop-free, call-free code; fuel-bounded otherwise),
+* :func:`expected_cost_ert` -- the expected cost of a whole program from a
+  given initial state (``f = 0``),
+
+which the test-suite uses to cross-check both the interpreter and the bounds
+produced by the analyzer on small inputs.
+
+Non-deterministic choices are resolved *demonically* (maximum), matching the
+paper's definition.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import EvaluationError
+
+State = Mapping[str, int]
+Expectation = Callable[[State], Fraction]
+
+#: Default unrolling fuel for loops and recursive calls.
+DEFAULT_FUEL = 64
+
+
+def _zero(_state: State) -> Fraction:
+    return Fraction(0)
+
+
+def _eval_expr(expr: ast.Expr, state: State) -> int:
+    if isinstance(expr, ast.Const):
+        return int(expr.value)
+    if isinstance(expr, ast.Var):
+        return int(state.get(expr.name, 0))
+    if isinstance(expr, ast.Not):
+        return 0 if _eval_expr(expr.operand, state) != 0 else 1
+    if isinstance(expr, ast.BinOp):
+        op = expr.op
+        if op == "and":
+            return int(_eval_expr(expr.left, state) != 0
+                       and _eval_expr(expr.right, state) != 0)
+        if op == "or":
+            return int(_eval_expr(expr.left, state) != 0
+                       or _eval_expr(expr.right, state) != 0)
+        left = _eval_expr(expr.left, state)
+        right = _eval_expr(expr.right, state)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "div":
+            return left // right
+        if op == "mod":
+            return left % right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+    raise EvaluationError(f"cannot evaluate {expr!r} in the ert semantics")
+
+
+def _guard_outcomes(condition: ast.Expr, state: State):
+    """Evaluate a guard; yields the possible boolean outcomes (1 or 2 of them).
+
+    Deterministic guards yield a single outcome; guards containing ``*``
+    yield both outcomes so the caller can take the demonic maximum.
+    """
+    if isinstance(condition, ast.Star):
+        return (True, False)
+    if isinstance(condition, ast.BinOp) and condition.op in ("and", "or"):
+        left = _guard_outcomes(condition.left, state)
+        right = _guard_outcomes(condition.right, state)
+        results = set()
+        for a in left:
+            for b in right:
+                results.add((a and b) if condition.op == "and" else (a or b))
+        return tuple(sorted(results, reverse=True))
+    if isinstance(condition, ast.Not):
+        return tuple(sorted({not value for value
+                             in _guard_outcomes(condition.operand, state)}, reverse=True))
+    return (_eval_expr(condition, state) != 0,)
+
+
+def ert_command(command: ast.Command, declarations: Dict[str, ast.Procedure],
+                continuation: Expectation, state: State, fuel: int) -> Fraction:
+    """Evaluate ``ert[command, declarations](continuation)(state)`` with ``fuel``."""
+    if isinstance(command, ast.Abort):
+        return Fraction(0)
+    if isinstance(command, ast.Skip):
+        return continuation(state)
+    if isinstance(command, (ast.Assert, ast.Assume)):
+        outcomes = _guard_outcomes(command.condition, state)
+        # assert e:  [e true] * f   (execution stops, collecting 0, otherwise)
+        return max(continuation(state) if outcome else Fraction(0)
+                   for outcome in outcomes)
+    if isinstance(command, ast.Tick):
+        if command.is_constant:
+            amount = Fraction(command.amount)
+        else:
+            amount = Fraction(_eval_expr(command.amount, state))
+        return amount + continuation(state)
+    if isinstance(command, ast.Assign):
+        new_state = dict(state)
+        new_state[command.target] = _eval_expr(command.expr, state)
+        return continuation(new_state)
+    if isinstance(command, ast.Sample):
+        base = _eval_expr(command.expr, state)
+        total = Fraction(0)
+        for value, probability in command.distribution.support():
+            new_state = dict(state)
+            if command.op == "+":
+                new_state[command.target] = base + value
+            elif command.op == "-":
+                new_state[command.target] = base - value
+            else:
+                new_state[command.target] = base * value
+            total += probability * continuation(new_state)
+        return total
+    if isinstance(command, ast.If):
+        outcomes = _guard_outcomes(command.condition, state)
+        results = []
+        for outcome in outcomes:
+            branch = command.then_branch if outcome else command.else_branch
+            results.append(ert_command(branch, declarations, continuation, state, fuel))
+        return max(results)
+    if isinstance(command, ast.NonDetChoice):
+        left = ert_command(command.left, declarations, continuation, state, fuel)
+        right = ert_command(command.right, declarations, continuation, state, fuel)
+        return max(left, right)
+    if isinstance(command, ast.ProbChoice):
+        p = command.probability
+        left = ert_command(command.left, declarations, continuation, state, fuel)
+        right = ert_command(command.right, declarations, continuation, state, fuel)
+        return p * left + (1 - p) * right
+    if isinstance(command, ast.Seq):
+        def run_from(index: int, current_state: State) -> Fraction:
+            if index == len(command.commands):
+                return continuation(current_state)
+            return ert_command(command.commands[index], declarations,
+                               lambda s, i=index: run_from(i + 1, s),
+                               current_state, fuel)
+        return run_from(0, state)
+    if isinstance(command, ast.While):
+        # Bounded unrolling (Theorem C.2): while^0 = abort, expected cost 0.
+        # The characteristic-function iterates F^k(0) are evaluated lazily and
+        # memoised per (k, state) so that probabilistic bodies do not cause an
+        # exponential blow-up in the fuel.
+        if fuel <= 0:
+            return Fraction(0)
+        levels: List[Dict[Tuple[Tuple[str, int], ...], Fraction]] = \
+            [dict() for _ in range(fuel + 1)]
+
+        def unrolled(level: int, sigma: State) -> Fraction:
+            key = tuple(sorted(sigma.items()))
+            cache = levels[level]
+            if key in cache:
+                return cache[key]
+            if level == 0:
+                value = Fraction(0)
+            else:
+                outcomes = _guard_outcomes(command.condition, sigma)
+                results = []
+                for outcome in outcomes:
+                    if outcome:
+                        results.append(ert_command(
+                            command.body, declarations,
+                            lambda s, lvl=level: unrolled(lvl - 1, s),
+                            dict(sigma), fuel))
+                    else:
+                        results.append(continuation(sigma))
+                value = max(results)
+            cache[key] = value
+            return value
+
+        return unrolled(fuel, state)
+    if isinstance(command, ast.Call):
+        if fuel <= 0:
+            return Fraction(0)
+        callee = declarations.get(command.procedure)
+        if callee is None:
+            raise EvaluationError(f"undefined procedure {command.procedure!r}")
+        return ert_command(callee.body, declarations, continuation, state, fuel - 1)
+    raise EvaluationError(f"unknown command {command!r}")
+
+
+def ert_transformer(command: ast.Command,
+                    declarations: Optional[Dict[str, ast.Procedure]] = None,
+                    continuation: Optional[Expectation] = None,
+                    fuel: int = DEFAULT_FUEL) -> Expectation:
+    """Return ``ert[command](continuation)`` as a callable on states."""
+    decls = declarations or {}
+    post = continuation if continuation is not None else _zero
+
+    def transformed(state: State) -> Fraction:
+        # Nested loops recurse once per fuel level per nesting depth; allow a
+        # comfortably deep Python stack for the bounded-unrolling evaluation.
+        import sys
+        limit = sys.getrecursionlimit()
+        if limit < 50_000:
+            sys.setrecursionlimit(50_000)
+        try:
+            return ert_command(command, decls, post, dict(state), fuel)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    return transformed
+
+
+def expected_cost_ert(program: ast.Program, initial_state: Optional[State] = None,
+                      fuel: int = DEFAULT_FUEL) -> Fraction:
+    """Expected cost of running the program from ``initial_state`` (fuel-bounded).
+
+    For loop-free and call-free programs the result is exact for any positive
+    fuel; otherwise it is a lower bound converging to the exact value as the
+    fuel grows (Theorem C.2 / C.5).
+    """
+    state = {var: 0 for var in program.variables()}
+    if initial_state:
+        state.update({k: int(v) for k, v in initial_state.items()})
+    transformer = ert_transformer(program.main_procedure.body, program.procedures,
+                                  fuel=fuel)
+    return transformer(state)

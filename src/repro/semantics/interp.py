@@ -1,0 +1,272 @@
+"""Cost-counting operational interpreter for the probabilistic language.
+
+The interpreter executes a program on a concrete integer state, resolving
+
+* probabilistic branchings and sampling assignments with a ``numpy`` random
+  generator, and
+* non-deterministic choices (``if *``) with a pluggable :class:`Scheduler`.
+
+It accumulates the cost defined by ``tick`` commands and is the substrate of
+the simulation-based evaluation (the paper used a separate C++/GSL harness
+for this purpose).  ``assert``/``assume`` failures terminate the run, exactly
+as in the paper's semantics ("terminates the program if the expression
+evaluates to 0").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.lang import ast
+from repro.lang.errors import EvaluationError
+
+State = Dict[str, int]
+
+
+class Scheduler:
+    """Resolves non-deterministic choices; subclass and override :meth:`choose`."""
+
+    def choose(self, command: ast.Command, state: State, rng) -> bool:
+        """Return True to take the left/then branch, False otherwise."""
+        raise NotImplementedError
+
+
+class RandomScheduler(Scheduler):
+    """Resolve ``if *`` uniformly at random (the default for simulation)."""
+
+    def choose(self, command: ast.Command, state: State, rng) -> bool:
+        return bool(rng.random() < 0.5)
+
+
+class DemonicScheduler(Scheduler):
+    """Always take the left branch (a simple deterministic policy).
+
+    Combined with :class:`AngelicScheduler` it lets tests explore both
+    resolutions of a non-deterministic choice; a truly worst-case scheduler
+    would need to solve the MDP (see :mod:`repro.semantics.mdp`).
+    """
+
+    def choose(self, command: ast.Command, state: State, rng) -> bool:
+        return True
+
+
+class AngelicScheduler(Scheduler):
+    """Always take the right branch."""
+
+    def choose(self, command: ast.Command, state: State, rng) -> bool:
+        return False
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    state: State
+    cost: Fraction
+    steps: int
+    terminated: bool
+    assertion_failed: bool = False
+
+    @property
+    def cost_float(self) -> float:
+        return float(self.cost)
+
+
+class _ProgramStop(Exception):
+    """Internal control-flow signal raised by failing assert/assume."""
+
+
+class _StepBudgetExceeded(Exception):
+    """Internal signal raised when the step budget is exhausted."""
+
+
+class Interpreter:
+    """Executes programs; one instance can be reused for many runs."""
+
+    def __init__(self, program: ast.Program,
+                 scheduler: Optional[Scheduler] = None,
+                 max_steps: int = 1_000_000,
+                 max_call_depth: int = 512) -> None:
+        self.program = program
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, initial_state: Optional[Dict[str, Union[int, Fraction]]] = None,
+            rng: Optional[np.random.Generator] = None,
+            seed: Optional[int] = None) -> ExecutionResult:
+        """Execute the main procedure from ``initial_state``."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        state: State = {var: 0 for var in self.program.variables()}
+        if initial_state:
+            for var, value in initial_state.items():
+                state[str(var)] = int(value)
+        self._cost = Fraction(0)
+        self._steps = 0
+        self._rng = rng
+        terminated = True
+        assertion_failed = False
+        try:
+            self._exec(self.program.main_procedure.body, state, 0)
+        except _ProgramStop:
+            assertion_failed = True
+        except _StepBudgetExceeded:
+            terminated = False
+        return ExecutionResult(state=state, cost=self._cost, steps=self._steps,
+                               terminated=terminated,
+                               assertion_failed=assertion_failed)
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, state: State) -> int:
+        if isinstance(expr, ast.Const):
+            value = expr.value
+            if value.denominator == 1:
+                return int(value)
+            return int(value)  # truncate non-integral constants
+        if isinstance(expr, ast.Var):
+            return state.get(expr.name, 0)
+        if isinstance(expr, ast.Star):
+            raise EvaluationError("'*' may only appear as a branching guard")
+        if isinstance(expr, ast.Not):
+            return 0 if self.eval_expr(expr.operand, state) != 0 else 1
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, state)
+        raise EvaluationError(f"cannot evaluate expression {expr!r}")
+
+    def _eval_binop(self, expr: ast.BinOp, state: State) -> int:
+        op = expr.op
+        if op == "and":
+            return 1 if (self.eval_bool(expr.left, state)
+                         and self.eval_bool(expr.right, state)) else 0
+        if op == "or":
+            return 1 if (self.eval_bool(expr.left, state)
+                         or self.eval_bool(expr.right, state)) else 0
+        left = self.eval_expr(expr.left, state)
+        right = self.eval_expr(expr.right, state)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "div":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return left // right
+        if op == "mod":
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        raise EvaluationError(f"unknown operator {op!r}")
+
+    def eval_bool(self, expr: ast.Expr, state: State) -> bool:
+        if isinstance(expr, ast.Star):
+            return self.scheduler.choose(expr, state, self._rng)
+        return self.eval_expr(expr, state) != 0
+
+    # -- command execution --------------------------------------------------------------
+
+    def _charge_step(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise _StepBudgetExceeded()
+
+    def _exec(self, command: ast.Command, state: State, depth: int) -> None:
+        self._charge_step()
+        if isinstance(command, ast.Skip):
+            return
+        if isinstance(command, ast.Abort):
+            # ``abort`` diverges; for simulation purposes we stop the run and
+            # count the cost so far (its ert is 0, so aborting programs are
+            # not used in cost measurements).
+            raise _ProgramStop()
+        if isinstance(command, (ast.Assert, ast.Assume)):
+            if not self.eval_bool(command.condition, state):
+                raise _ProgramStop()
+            return
+        if isinstance(command, ast.Tick):
+            if command.is_constant:
+                self._cost += command.amount
+            else:
+                self._cost += Fraction(self.eval_expr(command.amount, state))
+            return
+        if isinstance(command, ast.Assign):
+            state[command.target] = self.eval_expr(command.expr, state)
+            return
+        if isinstance(command, ast.Sample):
+            base = self.eval_expr(command.expr, state)
+            drawn = command.distribution.sample(self._rng)
+            if command.op == "+":
+                state[command.target] = base + drawn
+            elif command.op == "-":
+                state[command.target] = base - drawn
+            else:
+                state[command.target] = base * drawn
+            return
+        if isinstance(command, ast.Seq):
+            for sub in command.commands:
+                self._exec(sub, state, depth)
+            return
+        if isinstance(command, ast.If):
+            if self.eval_bool(command.condition, state):
+                self._exec(command.then_branch, state, depth)
+            else:
+                self._exec(command.else_branch, state, depth)
+            return
+        if isinstance(command, ast.NonDetChoice):
+            if self.scheduler.choose(command, state, self._rng):
+                self._exec(command.left, state, depth)
+            else:
+                self._exec(command.right, state, depth)
+            return
+        if isinstance(command, ast.ProbChoice):
+            if self._rng.random() < float(command.probability):
+                self._exec(command.left, state, depth)
+            else:
+                self._exec(command.right, state, depth)
+            return
+        if isinstance(command, ast.While):
+            while self.eval_bool(command.condition, state):
+                self._exec(command.body, state, depth)
+                self._charge_step()
+            return
+        if isinstance(command, ast.Call):
+            if depth >= self.max_call_depth:
+                raise EvaluationError(
+                    f"call depth limit {self.max_call_depth} exceeded")
+            callee = self.program.procedures.get(command.procedure)
+            if callee is None:
+                raise EvaluationError(f"undefined procedure {command.procedure!r}")
+            self._exec(callee.body, state, depth + 1)
+            return
+        raise EvaluationError(f"unknown command {command!r}")
+
+
+def run_program(program: ast.Program,
+                initial_state: Optional[Dict[str, int]] = None,
+                seed: Optional[int] = None,
+                scheduler: Optional[Scheduler] = None,
+                max_steps: int = 1_000_000) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    interpreter = Interpreter(program, scheduler=scheduler, max_steps=max_steps)
+    return interpreter.run(initial_state, seed=seed)

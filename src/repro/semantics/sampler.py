@@ -1,0 +1,148 @@
+"""Monte-Carlo estimation of expected resource usage.
+
+The paper's evaluation (Sec. 7.2, Figure 8, Appendix F) compares the
+statically inferred bounds against the *measured* expected number of ticks,
+obtained by sampling each program many times for a range of inputs.  This
+module is the Python replacement for the C++/GSL simulation harness:
+
+* :func:`estimate_expected_cost` samples a program ``runs`` times for one
+  input and returns :class:`SampleStatistics` (mean, spread, quartiles),
+* :func:`sweep_expected_cost` repeats the estimation over a range of inputs
+  for one swept variable while the others stay fixed -- exactly the set-up of
+  the Appendix F candlestick plots,
+* :func:`relative_error` computes the "Error (%)" column of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lang import ast
+from repro.semantics.interp import Interpreter, Scheduler
+
+State = Dict[str, int]
+
+
+@dataclass
+class SampleStatistics:
+    """Summary statistics of sampled program costs (one input valuation)."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    first_quartile: float
+    median: float
+    third_quartile: float
+    runs: int
+    unfinished_runs: int = 0
+
+    def candlestick(self) -> Tuple[float, float, float, float]:
+        """(low, q1, q3, high) -- the candlestick of the Appendix F plots."""
+        return (self.minimum, self.first_quartile, self.third_quartile, self.maximum)
+
+    def standard_error(self) -> float:
+        if self.runs == 0:
+            return float("nan")
+        return self.std / (self.runs ** 0.5)
+
+
+def estimate_expected_cost(program: ast.Program,
+                           initial_state: Optional[State] = None,
+                           runs: int = 1000,
+                           seed: Optional[int] = 0,
+                           scheduler: Optional[Scheduler] = None,
+                           max_steps: int = 1_000_000) -> SampleStatistics:
+    """Sample ``runs`` executions and summarise the observed costs."""
+    interpreter = Interpreter(program, scheduler=scheduler, max_steps=max_steps)
+    rng = np.random.default_rng(seed)
+    costs: List[float] = []
+    unfinished = 0
+    for _ in range(runs):
+        result = interpreter.run(initial_state, rng=rng)
+        if not result.terminated:
+            unfinished += 1
+            continue
+        costs.append(float(result.cost))
+    if not costs:
+        nan = float("nan")
+        return SampleStatistics(nan, nan, nan, nan, nan, nan, nan, 0, unfinished)
+    data = np.asarray(costs, dtype=float)
+    q1, median, q3 = np.percentile(data, [25, 50, 75])
+    return SampleStatistics(
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if len(data) > 1 else 0.0,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        first_quartile=float(q1),
+        median=float(median),
+        third_quartile=float(q3),
+        runs=len(data),
+        unfinished_runs=unfinished,
+    )
+
+
+def sweep_expected_cost(program: ast.Program,
+                        swept_variable: str,
+                        values: Sequence[int],
+                        fixed_state: Optional[State] = None,
+                        runs: int = 500,
+                        seed: Optional[int] = 0,
+                        scheduler: Optional[Scheduler] = None,
+                        max_steps: int = 1_000_000
+                        ) -> List[Tuple[int, SampleStatistics]]:
+    """Estimate expected cost for each value of the swept input variable."""
+    series: List[Tuple[int, SampleStatistics]] = []
+    base = dict(fixed_state or {})
+    for index, value in enumerate(values):
+        state = dict(base)
+        state[swept_variable] = int(value)
+        run_seed = None if seed is None else seed + index
+        stats = estimate_expected_cost(program, state, runs=runs, seed=run_seed,
+                                       scheduler=scheduler, max_steps=max_steps)
+        series.append((int(value), stats))
+    return series
+
+
+def relative_error(bound_value: float, measured_mean: float) -> float:
+    """The absolute relative error (in percent) between bound and measurement.
+
+    This matches the "Error(%)" column of Table 1: the mean absolute error
+    between the measured expected cost and the inferred bound, normalised by
+    the measured value.
+    """
+    if measured_mean == 0:
+        return 0.0 if bound_value == 0 else float("inf")
+    return abs(bound_value - measured_mean) / abs(measured_mean) * 100.0
+
+
+def mean_relative_error(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Average relative error over (bound, measured) pairs (one per input)."""
+    errors = [relative_error(bound, measured) for bound, measured in pairs]
+    finite = [err for err in errors if err == err and err != float("inf")]
+    if not finite:
+        return float("nan")
+    return sum(finite) / len(finite)
+
+
+def histogram_of_costs(program: ast.Program,
+                       initial_state: Optional[State] = None,
+                       runs: int = 10_000,
+                       bins: int = 40,
+                       seed: Optional[int] = 0,
+                       max_steps: int = 1_000_000
+                       ) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Sampled cost histogram (Figure 8 left). Returns (counts, edges, mean)."""
+    interpreter = Interpreter(program, max_steps=max_steps)
+    rng = np.random.default_rng(seed)
+    costs = []
+    for _ in range(runs):
+        result = interpreter.run(initial_state, rng=rng)
+        if result.terminated:
+            costs.append(float(result.cost))
+    data = np.asarray(costs, dtype=float)
+    counts, edges = np.histogram(data, bins=bins)
+    return counts, edges, float(data.mean()) if len(data) else float("nan")

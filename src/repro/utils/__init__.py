@@ -1,0 +1,26 @@
+"""Small numeric and symbolic utilities shared across the library.
+
+The analyzer works over exact rational arithmetic (``fractions.Fraction``)
+for everything except the final LP solve.  This package provides:
+
+* :mod:`repro.utils.rationals` -- conversions and sound rounding helpers,
+* :mod:`repro.utils.linear` -- linear expressions over program variables,
+* :mod:`repro.utils.polynomials` -- interval atoms ``max(0, U - L)``,
+  monomials (products of atoms) and polynomials over them, which are the
+  *base functions* of the expected potential method.
+"""
+
+from repro.utils.rationals import to_fraction, sound_floor_fraction, pretty_fraction
+from repro.utils.linear import LinExpr
+from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial, atom_product
+
+__all__ = [
+    "to_fraction",
+    "sound_floor_fraction",
+    "pretty_fraction",
+    "LinExpr",
+    "IntervalAtom",
+    "Monomial",
+    "Polynomial",
+    "atom_product",
+]

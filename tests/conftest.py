@@ -1,0 +1,55 @@
+"""Shared fixtures: small example programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+
+
+@pytest.fixture
+def simple_random_walk():
+    """The Sec. 3.1 random walk: expected cost 2*x."""
+    return B.program(B.proc("main", ["x"],
+        B.while_("x > 0",
+            B.prob("3/4", B.assign("x", "x - 1"), B.assign("x", "x + 1")),
+            B.tick(1))))
+
+
+@pytest.fixture
+def rdwalk_program():
+    """Fig. 4 rdwalk: expected cost 2*(n - x)."""
+    return B.program(B.proc("main", ["x", "n"],
+        B.while_("x < n",
+            B.prob("3/4", B.assign("x", "x + 1"), B.assign("x", "x - 1")),
+            B.tick(1))))
+
+
+@pytest.fixture
+def race_program():
+    """Fig. 2 race: expected cost (2/3)*(t + 9 - h)."""
+    return B.program(B.proc("main", ["h", "t"],
+        B.while_("h <= t",
+            B.assign("t", "t + 1"),
+            B.prob("1/2", B.incr_sample("h", Uniform(0, 10)), B.skip()),
+            B.tick(1))))
+
+
+@pytest.fixture
+def deterministic_countdown():
+    """A deterministic loop: exactly x ticks."""
+    return B.program(B.proc("main", ["x"],
+        B.while_("x > 0",
+            B.assign("x", "x - 1"),
+            B.tick(1))))
+
+
+@pytest.fixture
+def geometric_program():
+    """A geometric loop: expected cost 2 regardless of input."""
+    return B.program(B.proc("main", [],
+        B.assign("go", "1"),
+        B.while_("go > 0",
+            B.prob("1/2", B.assign("go", "0"), B.skip()),
+            B.tick(1))))

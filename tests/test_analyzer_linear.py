@@ -1,0 +1,171 @@
+"""Integration tests: the analyzer on linear-bound programs.
+
+These check both the *existence* of bounds and, where the paper (or a short
+manual derivation) gives the exact constant, the constants themselves.
+Soundness is additionally checked against the exact ``ert``/MDP semantics on
+small inputs.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import analyze_program
+from repro.lang import builder as B
+from repro.lang.distributions import Bernoulli, Uniform
+from repro.semantics.ert import expected_cost_ert
+from repro.semantics.mdp import expected_cost_mdp
+
+
+def bound_of(program, **options):
+    result = analyze_program(program, **options)
+    assert result.success, result.message
+    return result.bound
+
+
+class TestSimpleWalks:
+    def test_simple_random_walk_exact_constant(self, simple_random_walk):
+        bound = bound_of(simple_random_walk)
+        assert bound.evaluate({"x": 100}) == 200
+        assert bound.evaluate({"x": 0}) == 0
+        assert bound.evaluate({"x": -5}) == 0
+
+    def test_rdwalk_bound(self, rdwalk_program):
+        bound = bound_of(rdwalk_program)
+        # The paper reports 2|[x, n+1]|; the exact expectation is 2(n-x).
+        value = float(bound.evaluate({"x": 0, "n": 100}))
+        assert 200 <= value <= 202
+
+    def test_race_matches_paper_constant(self, race_program):
+        bound = bound_of(race_program)
+        assert bound.evaluate({"h": 0, "t": 30}) == Fraction(2, 3) * 39
+
+    def test_deterministic_countdown_is_tight(self, deterministic_countdown):
+        bound = bound_of(deterministic_countdown)
+        assert bound.evaluate({"x": 50}) == 50
+
+    def test_geometric_loop_constant_bound(self, geometric_program):
+        bound = bound_of(geometric_program)
+        value = float(bound.evaluate({}))
+        assert value == pytest.approx(2.0, abs=1e-6)
+
+    def test_bernoulli_walk(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n",
+                B.incr_sample("x", Bernoulli(Fraction(1, 2))),
+                B.tick(1))))
+        bound = bound_of(program)
+        assert bound.evaluate({"x": 0, "n": 50}) == 100
+
+
+class TestStructuredPrograms:
+    def test_sequential_loops(self):
+        program = B.program(B.proc("main", ["x", "y"],
+            B.while_("x > 0", B.assign("x", "x - 1"), B.tick(1)),
+            B.while_("y > 0", B.assign("y", "y - 1"), B.tick(1))))
+        bound = bound_of(program)
+        assert bound.evaluate({"x": 10, "y": 20}) == 30
+
+    def test_loop_with_if(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n",
+                B.if_("x < 0", B.assign("x", "0"), B.assign("x", "x + 1")),
+                B.tick(1))))
+        bound = bound_of(program)
+        assert float(bound.evaluate({"x": 0, "n": 25})) >= 25
+
+    def test_nondeterministic_choice_takes_worst_branch(self):
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0",
+                B.nondet(B.assign("x", "x - 1"), B.assign("x", "x - 2")),
+                B.tick(1))))
+        bound = bound_of(program)
+        # Demonic scheduler may always pick the slow branch: bound >= x.
+        assert float(bound.evaluate({"x": 40})) >= 40
+
+    def test_symbolic_tick(self):
+        program = B.program(B.proc("main", ["n"],
+            B.assume("n >= 0"),
+            B.while_("n > 0",
+                B.tick(B.expr("n")),
+                B.assign("n", "n - 1"))))
+        bound = bound_of(program, max_degree=2, auto_degree=False)
+        # Sum 1..n = n(n+1)/2.
+        assert float(bound.evaluate({"n": 10})) >= 55
+
+    def test_unreachable_else_branch_costs_nothing(self):
+        program = B.program(B.proc("main", ["x"],
+            B.assume("x >= 0"),
+            B.if_("x >= 0", B.tick(1), B.tick(1000))))
+        bound = bound_of(program)
+        assert float(bound.evaluate({"x": 5})) <= 1.0 + 1e-6
+
+    def test_procedure_call_inlining(self):
+        program = B.program(
+            B.proc("main", ["x", "n"],
+                B.while_("x < n", B.call("step"), B.tick(1))),
+            B.proc("step", [], B.prob("1/2", B.assign("x", "x + 1"), B.skip())))
+        bound = bound_of(program)
+        assert bound.evaluate({"x": 0, "n": 10}) == 20
+
+
+class TestSoundnessAgainstExactSemantics:
+    @pytest.mark.parametrize("x", [1, 2])
+    def test_simple_walk_bound_dominates_mdp(self, simple_random_walk, x):
+        bound = bound_of(simple_random_walk)
+        exact = expected_cost_mdp(simple_random_walk, {"x": x},
+                                  max_configs=2000, iterations=1500)
+        assert float(bound.evaluate({"x": x})) + 1e-6 >= exact
+
+    @pytest.mark.parametrize("state", [{"x": 0, "n": 3}, {"x": 1, "n": 4}])
+    def test_rdwalk_bound_dominates_ert(self, rdwalk_program, state):
+        bound = bound_of(rdwalk_program)
+        lower = expected_cost_ert(rdwalk_program, state, fuel=40)
+        assert bound.evaluate(state) >= lower
+
+    def test_race_bound_dominates_ert(self, race_program):
+        bound = bound_of(race_program)
+        state = {"h": 0, "t": 2}
+        lower = expected_cost_ert(race_program, state, fuel=24)
+        assert bound.evaluate(state) >= lower
+
+
+class TestAnalysisMetadata:
+    def test_result_fields(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        assert result.success
+        assert result.degree == 1
+        assert result.time_seconds > 0
+        assert result.lp_variables > 0
+        assert result.lp_constraints > 0
+        assert result.certificate is not None
+        assert "|[0, x]|" in result.bound.pretty()
+
+    def test_require_bound_on_failure(self):
+        # A loop that never terminates and ticks forever has no finite bound.
+        program = B.program(B.proc("main", ["x"],
+            B.assume("x >= 1"),
+            B.while_("x > 0", B.tick(1))))
+        result = analyze_program(program, auto_degree=False)
+        assert not result.success
+        with pytest.raises(Exception):
+            result.require_bound()
+
+    def test_unbiased_walk_has_no_linear_bound(self):
+        # The symmetric random walk terminates a.s. but has infinite expected time.
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0",
+                B.prob("1/2", B.assign("x", "x - 1"), B.assign("x", "x + 1")),
+                B.tick(1))))
+        result = analyze_program(program, auto_degree=False)
+        assert not result.success
+
+    def test_rdwalk_condition_star_violated(self):
+        # Fig. 4 requires p*K1 > (1-p)*K2; with the inequality reversed no
+        # bound exists and the analyzer must report failure, like Absynth.
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n",
+                B.prob("1/4", B.assign("x", "x + 1"), B.assign("x", "x - 1")),
+                B.tick(1))))
+        result = analyze_program(program, auto_degree=False)
+        assert not result.success

@@ -1,0 +1,152 @@
+"""Integration tests: the analyzer on polynomial-bound programs and procedures."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import analyze_program
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.semantics.ert import expected_cost_ert
+from repro.utils.linear import LinExpr
+
+
+def bound_of(program, **options):
+    result = analyze_program(program, **options)
+    assert result.success, result.message
+    return result.bound
+
+
+class TestNestedLoops:
+    def test_deterministic_nested_loop(self):
+        program = B.program(B.proc("main", ["n"],
+            B.while_("n > 0",
+                B.assign("n", "n - 1"),
+                B.assign("m", "n"),
+                B.while_("m > 0", B.assign("m", "m - 1"), B.tick(1)))))
+        bound = bound_of(program, max_degree=2, auto_degree=False)
+        assert bound.degree() == 2
+        # Exact cost is n(n-1)/2; the bound must dominate it.
+        assert float(bound.evaluate({"n": 20})) >= 190
+
+    def test_probabilistic_nested_loop(self):
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0",
+                B.prob("1/2", B.assign("x", "x - 1"), B.skip()),
+                B.assign("y", "x"),
+                B.while_("y > 0", B.assign("y", "y - 1"), B.tick(1)))))
+        bound = bound_of(program, max_degree=2, auto_degree=False)
+        assert bound.degree() == 2
+        # Expected cost is roughly 2 * x^2 / 2 = x^2; check domination on a
+        # small input against the fuel-bounded exact transformer.
+        state = {"x": 4}
+        assert bound.evaluate(state) >= expected_cost_ert(program, state, fuel=36)
+
+    def test_auto_degree_retries(self):
+        program = B.program(B.proc("main", ["n"],
+            B.while_("n > 0",
+                B.assign("n", "n - 1"),
+                B.assign("m", "n"),
+                B.while_("m > 0", B.assign("m", "m - 1"), B.tick(1)))))
+        result = analyze_program(program, max_degree=1, auto_degree=True, degree_limit=2)
+        assert result.success
+        assert result.degree == 2
+
+    def test_interacting_sequential_loops(self):
+        """The first loop's growth of y must be paid for the second loop."""
+        program = B.program(B.proc("main", ["x", "y"],
+            B.while_("x > 0",
+                B.assign("x", "x - 1"),
+                B.prob("1/2", B.assign("y", "y + 1"), B.skip()),
+                B.tick(1)),
+            B.while_("y > 0",
+                B.assign("y", "y - 1"),
+                B.tick(1))))
+        bound = bound_of(program)
+        # Expected cost = x + (y + x/2) = 1.5x + y.
+        value = float(bound.evaluate({"x": 100, "y": 10}))
+        assert 160 <= value <= 175
+
+
+class TestSymbolicCosts:
+    def test_trader_shape(self):
+        program = B.program(
+            B.proc("main", ["smin", "s"],
+                B.assume("smin >= 0"),
+                B.while_("s > smin",
+                    B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+                    B.call("trade"))),
+            B.proc("trade", [],
+                B.sample("nShares", Uniform(0, 10)),
+                B.while_("nShares > 0",
+                    B.assign("nShares", "nShares - 1"),
+                    B.tick(B.expr("s")))))
+        bound = bound_of(program, max_degree=2, auto_degree=False)
+        assert bound.degree() == 2
+        # Leading behaviour ~5 s^2 for smin = 0 (paper Fig. 1 discussion).
+        value = float(bound.evaluate({"s": 100, "smin": 0}))
+        assert 45_000 <= value <= 70_000
+
+    def test_resource_counter_variable(self):
+        """`cost = cost + e` with resource_counter='cost' behaves like tick(e)."""
+        program = B.program(B.proc("main", ["n"],
+            B.assume("n >= 0"),
+            B.while_("n > 0",
+                B.assign("cost", "cost + n"),
+                B.assign("n", "n - 1"))))
+        bound = bound_of(program, max_degree=2, auto_degree=False,
+                         resource_counter="cost")
+        assert float(bound.evaluate({"n": 10})) >= 55
+
+
+class TestRecursion:
+    def test_linear_recursion(self):
+        program = B.program(
+            B.proc("main", ["n"], B.call("down")),
+            B.proc("down", [],
+                B.if_("n > 0",
+                      B.seq(B.tick(1), B.assign("n", "n - 1"), B.call("down")),
+                      B.skip())))
+        bound = bound_of(program)
+        assert bound.evaluate({"n": 30}) == 30
+
+    def test_probabilistic_recursion(self):
+        program = B.program(
+            B.proc("main", ["n"], B.call("geo")),
+            B.proc("geo", [],
+                B.if_("n > 0",
+                      B.seq(B.tick(1),
+                            B.prob("1/2", B.assign("n", "n - 1"), B.skip()),
+                            B.call("geo")),
+                      B.skip())))
+        bound = bound_of(program)
+        assert float(bound.evaluate({"n": 10})) == pytest.approx(20.0, abs=1e-4)
+
+    def test_recursive_quadratic(self):
+        program = B.program(
+            B.proc("main", ["l", "h"], B.call("narrow")),
+            B.proc("narrow", [],
+                B.if_("h > l",
+                      B.seq(
+                          B.assign("d", "h - l"),
+                          B.while_("d > 0", B.assign("d", "d - 1"), B.tick(1)),
+                          B.prob("1/2", B.assign("l", "l + 1"), B.assign("h", "h - 1")),
+                          B.call("narrow")),
+                      B.skip())))
+        bound = bound_of(program, max_degree=2, auto_degree=False)
+        assert bound.degree() == 2
+        # Exact cost is sum_{w=1..h-l} w = w(w+1)/2.
+        assert float(bound.evaluate({"l": 0, "h": 10})) >= 55
+
+
+class TestHints:
+    def test_hint_atoms_are_honoured(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n",
+                B.prob("1/2", B.assign("x", "x + 1"), B.skip()),
+                B.tick(1))))
+        hint = LinExpr({"n": 1, "x": -1}, 17)
+        result = analyze_program(program, hint_atoms=(hint,))
+        assert result.success
+        # The hint enlarges the template but must not change tightness much.
+        assert float(result.bound.evaluate({"x": 0, "n": 10})) <= 2 * 10 + 2 * 17

@@ -1,0 +1,119 @@
+"""Tests for potential annotations with symbolic coefficients."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.annotations import PotentialAnnotation
+from repro.core.constraints import AffExpr, ConstraintSystem
+from repro.utils.linear import LinExpr
+from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
+
+X = LinExpr({"x": 1})
+N_MINUS_X = LinExpr({"n": 1, "x": -1})
+MONO_X = Monomial.of_atom(IntervalAtom(X))
+MONO_NX = Monomial.of_atom(IntervalAtom(N_MINUS_X))
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert PotentialAnnotation.zero().is_zero()
+
+    def test_of_polynomial(self):
+        poly = Polynomial.interval(X, 2) + Polynomial.constant(3)
+        annotation = PotentialAnnotation.of_polynomial(poly)
+        assert annotation.coefficient(MONO_X).const == 2
+        assert annotation.constant_coefficient().const == 3
+
+    def test_template_creates_nonneg_vars(self):
+        cs = ConstraintSystem()
+        annotation = PotentialAnnotation.template(cs, [MONO_X, MONO_NX], "inv")
+        # One variable per monomial plus the constant one.
+        assert cs.num_variables == 3
+        assert all(var.nonneg for var in cs.variables)
+        assert Monomial.one() in annotation.terms
+
+    def test_degree(self):
+        quad = Monomial({IntervalAtom(X): 2})
+        annotation = PotentialAnnotation({quad: 1})
+        assert annotation.degree() == 2
+
+
+class TestVectorSpace:
+    def test_plus(self):
+        a = PotentialAnnotation({MONO_X: 1})
+        b = PotentialAnnotation({MONO_X: 2, MONO_NX: 1})
+        combined = a.plus(b)
+        assert combined.coefficient(MONO_X).const == 3
+        assert combined.coefficient(MONO_NX).const == 1
+
+    def test_scale(self):
+        scaled = PotentialAnnotation({MONO_X: 2}).scale(Fraction(1, 2))
+        assert scaled.coefficient(MONO_X).const == 1
+
+    def test_scale_by_zero(self):
+        assert PotentialAnnotation({MONO_X: 2}).scale(0).is_zero()
+
+    def test_add_constant(self):
+        annotation = PotentialAnnotation({MONO_X: 1}).add_constant(5)
+        assert annotation.constant_coefficient().const == 5
+
+    def test_add_polynomial_with_symbolic_scale(self):
+        cs = ConstraintSystem()
+        scale = cs.new_var("s")
+        annotation = PotentialAnnotation.zero().add_polynomial(
+            Polynomial.interval(X, 2), scale)
+        coeff = annotation.coefficient(MONO_X)
+        assert coeff.terms[cs.variables[0]] == 2
+
+    def test_weighted_sum_probabilities(self):
+        a = PotentialAnnotation({MONO_X: 4})
+        b = PotentialAnnotation({MONO_X: 8})
+        combined = PotentialAnnotation.weighted_sum([
+            (Fraction(3, 4), a), (Fraction(1, 4), b)])
+        assert combined.coefficient(MONO_X).const == 5
+
+
+class TestSubstitution:
+    def test_substitute_shifts_atom(self):
+        annotation = PotentialAnnotation({MONO_X: 2})
+        shifted = annotation.substitute("x", LinExpr({"x": 1}, -1))
+        target = Monomial.of_atom(IntervalAtom(LinExpr({"x": 1}, -1)))
+        assert shifted.coefficient(target).const == 2
+        assert shifted.coefficient(MONO_X).is_zero()
+
+    def test_substitute_constant_folds_into_constant(self):
+        annotation = PotentialAnnotation({MONO_X: 3})
+        result = annotation.substitute("x", LinExpr({}, 4))
+        assert result.constant_coefficient().const == 12
+
+    def test_substitute_merges_colliding_monomials(self):
+        annotation = PotentialAnnotation({MONO_X: 1, MONO_NX: 1})
+        # n := x makes max(0, n - x) collapse to 0 and keeps max(0, x).
+        result = annotation.substitute("n", X)
+        assert result.coefficient(MONO_X).const == 1
+        assert len(result.terms) == 1
+
+    def test_drop_monomials_with_variable(self):
+        cs = ConstraintSystem()
+        template = PotentialAnnotation.template(cs, [MONO_X, MONO_NX], "q")
+        before = cs.num_constraints
+        restricted = template.drop_monomials_with_variable("n", cs)
+        assert MONO_NX not in restricted.terms
+        assert MONO_X in restricted.terms
+        assert cs.num_constraints == before + 1
+
+
+class TestInstantiation:
+    def test_instantiate_with_solution(self):
+        cs = ConstraintSystem()
+        template = PotentialAnnotation.template(cs, [MONO_X], "q")
+        assignment = {var: Fraction(i + 1) for i, var in enumerate(cs.variables)}
+        poly = template.instantiate(assignment)
+        assert poly.evaluate({"x": 10}) > 0
+
+    def test_instantiate_drops_zeroes(self):
+        cs = ConstraintSystem()
+        template = PotentialAnnotation.template(cs, [MONO_X], "q")
+        assignment = {var: Fraction(0) for var in cs.variables}
+        assert template.instantiate(assignment).is_zero()

@@ -1,0 +1,156 @@
+"""Unit tests for the AST classes and the builder DSL."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import ast
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.lang.errors import LoweringError
+
+
+class TestExpressions:
+    def test_var_equality(self):
+        assert ast.Var("x") == ast.Var("x")
+        assert ast.Var("x") != ast.Var("y")
+
+    def test_const_fraction(self):
+        assert ast.Const("3/4").value == Fraction(3, 4)
+
+    def test_binop_variables(self):
+        expr = ast.BinOp("+", ast.Var("x"), ast.BinOp("*", ast.Const(2), ast.Var("y")))
+        assert expr.variables() == {"x", "y"}
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ast.BinOp("**", ast.Var("x"), ast.Const(2))
+
+    def test_expr_to_linexpr_linear(self):
+        expr = ast.BinOp("-", ast.BinOp("*", ast.Const(3), ast.Var("x")), ast.Const(1))
+        lowered = ast.expr_to_linexpr(expr)
+        assert lowered.coefficient("x") == 3
+        assert lowered.const_term == -1
+
+    def test_expr_to_linexpr_rejects_products(self):
+        expr = ast.BinOp("*", ast.Var("x"), ast.Var("y"))
+        with pytest.raises(LoweringError):
+            ast.expr_to_linexpr(expr)
+        assert not ast.is_linear_expr(expr)
+
+    def test_expr_to_linexpr_rejects_div(self):
+        with pytest.raises(LoweringError):
+            ast.expr_to_linexpr(ast.BinOp("div", ast.Var("x"), ast.Const(2)))
+
+
+class TestCommands:
+    def test_node_ids_unique(self):
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0", B.assign("x", "x - 1"), B.tick(1))))
+        ids = [node.node_id for node in program.iter_nodes()]
+        assert len(ids) == len(set(ids))
+
+    def test_seq_flattening(self):
+        command = ast.Seq([ast.Seq([ast.Skip(), ast.Skip()]), ast.Skip()])
+        assert len(command.commands) == 3
+
+    def test_assigned_variables(self):
+        command = B.seq(B.assign("x", "1"), B.sample("y", Uniform(0, 1)))
+        assert command.assigned_variables() == {"x", "y"}
+
+    def test_used_variables_includes_guards(self):
+        command = B.while_("x < n", B.tick(1))
+        assert command.used_variables() == {"x", "n"}
+
+    def test_called_procedures(self):
+        command = B.seq(B.call("p"), B.if_("x > 0", B.call("q")))
+        assert command.called_procedures() == {"p", "q"}
+
+    def test_prob_choice_probability_range(self):
+        with pytest.raises(ValueError):
+            ast.ProbChoice(Fraction(3, 2), ast.Skip(), ast.Skip())
+
+    def test_tick_constant_flag(self):
+        assert B.tick(2).is_constant
+        assert not B.tick(B.expr("x")).is_constant
+
+    def test_sample_outcomes(self):
+        command = B.incr_sample("x", Uniform(0, 2))
+        outcomes = command.outcome_exprs()
+        assert len(outcomes) == 3
+        assert sum(prob for prob, _ in outcomes) == 1
+
+
+class TestPrograms:
+    def test_missing_main_rejected(self):
+        with pytest.raises(ValueError):
+            ast.Program([ast.Procedure("helper", ast.Skip())], main="main")
+
+    def test_program_variables(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n", B.assign("x", "x + 1"))))
+        assert program.variables() >= {"x", "n"}
+
+    def test_call_graph_and_recursion(self):
+        program = B.program(
+            B.proc("main", [], B.call("even")),
+            B.proc("even", [], B.if_("x > 0", B.seq(B.assign("x", "x - 1"), B.call("odd")))),
+            B.proc("odd", [], B.if_("x > 0", B.seq(B.assign("x", "x - 1"), B.call("even")))))
+        recursive = program.recursive_procedures()
+        assert recursive == {"even", "odd"}
+        assert program.call_graph()["main"] == {"even"}
+
+    def test_non_recursive_program(self):
+        program = B.program(B.proc("main", [], B.call("leaf")),
+                            B.proc("leaf", [], B.tick(1)))
+        assert program.recursive_procedures() == set()
+
+
+class TestBuilder:
+    def test_string_expressions_are_parsed(self):
+        command = B.assign("x", "2 * x + 1")
+        lowered = ast.expr_to_linexpr(command.expr)
+        assert lowered.coefficient("x") == 2
+        assert lowered.const_term == 1
+
+    def test_prob_accepts_fraction_strings(self):
+        command = B.prob("1/3", B.skip())
+        assert command.probability == Fraction(1, 3)
+        assert isinstance(command.right, ast.Skip)
+
+    def test_while_with_multiple_body_commands(self):
+        loop = B.while_("x > 0", B.assign("x", "x - 1"), B.tick(1))
+        assert isinstance(loop.body, ast.Seq)
+        assert len(loop.body.commands) == 2
+
+    def test_if_default_else(self):
+        branch = B.if_("x > 0", B.tick(1))
+        assert isinstance(branch.else_branch, ast.Skip)
+
+    def test_nondet(self):
+        choice = B.nondet(B.tick(1), B.tick(2))
+        assert isinstance(choice, ast.NonDetChoice)
+
+    def test_procedure_builder_chain(self):
+        proc = (B.ProcedureBuilder("main", ["x"])
+                .assume("x >= 0")
+                .while_("x > 0", B.assign("x", "x - 1"), B.tick(1))
+                .build())
+        assert proc.name == "main"
+        assert proc.params == ("x",)
+
+    def test_program_builder(self):
+        builder = B.ProgramBuilder()
+        builder.add(B.ProcedureBuilder("main").tick(1))
+        program = builder.build()
+        assert program.main == "main"
+
+    def test_program_builder_requires_procedures(self):
+        with pytest.raises(ValueError):
+            B.ProgramBuilder().build()
+
+    def test_sample_helpers(self):
+        incr = B.incr_sample("x", Uniform(0, 1))
+        decr = B.decr_sample("x", Uniform(0, 1))
+        assert incr.op == "+" and decr.op == "-"
+        assert isinstance(incr.expr, ast.Var) and incr.expr.name == "x"

@@ -1,0 +1,105 @@
+"""Tests for the Table-1 and figure harnesses (quick configurations)."""
+
+import pytest
+
+from repro.bench.figures import (
+    appendix_f_series,
+    figure8_histogram,
+    figure8_pol04_series,
+    figure8_trader_surface,
+    sweep_series,
+)
+from repro.bench.registry import get_benchmark
+from repro.bench.reporting import format_percentage, render_table, rows_to_csv
+from repro.bench.table1 import (
+    TABLE_HEADERS,
+    Table1Row,
+    evaluate_benchmark,
+    render_rows,
+    run_table1,
+)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "name"), [(1, "x"), (22, "longer")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv(("a", "b"), [(1, 2)])
+        assert csv_text.splitlines()[0] == "a,b"
+        assert csv_text.splitlines()[1] == "1,2"
+
+    def test_format_percentage(self):
+        assert format_percentage(float("nan")) == "n/a"
+        assert format_percentage(float("inf")) == "inf"
+        assert format_percentage(1.23456) == "1.235"
+
+
+class TestTable1Harness:
+    def test_evaluate_single_benchmark_without_simulation(self):
+        row = evaluate_benchmark(get_benchmark("ber"), simulate=False)
+        assert row.success
+        assert row.bound is not None
+        assert row.error_percent != row.error_percent      # NaN without simulation
+        assert row.analysis_seconds > 0
+
+    def test_evaluate_with_small_simulation(self):
+        row = evaluate_benchmark(get_benchmark("linear01"), runs=40)
+        assert row.success
+        assert row.measurements
+        # The bound dominates the (sampled) expectation on every swept input.
+        for _state, measured, bound_value in row.measurements:
+            assert bound_value + 1e-6 >= measured - 10.0
+        assert row.error_percent == row.error_percent      # a real number
+
+    def test_run_table1_by_names(self):
+        rows = run_table1(names=["ber", "rdwalk"], simulate=False)
+        assert [row.name for row in rows] == ["ber", "rdwalk"]
+
+    def test_render_rows_grouping(self):
+        rows = [
+            Table1Row("lin", "linear", "x", "x", 1.0, "1", 0.1, 0.1, True, "paper"),
+            Table1Row("pol", "polynomial", "x^2", "x^2", 1.0, "1", 0.1, 0.1, True, "paper"),
+        ]
+        text = render_rows(rows)
+        assert "Linear programs" in text
+        assert "Polynomial programs" in text
+        assert len(TABLE_HEADERS) == 7
+
+    def test_failed_row_rendering(self):
+        row = Table1Row("bad", "linear", None, "?", float("nan"), None, 0.0, None,
+                        False, "reconstructed", message="infeasible")
+        assert "none" in str(row.as_table_row()[1])
+
+
+class TestFigureHarness:
+    def test_sweep_series_quick(self):
+        series = sweep_series(get_benchmark("ber"), runs=30, values=(20, 40))
+        assert series.bound is not None
+        assert len(series.points) == 2
+        assert series.bound_dominates(slack=0.10)
+        csv_text = series.to_csv()
+        assert "measured_mean" in csv_text.splitlines()[0]
+
+    def test_appendix_series_subset(self):
+        series_list = appendix_f_series(names=["linear01", "ber"], runs=20)
+        assert {series.benchmark for series in series_list} == {"linear01", "ber"}
+
+    def test_figure8_histogram_quick(self):
+        figure = figure8_histogram(runs=300, n=30)
+        assert figure.counts.sum() == 300
+        assert figure.bound_value >= figure.measured_mean - 5
+
+    def test_figure8_trader_surface_quick(self):
+        points = figure8_trader_surface(s_values=(120,), smin_values=(100,), runs=30)
+        assert len(points) == 1
+        assert points[0].bound_value > 0
+
+    def test_figure8_pol04_quick(self):
+        series = figure8_pol04_series(runs=30, values=(10, 20))
+        assert len(series.points) == 2
+        assert series.bound is not None and series.bound.degree() == 2

@@ -1,0 +1,102 @@
+"""Tests for derivation certificates and the certificate checker."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import analyze_program, check_certificate
+from repro.core.certificates import assert_certificate
+from repro.lang import builder as B
+from repro.lang.errors import CertificateError
+from repro.logic.contexts import Context
+from repro.utils.linear import LinExpr
+from repro.utils.polynomials import Polynomial
+from repro.core.certificates import Certificate, WeakenEvidence
+
+
+class TestCertificateContents:
+    def test_certificate_annotates_every_rule_application(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        certificate = result.certificate
+        assert len(certificate.points) >= 4          # loop, branch, assigns, tick
+        rules = {point.rule for point in certificate.points}
+        assert any("while" in rule for rule in rules)
+        assert any("tick" in rule for rule in rules)
+
+    def test_initial_annotation_matches_reported_bound(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        # The annotation attached to the outermost command is the bound.
+        root = result.certificate.points[-1]
+        assert root.pre.evaluate({"x": 10}) == result.bound.evaluate({"x": 10})
+
+    def test_weakenings_recorded(self, race_program):
+        result = analyze_program(race_program)
+        assert len(result.certificate.weakenings) >= 2    # loop head + loop exit
+        for evidence in result.certificate.weakenings:
+            assert isinstance(evidence.context, Context)
+
+    def test_annotation_lookup_by_node(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        node_ids = {point.node_id for point in result.certificate.points}
+        for node_id in node_ids:
+            assert result.certificate.annotation_at(node_id) is not None
+        assert result.certificate.annotation_at(-1) is None
+
+
+class TestCertificateChecker:
+    @pytest.mark.parametrize("fixture_name", [
+        "simple_random_walk", "rdwalk_program", "race_program",
+        "deterministic_countdown", "geometric_program"])
+    def test_valid_certificates_pass(self, fixture_name, request):
+        program = request.getfixturevalue(fixture_name)
+        result = analyze_program(program)
+        assert result.success
+        assert check_certificate(result.certificate, samples=20, seed=1) == []
+
+    def test_assert_certificate_passes(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        assert_certificate(result.certificate, samples=10)
+
+    def test_tampered_combination_is_rejected(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        certificate = result.certificate
+        evidence = certificate.weakenings[0]
+        tampered = WeakenEvidence(
+            origin=evidence.origin,
+            context=evidence.context,
+            stronger=evidence.stronger,
+            weaker=evidence.weaker + Polynomial.constant(5),
+            combination=evidence.combination)
+        bad = Certificate(bound=certificate.bound, points=certificate.points,
+                          weakenings=[tampered])
+        problems = check_certificate(bad, samples=10)
+        assert problems
+
+    def test_tampered_rewrite_is_rejected(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        certificate = result.certificate
+        evidence = certificate.weakenings[0]
+        # Claim a negative "rewrite function" was used with weight 1.
+        negative = Polynomial.constant(-3)
+        tampered = WeakenEvidence(
+            origin=evidence.origin,
+            context=evidence.context,
+            stronger=evidence.stronger + negative,
+            weaker=evidence.weaker,
+            combination=list(evidence.combination) + [(Fraction(1), negative, "bogus")])
+        bad = Certificate(bound=certificate.bound, points=[], weakenings=[tampered])
+        problems = check_certificate(bad, samples=10)
+        assert any("non-negative" in problem or "mismatch" in problem
+                   for problem in problems)
+
+    def test_assert_certificate_raises_on_problems(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        evidence = result.certificate.weakenings[0]
+        tampered = WeakenEvidence(evidence.origin, evidence.context,
+                                  evidence.stronger,
+                                  evidence.weaker + Polynomial.constant(1),
+                                  evidence.combination)
+        bad = Certificate(bound=result.certificate.bound, points=[],
+                          weakenings=[tampered])
+        with pytest.raises(CertificateError):
+            assert_certificate(bad, samples=10)

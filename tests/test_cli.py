@@ -1,0 +1,100 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+RDWALK_SOURCE = """
+proc main(x, n) {
+    while (x < n) {
+        prob(3/4) { x = x + 1; } else { x = x - 1; }
+        tick(1);
+    }
+}
+"""
+
+COUNTER_SOURCE = """
+proc main(n) {
+    assume(n >= 0);
+    while (n > 0) {
+        cost = cost + 1;
+        n = n - 1;
+    }
+}
+"""
+
+
+@pytest.fixture
+def rdwalk_file(tmp_path):
+    path = tmp_path / "rdwalk.imp"
+    path.write_text(RDWALK_SOURCE)
+    return str(path)
+
+
+class TestParserConstruction:
+    def test_parser_has_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.command == "list"
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "prog.imp"])
+        assert args.degree == 1
+        assert not args.certificate
+
+
+class TestAnalyzeCommand:
+    def test_analyze_program_file(self, rdwalk_file, capsys):
+        exit_code = main(["analyze", rdwalk_file])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "expected cost bound" in output
+        assert "|[x, n" in output
+
+    def test_analyze_with_certificate(self, rdwalk_file, capsys):
+        exit_code = main(["analyze", rdwalk_file, "--certificate"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "certificate check passed" in output
+
+    def test_analyze_with_counter(self, tmp_path, capsys):
+        path = tmp_path / "counter.imp"
+        path.write_text(COUNTER_SOURCE)
+        exit_code = main(["analyze", str(path), "--counter", "cost"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "|[0, n]|" in output
+
+    def test_analyze_failure_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.imp"
+        path.write_text("proc main(x) { assume(x >= 1); while (x > 0) { tick(1); } }")
+        exit_code = main(["analyze", str(path), "--no-auto-degree"])
+        assert exit_code == 1
+        assert "no bound" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_simulate(self, rdwalk_file, capsys):
+        exit_code = main(["simulate", rdwalk_file, "--input", "x=0", "n=20",
+                          "--runs", "50", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mean cost" in output
+
+    def test_bad_input_assignment(self, rdwalk_file):
+        with pytest.raises(SystemExit):
+            main(["simulate", rdwalk_file, "--input", "x"])
+
+
+class TestListAndBench:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "rdwalk" in output and "trader" in output
+
+    def test_bench_named_subset(self, capsys):
+        exit_code = main(["bench", "--names", "ber", "--quick"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Linear programs" in output
+        assert "ber" in output

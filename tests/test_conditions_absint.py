@@ -1,0 +1,158 @@
+"""Tests for guard-fact extraction and the abstract interpreter."""
+
+from repro.lang import ast
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.lang.parser import parse_expr
+from repro.logic.absint import AbstractInterpreter
+from repro.logic.conditions import (
+    facts_from_condition,
+    negated_facts_from_condition,
+)
+from repro.utils.linear import LinExpr
+
+
+def lin(coeffs=None, const=0):
+    return LinExpr(coeffs or {}, const)
+
+
+class TestFactsFromConditions:
+    def test_strict_less(self):
+        facts = facts_from_condition(parse_expr("x < n"))
+        assert facts == [lin({"n": 1, "x": -1}, -1)]
+
+    def test_less_equal(self):
+        assert facts_from_condition(parse_expr("x <= n")) == [lin({"n": 1, "x": -1})]
+
+    def test_equality_gives_two_facts(self):
+        assert len(facts_from_condition(parse_expr("x == 3"))) == 2
+
+    def test_disequality_gives_nothing(self):
+        assert facts_from_condition(parse_expr("x != 3")) == []
+
+    def test_conjunction_concatenates(self):
+        facts = facts_from_condition(parse_expr("x > 0 && y > 0"))
+        assert len(facts) == 2
+
+    def test_disjunction_gives_nothing(self):
+        assert facts_from_condition(parse_expr("x > 0 || y > 0")) == []
+
+    def test_star_gives_nothing(self):
+        assert facts_from_condition(ast.Star()) == []
+
+    def test_star_conjunction_keeps_deterministic_part(self):
+        facts = facts_from_condition(parse_expr("y >= 100 && *"))
+        assert facts == [lin({"y": 1}, -100)]
+
+    def test_false_constant_marks_unreachable(self):
+        facts = facts_from_condition(ast.Const(0))
+        assert any(fact.is_constant() and fact.const_term < 0 for fact in facts)
+
+    def test_negation_of_less(self):
+        facts = negated_facts_from_condition(parse_expr("x < n"))
+        assert facts == [lin({"x": 1, "n": -1})]
+
+    def test_negation_of_disjunction(self):
+        facts = negated_facts_from_condition(parse_expr("x > 0 || y > 0"))
+        assert len(facts) == 2
+
+    def test_negation_of_conjunction_gives_nothing(self):
+        assert negated_facts_from_condition(parse_expr("x > 0 && y > 0")) == []
+
+    def test_nonlinear_comparison_ignored(self):
+        assert facts_from_condition(parse_expr("x * x > 4")) == []
+
+
+class TestAbstractInterpreter:
+    def test_assume_is_recorded(self):
+        program = B.program(B.proc("main", ["x"],
+            B.assume("x >= 5"),
+            B.tick(1)))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.iter_nodes() if isinstance(n, ast.Tick)][0]
+        assert interp.context_before(tick).entails(lin({"x": 1}, -5))
+
+    def test_assignment_transfer(self):
+        program = B.program(B.proc("main", [],
+            B.assign("x", "3"),
+            B.assign("x", "x + 2"),
+            B.tick(1)))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.iter_nodes() if isinstance(n, ast.Tick)][0]
+        ctx = interp.context_before(tick)
+        assert ctx.entails(lin({"x": 1}, -5))
+        assert ctx.entails(lin({"x": -1}, 5))
+
+    def test_branch_join_keeps_common_facts(self):
+        program = B.program(B.proc("main", ["x"],
+            B.assume("x >= 0"),
+            B.if_("x > 10", B.assign("x", "x - 1"), B.skip()),
+            B.tick(1)))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.iter_nodes() if isinstance(n, ast.Tick)][0]
+        assert interp.context_before(tick).entails(lin({"x": 1}))
+
+    def test_loop_invariant_keeps_unmodified_facts(self):
+        program = B.program(B.proc("main", ["smin", "s"],
+            B.assume("smin >= 0"),
+            B.while_("s > smin",
+                B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+                B.tick(1))))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        loop = [n for n in program.iter_nodes() if isinstance(n, ast.While)][0]
+        assert interp.context_before(loop).entails(lin({"smin": 1}))
+
+    def test_loop_body_context_includes_guard(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("x < n", B.assign("x", "x + 1"), B.tick(1))))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        assign = [n for n in program.iter_nodes() if isinstance(n, ast.Assign)][0]
+        assert interp.context_before(assign).entails(lin({"n": 1, "x": -1}, -1))
+
+    def test_sampling_adds_interval_bounds(self):
+        program = B.program(B.proc("main", [],
+            B.sample("k", Uniform(2, 5)),
+            B.tick(1)))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.iter_nodes() if isinstance(n, ast.Tick)][0]
+        ctx = interp.context_before(tick)
+        assert ctx.entails(lin({"k": 1}, -2))
+        assert ctx.entails(lin({"k": -1}, 5))
+
+    def test_call_havocs_modified_variables(self):
+        program = B.program(
+            B.proc("main", ["x"],
+                B.assume("x >= 3"),
+                B.assign("y", "7"),
+                B.call("clobber"),
+                B.tick(1)),
+            B.proc("clobber", [], B.assign("y", "0")))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.main_procedure.body.iter_nodes()
+                if isinstance(n, ast.Tick)][0]
+        ctx = interp.context_before(tick)
+        assert ctx.entails(lin({"x": 1}, -3))
+        assert not ctx.entails(lin({"y": 1}, -7))
+
+    def test_abort_makes_rest_unreachable(self):
+        program = B.program(B.proc("main", [], B.abort(), B.tick(1)))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")
+        tick = [n for n in program.iter_nodes() if isinstance(n, ast.Tick)][0]
+        assert interp.context_before(tick).is_unreachable
+
+    def test_fixpoint_terminates_on_growing_variable(self):
+        # x grows forever; the widening must terminate anyway.
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0", B.assign("x", "x + 1"), B.tick(1))))
+        interp = AbstractInterpreter(program)
+        interp.analyze_procedure("main")   # must not loop forever
+        loop = [n for n in program.iter_nodes() if isinstance(n, ast.While)][0]
+        assert interp.context_before(loop) is not None

@@ -1,0 +1,122 @@
+"""Unit tests for logical contexts (repro.logic.contexts)."""
+
+from fractions import Fraction
+
+from repro.logic.contexts import Context
+from repro.utils.linear import LinExpr
+
+
+def lin(coeffs=None, const=0):
+    return LinExpr(coeffs or {}, const)
+
+
+X = lin({"x": 1})
+Y = lin({"y": 1})
+
+
+class TestConstruction:
+    def test_top_has_no_facts(self):
+        assert len(Context.top()) == 0
+        assert not Context.top().is_unreachable
+
+    def test_trivially_true_facts_dropped(self):
+        assert len(Context([lin({}, 3)])) == 0
+
+    def test_trivially_false_fact_means_unreachable(self):
+        assert Context([lin({}, -1)]).is_unreachable
+
+    def test_duplicate_facts_merged(self):
+        assert len(Context([X, X])) == 1
+
+
+class TestEntailment:
+    def test_entails_own_fact(self):
+        ctx = Context([X - 1])
+        assert ctx.entails(X - 1)
+        assert ctx.entails(X)
+
+    def test_does_not_entail_unrelated(self):
+        assert not Context([X]).entails(Y)
+
+    def test_unreachable_entails_everything(self):
+        assert Context.unreachable_context().entails(lin({}, -100))
+
+    def test_entails_context(self):
+        strong = Context([X - 2, Y])
+        weak = Context([X])
+        assert strong.entails_context(weak)
+        assert not weak.entails_context(strong)
+
+    def test_greatest_lower_bound(self):
+        ctx = Context([X - Y, Y - 3])
+        assert ctx.greatest_lower_bound(X) == 3
+        assert ctx.greatest_lower_bound(Y) == 3
+        assert ctx.greatest_lower_bound(X - Y) == 0
+
+    def test_greatest_lower_bound_unbounded(self):
+        assert Context([X]).greatest_lower_bound(Y) is None
+
+    def test_satisfiability(self):
+        assert Context([X, 10 - X]).is_satisfiable()
+        assert not Context([X - 1, -X]).is_satisfiable()
+
+
+class TestTransfer:
+    def test_havoc_removes_facts(self):
+        ctx = Context([X - 1, Y - 2]).havoc("x")
+        assert ctx.entails(Y - 2)
+        assert not ctx.entails(X - 1)
+
+    def test_assign_constant(self):
+        ctx = Context.top().assign("x", lin({}, 5))
+        assert ctx.entails(X - 5)
+        assert ctx.entails(5 - X)
+
+    def test_assign_increment_shifts_facts(self):
+        ctx = Context([X - 3]).assign("x", X + 1)
+        assert ctx.entails(X - 4)
+
+    def test_assign_from_other_variable(self):
+        ctx = Context([Y - 7]).assign("x", Y)
+        assert ctx.entails(X - 7)
+
+    def test_assign_overwrites_old_information(self):
+        ctx = Context([X - 100]).assign("x", lin({}, 1))
+        assert ctx.entails(1 - X)
+
+    def test_assign_interval_sampling(self):
+        # x := x + unif(0, 10) starting from x >= 3.
+        ctx = Context([X - 3]).assign_interval("x", X, 0, 10)
+        assert ctx.entails(X - 3)          # lower bound preserved
+        assert not ctx.entails(X - 14)     # but not x >= 14
+
+    def test_rename(self):
+        ctx = Context([X - 1]).rename({"x": "z"})
+        assert ctx.entails(lin({"z": 1}) - 1)
+
+
+class TestLattice:
+    def test_join_keeps_common_facts(self):
+        a = Context([X - 1, Y - 5])
+        b = Context([X - 3])
+        joined = a.join(b)
+        assert joined.entails(X - 1)
+        assert not joined.entails(Y - 5)
+
+    def test_join_with_unreachable(self):
+        a = Context([X - 1])
+        assert a.join(Context.unreachable_context()) == a
+        assert Context.unreachable_context().join(a) == a
+
+    def test_widen_drops_unstable_facts(self):
+        old = Context([X - 5, Y])
+        new = Context([X - 4, Y])
+        widened = old.widen(new)
+        assert widened.entails(Y)
+        assert not widened.entails(X - 5)
+
+    def test_satisfied_by(self):
+        ctx = Context([X - 1, Y - X])
+        assert ctx.satisfied_by({"x": 2, "y": 3})
+        assert not ctx.satisfied_by({"x": 0, "y": 3})
+        assert not Context.unreachable_context().satisfied_by({"x": 0, "y": 0})

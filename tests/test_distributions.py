@@ -1,0 +1,131 @@
+"""Unit tests for the discrete distributions."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.distributions import (
+    Bernoulli,
+    Binomial,
+    Finite,
+    HyperGeometric,
+    Uniform,
+    make_distribution,
+)
+
+ALL_EXAMPLES = [
+    Bernoulli(Fraction(1, 3)),
+    Uniform(0, 10),
+    Uniform(-3, 3),
+    Binomial(5, Fraction(1, 2)),
+    Binomial(3, Fraction(2, 3)),
+    HyperGeometric(20, 4, 5),
+    Finite({0: Fraction(1, 4), 2: Fraction(3, 4)}),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_EXAMPLES, ids=lambda d: str(d))
+def test_probabilities_sum_to_one(dist):
+    assert dist.probabilities_sum() == 1
+
+
+@pytest.mark.parametrize("dist", ALL_EXAMPLES, ids=lambda d: str(d))
+def test_support_is_sorted_and_positive(dist):
+    support = dist.support()
+    values = [value for value, _ in support]
+    assert values == sorted(values)
+    assert all(prob > 0 for _, prob in support)
+
+
+class TestMeans:
+    def test_bernoulli_mean(self):
+        assert Bernoulli(Fraction(1, 3)).mean() == Fraction(1, 3)
+
+    def test_uniform_mean(self):
+        assert Uniform(0, 10).mean() == 5
+
+    def test_binomial_mean(self):
+        assert Binomial(3, Fraction(2, 3)).mean() == 2
+
+    def test_hypergeometric_mean(self):
+        assert HyperGeometric(20, 4, 5).mean() == 1
+
+    def test_uniform_variance(self):
+        # Var of discrete uniform over 0..n is ((n+1)^2 - 1) / 12.
+        assert Uniform(0, 10).variance() == Fraction(121 - 1, 12)
+
+    def test_bernoulli_degenerate(self):
+        assert Bernoulli(0).support() == [(0, Fraction(1))]
+        assert Bernoulli(1).support() == [(1, Fraction(1))]
+
+
+class TestValidation:
+    def test_bernoulli_range(self):
+        with pytest.raises(ValueError):
+            Bernoulli(2)
+
+    def test_uniform_order(self):
+        with pytest.raises(ValueError):
+            Uniform(5, 2)
+
+    def test_binomial_negative(self):
+        with pytest.raises(ValueError):
+            Binomial(-1, Fraction(1, 2))
+
+    def test_hypergeometric_bounds(self):
+        with pytest.raises(ValueError):
+            HyperGeometric(10, 12, 3)
+
+    def test_finite_sum(self):
+        with pytest.raises(ValueError):
+            Finite({0: Fraction(1, 2)})
+
+    def test_finite_empty(self):
+        with pytest.raises(ValueError):
+            Finite({})
+
+
+class TestSampling:
+    @pytest.mark.parametrize("dist", ALL_EXAMPLES, ids=lambda d: str(d))
+    def test_samples_in_support(self, dist):
+        rng = np.random.default_rng(0)
+        support = {value for value, _ in dist.support()}
+        for _ in range(200):
+            assert dist.sample(rng) in support
+
+    def test_sample_mean_close_to_exact_mean(self):
+        rng = np.random.default_rng(1)
+        dist = Uniform(0, 10)
+        draws = [dist.sample(rng) for _ in range(4000)]
+        assert abs(sum(draws) / len(draws) - 5) < 0.3
+
+
+class TestRegistry:
+    def test_make_uniform(self):
+        dist = make_distribution("unif", [0, 3])
+        assert isinstance(dist, Uniform)
+        assert dist.max_value() == 3
+
+    def test_make_bernoulli(self):
+        assert isinstance(make_distribution("ber", [Fraction(1, 2)]), Bernoulli)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_distribution("poisson", [3])
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 8), st.fractions(min_value=0, max_value=1, max_denominator=6))
+def test_binomial_mean_formula(n, p):
+    assert Binomial(n, p).mean() == n * p
+
+
+@settings(max_examples=30)
+@given(st.integers(-20, 20), st.integers(0, 15))
+def test_uniform_support_size(lower, width):
+    dist = Uniform(lower, lower + width)
+    assert len(dist.support()) == width + 1
+    assert dist.min_value() == lower
+    assert dist.max_value() == lower + width

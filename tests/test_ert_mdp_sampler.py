@@ -1,0 +1,157 @@
+"""Tests for the ert transformer, the MDP semantics and the Monte-Carlo sampler.
+
+These three substrates must agree with each other (and with hand-computed
+expectations) on small programs -- that agreement is exactly how the paper's
+evaluation validates measured expectations, and it is also how the analyzer's
+bounds are cross-checked elsewhere in the suite.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.semantics.ert import expected_cost_ert, ert_transformer
+from repro.semantics.mdp import MDPSemantics, expected_cost_mdp
+from repro.semantics.sampler import (
+    estimate_expected_cost,
+    histogram_of_costs,
+    mean_relative_error,
+    relative_error,
+    sweep_expected_cost,
+)
+
+
+class TestErtLoopFree:
+    def test_tick_sequence(self):
+        program = B.program(B.proc("main", [], B.tick(2), B.tick(3)))
+        assert expected_cost_ert(program) == 5
+
+    def test_probabilistic_choice(self):
+        program = B.program(B.proc("main", [],
+            B.prob("1/4", B.tick(8), B.tick(0))))
+        assert expected_cost_ert(program) == 2
+
+    def test_sampling_expectation(self):
+        program = B.program(B.proc("main", [],
+            B.sample("k", Uniform(0, 10)), B.tick(B.expr("k"))))
+        assert expected_cost_ert(program) == 5
+
+    def test_conditional(self):
+        program = B.program(B.proc("main", ["x"],
+            B.if_("x > 0", B.tick(3), B.tick(1))))
+        assert expected_cost_ert(program, {"x": 5}) == 3
+        assert expected_cost_ert(program, {"x": 0}) == 1
+
+    def test_nondeterminism_is_demonic(self):
+        program = B.program(B.proc("main", [], B.nondet(B.tick(1), B.tick(9))))
+        assert expected_cost_ert(program) == 9
+
+    def test_abort_has_zero_cost(self):
+        program = B.program(B.proc("main", [], B.abort(), B.tick(100)))
+        assert expected_cost_ert(program) == 0
+
+    def test_assert_false_stops(self):
+        program = B.program(B.proc("main", [], B.assert_("0 > 1"), B.tick(100)))
+        assert expected_cost_ert(program) == 0
+
+    def test_continuation_passing(self):
+        # ert[tick(1)](f) = 1 + f
+        command = B.tick(1)
+        transformer = ert_transformer(command, continuation=lambda state: Fraction(10))
+        assert transformer({}) == 11
+
+    def test_composition_matches_paper_example(self):
+        # Paper Appendix B: ert of the rdwalk body with post-expectation 2x is 2x.
+        body = B.seq(
+            B.prob("3/4", B.assign("x", "x - 1"), B.assign("x", "x + 1")),
+            B.tick(1))
+        transformer = ert_transformer(body, continuation=lambda s: Fraction(2 * max(0, s["x"])))
+        for x in (1, 2, 5, 11):
+            assert transformer({"x": x}) == 2 * x
+
+
+class TestErtLoops:
+    def test_deterministic_loop_exact_with_enough_fuel(self, deterministic_countdown):
+        assert expected_cost_ert(deterministic_countdown, {"x": 6}, fuel=10) == 6
+
+    def test_fuel_monotonicity(self, geometric_program):
+        values = [expected_cost_ert(geometric_program, fuel=fuel) for fuel in (1, 3, 6, 12)]
+        assert all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+    def test_geometric_loop_converges_to_two(self, geometric_program):
+        value = expected_cost_ert(geometric_program, fuel=40)
+        assert abs(float(value) - 2.0) < 1e-6
+
+    def test_random_walk_expected_cost(self, simple_random_walk):
+        value = expected_cost_ert(simple_random_walk, {"x": 2}, fuel=40)
+        # True expectation is 4; bounded unrolling approaches it from below.
+        assert 3.9 <= float(value) <= 4.0
+
+
+class TestMDP:
+    def test_deterministic_loop(self, deterministic_countdown):
+        assert expected_cost_mdp(deterministic_countdown, {"x": 5}) == pytest.approx(5)
+
+    def test_geometric_loop(self, geometric_program):
+        assert expected_cost_mdp(geometric_program) == pytest.approx(2.0, abs=1e-6)
+
+    def test_agrees_with_ert_on_random_walk(self, simple_random_walk):
+        mdp_value = expected_cost_mdp(simple_random_walk, {"x": 1},
+                                      max_configs=1500, iterations=1500)
+        ert_value = float(expected_cost_ert(simple_random_walk, {"x": 1}, fuel=40))
+        assert mdp_value == pytest.approx(2.0, abs=0.05)
+        assert mdp_value >= ert_value - 1e-6
+
+    def test_nondeterminism_takes_maximum(self):
+        program = B.program(B.proc("main", [],
+            B.nondet(B.tick(3), B.prob("1/2", B.tick(10), B.tick(0)))))
+        assert expected_cost_mdp(program) == pytest.approx(5.0)
+
+    def test_truncation_flag(self, simple_random_walk):
+        semantics = MDPSemantics(simple_random_walk, max_configs=50)
+        semantics.expected_cost({"x": 5}, iterations=200)
+        assert semantics.truncated
+
+
+class TestSampler:
+    def test_estimate_matches_exact_expectation(self, geometric_program):
+        stats = estimate_expected_cost(geometric_program, runs=3000, seed=5)
+        assert stats.mean == pytest.approx(2.0, rel=0.1)
+        assert stats.runs == 3000
+        assert stats.minimum >= 1.0
+
+    def test_candlestick_ordering(self, simple_random_walk):
+        stats = estimate_expected_cost(simple_random_walk, {"x": 10}, runs=400, seed=1)
+        low, q1, q3, high = stats.candlestick()
+        assert low <= q1 <= stats.median <= q3 <= high
+
+    def test_sweep_is_monotone_for_countdown(self, deterministic_countdown):
+        series = sweep_expected_cost(deterministic_countdown, "x", (5, 10, 20), runs=10)
+        means = [stats.mean for _, stats in series]
+        assert means == sorted(means)
+        assert means[0] == pytest.approx(5)
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(10.0)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_mean_relative_error_ignores_nan(self):
+        value = mean_relative_error([(110, 100), (float("nan"), float("nan"))])
+        assert value == pytest.approx(10.0)
+
+    def test_histogram(self, simple_random_walk):
+        counts, edges, mean = histogram_of_costs(simple_random_walk, {"x": 5},
+                                                 runs=300, bins=10, seed=2)
+        assert counts.sum() == 300
+        assert len(edges) == 11
+        assert mean == pytest.approx(10.0, rel=0.25)
+
+    def test_unfinished_runs_counted(self):
+        program = B.program(B.proc("main", [],
+            B.assign("x", "1"), B.while_("x > 0", B.tick(1))))
+        stats = estimate_expected_cost(program, runs=3, seed=0, max_steps=500)
+        assert stats.unfinished_runs == 3
+        assert stats.runs == 0

@@ -1,0 +1,145 @@
+"""Unit and property tests for the exact Fourier-Motzkin engine."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.fourier_motzkin import (
+    Infeasible,
+    Unbounded,
+    eliminate_variable,
+    entails,
+    greatest_lower_bound,
+    is_feasible,
+    maximize,
+    minimize,
+)
+from repro.utils.linear import LinExpr
+
+
+def lin(coeffs=None, const=0):
+    return LinExpr(coeffs or {}, const)
+
+
+X = lin({"x": 1})
+Y = lin({"y": 1})
+
+
+class TestFeasibility:
+    def test_empty_system_is_feasible(self):
+        assert is_feasible([])
+
+    def test_simple_box_is_feasible(self):
+        assert is_feasible([X, 10 - X])
+
+    def test_contradiction_detected(self):
+        # x >= 1 and -x >= 0 (i.e. x <= 0)
+        assert not is_feasible([X - 1, -X])
+
+    def test_constant_contradiction(self):
+        assert not is_feasible([lin({}, -1)])
+
+    def test_three_variable_chain(self):
+        # x <= y <= z <= x - 1 is infeasible.
+        constraints = [Y - X, lin({"z": 1, "y": -1}), X - 1 - lin({"z": 1})]
+        assert not is_feasible(constraints)
+
+
+class TestMinimize:
+    def test_simple_lower_bound(self):
+        assert minimize(X, [X - 3]) == 3
+
+    def test_combined_bound(self):
+        # x >= 1, y >= 2  =>  min(x + y) = 3.
+        assert minimize(X + Y, [X - 1, Y - 2]) == 3
+
+    def test_difference_bound(self):
+        # x - y >= 5  =>  min(x - y) = 5.
+        assert minimize(X - Y, [X - Y - 5]) == 5
+
+    def test_unbounded(self):
+        with pytest.raises(Unbounded):
+            minimize(X, [Y])
+
+    def test_infeasible(self):
+        with pytest.raises(Infeasible):
+            minimize(X, [X - 1, -X])
+
+    def test_constant_objective(self):
+        assert minimize(lin({}, 7), [X]) == 7
+
+    def test_rational_coefficients(self):
+        # 2x >= 3  =>  min x = 3/2.
+        assert minimize(X, [lin({"x": 2}, -3)]) == Fraction(3, 2)
+
+    def test_maximize(self):
+        assert maximize(X, [lin({"x": -1}, 10), X]) == 10
+
+
+class TestEntailment:
+    def test_guard_entails_weaker_fact(self):
+        # x >= 1 entails x >= 0.
+        assert entails([X - 1], X)
+
+    def test_guard_does_not_entail_stronger_fact(self):
+        assert not entails([X], X - 1)
+
+    def test_transitive_entailment(self):
+        # x <= y and y <= z entail x <= z.
+        assert entails([Y - X, lin({"z": 1, "y": -1})], lin({"z": 1, "x": -1}))
+
+    def test_unsatisfiable_context_entails_everything(self):
+        assert entails([X - 1, -X], lin({"q": 1}, -1000))
+
+    def test_greatest_lower_bound(self):
+        assert greatest_lower_bound([X - 2, Y - 3], X + Y) == 5
+
+    def test_greatest_lower_bound_unbounded(self):
+        assert greatest_lower_bound([X], Y) is None
+
+
+class TestElimination:
+    def test_eliminate_variable_projects(self):
+        # x >= y and 10 - x >= 0 project to 10 - y >= 0.
+        constraints = [X - Y, lin({"x": -1}, 10)]
+        projected = eliminate_variable(constraints, "x")
+        assert any(c.coefficient("y") == Fraction(-1) and c.const_term == 10
+                   or c.coefficient("y") == Fraction(-1, 1) for c in projected)
+        assert all(c.coefficient("x") == 0 for c in projected)
+
+
+# -- property-based: FM agrees with brute force on small integer boxes ----------
+
+small_coeff = st.integers(-3, 3)
+constraint_strategy = st.builds(
+    lambda a, b, c: lin({"x": a, "y": b}, c),
+    small_coeff, small_coeff, st.integers(-6, 6))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(constraint_strategy, min_size=1, max_size=4))
+def test_feasibility_is_sound_for_integer_points(constraints):
+    """If some integer point satisfies all constraints, FM must say feasible."""
+    integer_point_exists = any(
+        all(c.evaluate({"x": x, "y": y}) >= 0 for c in constraints)
+        for x in range(-8, 9) for y in range(-8, 9))
+    if integer_point_exists:
+        assert is_feasible(constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(constraint_strategy, min_size=1, max_size=3),
+       st.builds(lambda a, b, c: lin({"x": a, "y": b}, c),
+                 small_coeff, small_coeff, st.integers(-4, 4)))
+def test_minimize_is_a_lower_bound_on_integer_points(constraints, objective):
+    """The FM minimum is <= the objective at every satisfying integer point."""
+    try:
+        lower = minimize(objective, constraints)
+    except (Infeasible, Unbounded):
+        return
+    for x in range(-6, 7):
+        for y in range(-6, 7):
+            state = {"x": x, "y": y}
+            if all(c.evaluate(state) >= 0 for c in constraints):
+                assert objective.evaluate(state) >= lower

@@ -1,0 +1,158 @@
+"""Tests for the cost-counting operational interpreter."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.lang.errors import EvaluationError
+from repro.semantics.interp import (
+    AngelicScheduler,
+    DemonicScheduler,
+    Interpreter,
+    run_program,
+)
+
+
+class TestDeterministicExecution:
+    def test_countdown_cost(self, deterministic_countdown):
+        result = run_program(deterministic_countdown, {"x": 7}, seed=0)
+        assert result.cost == 7
+        assert result.terminated
+        assert result.state["x"] == 0
+
+    def test_zero_iterations(self, deterministic_countdown):
+        assert run_program(deterministic_countdown, {"x": 0}, seed=0).cost == 0
+
+    def test_negative_input(self, deterministic_countdown):
+        assert run_program(deterministic_countdown, {"x": -5}, seed=0).cost == 0
+
+    def test_uninitialised_variables_default_to_zero(self):
+        program = B.program(B.proc("main", [], B.assign("y", "x + 1"), B.tick(B.expr("y"))))
+        result = run_program(program, seed=0)
+        assert result.cost == 1
+
+    def test_fractional_tick(self):
+        program = B.program(B.proc("main", [], B.tick(Fraction(1, 2)), B.tick(Fraction(1, 2))))
+        assert run_program(program, seed=0).cost == 1
+
+    def test_symbolic_tick(self):
+        program = B.program(B.proc("main", ["s"], B.tick(B.expr("s"))))
+        assert run_program(program, {"s": 9}, seed=0).cost == 9
+
+    def test_arithmetic_operators(self):
+        program = B.program(B.proc("main", [],
+            B.assign("a", "7"),
+            B.assign("b", "a / 2"),       # integer division
+            B.assign("c", "a % 2"),
+            B.tick(B.expr("b + c"))))
+        assert run_program(program, seed=0).cost == 4
+
+    def test_division_by_zero(self):
+        program = B.program(B.proc("main", [], B.assign("a", "1 / 0")))
+        with pytest.raises(EvaluationError):
+            run_program(program, seed=0)
+
+    def test_assert_failure_stops_run(self):
+        program = B.program(B.proc("main", ["x"],
+            B.assert_("x > 0"), B.tick(5)))
+        result = run_program(program, {"x": 0}, seed=0)
+        assert result.assertion_failed
+        assert result.cost == 0
+
+    def test_assume_like_assert_at_runtime(self):
+        program = B.program(B.proc("main", ["x"], B.assume("x >= 0"), B.tick(1)))
+        assert run_program(program, {"x": 3}, seed=0).cost == 1
+        assert run_program(program, {"x": -1}, seed=0).assertion_failed
+
+
+class TestProbabilisticExecution:
+    def test_prob_choice_statistics(self):
+        program = B.program(B.proc("main", [],
+            B.prob("3/4", B.tick(1), B.tick(0))))
+        interpreter = Interpreter(program)
+        rng = np.random.default_rng(42)
+        total = sum(float(interpreter.run({}, rng=rng).cost) for _ in range(2000))
+        assert 0.70 <= total / 2000 <= 0.80
+
+    def test_sampling_assignment(self):
+        program = B.program(B.proc("main", [],
+            B.incr_sample("x", Uniform(5, 5)), B.tick(B.expr("x"))))
+        assert run_program(program, seed=0).cost == 5
+
+    def test_sampling_subtraction(self):
+        program = B.program(B.proc("main", ["x"],
+            B.decr_sample("x", Uniform(2, 2)), B.tick(B.expr("x"))))
+        assert run_program(program, {"x": 10}, seed=0).cost == 8
+
+    def test_geometric_loop_mean(self, geometric_program):
+        interpreter = Interpreter(geometric_program)
+        rng = np.random.default_rng(7)
+        costs = [float(interpreter.run({}, rng=rng).cost) for _ in range(3000)]
+        assert 1.85 <= sum(costs) / len(costs) <= 2.15
+
+    def test_random_walk_mean_close_to_2x(self, simple_random_walk):
+        interpreter = Interpreter(simple_random_walk)
+        rng = np.random.default_rng(3)
+        costs = [float(interpreter.run({"x": 20}, rng=rng).cost) for _ in range(1500)]
+        mean = sum(costs) / len(costs)
+        assert 36 <= mean <= 44      # expected value is exactly 40
+
+    def test_reproducible_with_seed(self, simple_random_walk):
+        first = run_program(simple_random_walk, {"x": 30}, seed=123)
+        second = run_program(simple_random_walk, {"x": 30}, seed=123)
+        assert first.cost == second.cost
+
+
+class TestSchedulers:
+    def _nondet_program(self):
+        return B.program(B.proc("main", [], B.nondet(B.tick(10), B.tick(1))))
+
+    def test_demonic_takes_left(self):
+        result = run_program(self._nondet_program(), scheduler=DemonicScheduler(), seed=0)
+        assert result.cost == 10
+
+    def test_angelic_takes_right(self):
+        result = run_program(self._nondet_program(), scheduler=AngelicScheduler(), seed=0)
+        assert result.cost == 1
+
+    def test_star_guard_with_demonic_scheduler_terminates_via_deterministic_part(self):
+        program = B.program(B.proc("main", ["y"],
+            B.while_(B.expr("y >= 100 && *"),
+                B.assign("y", "y - 100"),
+                B.tick(1))))
+        result = run_program(program, {"y": 350}, scheduler=DemonicScheduler(), seed=0)
+        assert result.cost == 3
+
+
+class TestStepBudget:
+    def test_nonterminating_program_hits_budget(self):
+        program = B.program(B.proc("main", [],
+            B.assign("x", "1"),
+            B.while_("x > 0", B.tick(1))))
+        result = run_program(program, seed=0, max_steps=2000)
+        assert not result.terminated
+
+    def test_call_depth_limit(self):
+        program = B.program(
+            B.proc("main", [], B.call("loop")),
+            B.proc("loop", [], B.call("loop")))
+        interpreter = Interpreter(program, max_call_depth=16)
+        with pytest.raises(EvaluationError):
+            interpreter.run({})
+
+
+class TestProcedureCalls:
+    def test_call_shares_global_state(self):
+        program = B.program(
+            B.proc("main", ["n"],
+                B.while_("n > 0", B.call("dec"))),
+            B.proc("dec", [], B.assign("n", "n - 1"), B.tick(2)))
+        assert run_program(program, {"n": 5}, seed=0).cost == 10
+
+    def test_undefined_procedure(self):
+        program = B.program(B.proc("main", [], B.call("nowhere")))
+        with pytest.raises(EvaluationError):
+            run_program(program, seed=0)

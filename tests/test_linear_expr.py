@@ -1,0 +1,172 @@
+"""Unit and property tests for repro.utils.linear.LinExpr."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.linear import LinExpr, linear_combination
+
+
+def lin(coeffs=None, const=0):
+    return LinExpr(coeffs or {}, const)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        expr = lin({"x": 0, "y": 2})
+        assert expr.variables() == ("y",)
+
+    def test_var_constructor(self):
+        assert LinExpr.var("x").coefficient("x") == 1
+
+    def test_const_constructor(self):
+        assert LinExpr.const("3/2").const_term == Fraction(3, 2)
+
+    def test_is_constant(self):
+        assert lin({}, 5).is_constant()
+        assert not lin({"x": 1}).is_constant()
+
+    def test_is_zero(self):
+        assert LinExpr.zero().is_zero()
+        assert not lin({}, 1).is_zero()
+
+
+class TestAlgebra:
+    def test_addition(self):
+        result = lin({"x": 1}, 2) + lin({"x": 2, "y": 1}, 3)
+        assert result.coefficient("x") == 3
+        assert result.coefficient("y") == 1
+        assert result.const_term == 5
+
+    def test_addition_with_scalar(self):
+        assert (lin({"x": 1}) + 4).const_term == 4
+
+    def test_subtraction_cancels(self):
+        expr = lin({"x": 2}, 1)
+        assert (expr - expr).is_zero()
+
+    def test_negation(self):
+        expr = -lin({"x": 3}, -2)
+        assert expr.coefficient("x") == -3
+        assert expr.const_term == 2
+
+    def test_scalar_multiplication(self):
+        expr = lin({"x": 2}, 4) * Fraction(1, 2)
+        assert expr.coefficient("x") == 1
+        assert expr.const_term == 2
+
+    def test_division(self):
+        assert (lin({"x": 3}) / 3).coefficient("x") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            lin({"x": 1}) / 0
+
+    def test_rsub(self):
+        expr = 5 - lin({"x": 1})
+        assert expr.coefficient("x") == -1
+        assert expr.const_term == 5
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        expr = lin({"x": 2, "y": 1})
+        result = expr.substitute("x", lin({"y": 1}, 3))
+        assert result.coefficient("y") == 3
+        assert result.const_term == 6
+        assert result.coefficient("x") == 0
+
+    def test_substitute_absent_variable(self):
+        expr = lin({"y": 1})
+        assert expr.substitute("x", lin({}, 7)) == expr
+
+    def test_substitute_all(self):
+        expr = lin({"x": 1, "y": 1})
+        result = expr.substitute_all({"x": lin({}, 1), "y": lin({}, 2)})
+        assert result == lin({}, 3)
+
+    def test_rename(self):
+        expr = lin({"x": 1, "y": 2})
+        renamed = expr.rename({"x": "z"})
+        assert renamed.coefficient("z") == 1
+        assert renamed.coefficient("y") == 2
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        expr = lin({"x": 2, "y": -1}, 3)
+        assert expr.evaluate({"x": 4, "y": 1}) == 10
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            lin({"x": 1}).evaluate({})
+
+
+class TestNormalisation:
+    def test_normalised_scale_positive(self):
+        scale, canonical = lin({"x": -2}, 4).normalised()
+        assert scale == 2
+        assert canonical == lin({"x": -1}, 2)
+
+    def test_normalised_constant(self):
+        scale, canonical = lin({}, 7).normalised()
+        assert scale == 1 and canonical.const_term == 7
+
+    def test_scaled_expressions_share_canonical_form(self):
+        _, a = lin({"x": 2, "y": -2}).normalised()
+        _, b = lin({"x": 5, "y": -5}).normalised()
+        assert a == b
+
+
+class TestHashingAndDisplay:
+    def test_equal_expressions_hash_equal(self):
+        assert hash(lin({"x": 1}, 1)) == hash(lin({"x": 1}, 1))
+
+    def test_usable_as_dict_key(self):
+        table = {lin({"x": 1}): "a"}
+        assert table[lin({"x": 1})] == "a"
+
+    def test_str_contains_variables(self):
+        assert "x" in str(lin({"x": 1}, 2))
+
+    def test_linear_combination(self):
+        combined = linear_combination([(2, lin({"x": 1})), (3, lin({}, 1))])
+        assert combined == lin({"x": 2}, 3)
+
+
+# -- property-based tests ------------------------------------------------------
+
+variables = st.sampled_from(["x", "y", "z", "w"])
+fractions = st.fractions(min_value=-20, max_value=20, max_denominator=8)
+lin_exprs = st.builds(
+    lambda coeffs, const: LinExpr(coeffs, const),
+    st.dictionaries(variables, fractions, max_size=4),
+    fractions,
+)
+states = st.dictionaries(variables, st.integers(-50, 50), min_size=4, max_size=4)
+
+
+@given(lin_exprs, lin_exprs, states)
+def test_addition_is_pointwise(a, b, state):
+    assert (a + b).evaluate(state) == a.evaluate(state) + b.evaluate(state)
+
+
+@given(lin_exprs, fractions, states)
+def test_scaling_is_pointwise(a, factor, state):
+    assert (a * factor).evaluate(state) == factor * a.evaluate(state)
+
+
+@given(lin_exprs, lin_exprs, states)
+def test_substitution_semantics(a, replacement, state):
+    substituted = a.substitute("x", replacement)
+    new_state = dict(state)
+    new_state["x"] = replacement.evaluate(state)
+    assert substituted.evaluate(state) == a.evaluate(new_state)
+
+
+@given(lin_exprs)
+def test_normalisation_preserves_direction(a):
+    scale, canonical = a.normalised()
+    assert scale > 0
+    assert canonical * scale == a

@@ -1,0 +1,120 @@
+"""Reproduction of the paper's headline examples (experiments E7/E8 in DESIGN.md).
+
+Every test here corresponds to a bound that is *printed in the paper*
+(Sections 1 and 3, Figures 4/5, Appendix G); we check that the analyzer
+derives a bound of the same shape and, where the derivation is tight, the
+same constants.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import analyze_program
+from repro.bench.registry import get_benchmark
+from repro.semantics.sampler import estimate_expected_cost
+
+
+def analyzed(name):
+    benchmark = get_benchmark(name)
+    result = analyze_program(benchmark.build(), **benchmark.analyzer_options)
+    assert result.success, f"{name}: {result.message}"
+    return benchmark, result
+
+
+class TestSectionOneClaims:
+    def test_trader_cost_bound_shape(self):
+        """Sec. 1: expected final `cost` of trader is quadratic in s - smin."""
+        _, result = analyzed("trader")
+        assert result.bound.degree() == 2
+        # Paper's bound at (s, smin) = (200, 100) is
+        # 5*100^2 + 10*100*100 + 5*100 = 150500; ours must be comparable
+        # (same order of magnitude) and must dominate the measured cost.
+        value = float(result.bound.evaluate({"s": 200, "smin": 100}))
+        assert 100_000 <= value <= 350_000
+
+    def test_trader_iteration_bound(self):
+        """Sec. 1: expected number of loop iterations is 2*max(0, s - smin)."""
+        from repro.lang import builder as B
+        program = B.program(B.proc("main", ["smin", "s"],
+            B.assume("smin >= 0"),
+            B.while_("s > smin",
+                B.prob("1/4", B.assign("s", "s + 1"), B.assign("s", "s - 1")),
+                B.tick(1))))
+        result = analyze_program(program)
+        assert result.success
+        assert result.bound.evaluate({"s": 150, "smin": 100}) == 100
+
+
+class TestSectionThreeDerivations:
+    def test_simple_random_walk_is_2x(self, simple_random_walk):
+        result = analyze_program(simple_random_walk)
+        assert result.bound.evaluate({"x": 37}) == 74
+
+    def test_rdwalk_figure4(self):
+        _, result = analyzed("rdwalk")
+        value = float(result.bound.evaluate({"x": 0, "n": 100}))
+        assert 200 <= value <= 202     # paper: 2|[x, n+1]| = 202
+
+    def test_rdspeed_figure4(self):
+        _, result = analyzed("rdspeed")
+        # Paper bound: 2|[y, m]| + 2/3 |[x, n]|.
+        value = float(result.bound.evaluate({"x": 0, "n": 90, "y": 0, "m": 30}))
+        assert value == pytest.approx(2 * 30 + Fraction(2, 3) * 90, rel=0.15)
+
+    def test_race_figure2(self):
+        _, result = analyzed("race")
+        assert result.bound.evaluate({"h": 0, "t": 30}) == Fraction(2, 3) * 39
+
+    def test_prseq_figure5(self):
+        _, result = analyzed("prseq")
+        # Paper: 1.65|[y,z]| + 0.15|[0,y]| (+ small constants in our derivation).
+        value = float(result.bound.evaluate({"y": 0, "z": 200}))
+        paper = 1.65 * 200
+        assert value == pytest.approx(paper, rel=0.05)
+
+    def test_prnes_figure5(self):
+        _, result = analyzed("prnes")
+        value = float(result.bound.evaluate({"n": -100, "y": 300}))
+        paper = 68.4795 * 100 + 0.052631 * 300
+        assert value == pytest.approx(paper, rel=0.05)
+
+    def test_miner_appendix(self):
+        _, result = analyzed("miner")
+        assert result.bound.evaluate({"n": 40}) == Fraction(15, 2) * 40
+
+    def test_c4b_t13_appendix(self):
+        _, result = analyzed("C4B_t13")
+        assert result.bound.evaluate({"x": 80, "y": 20}) == Fraction(5, 4) * 80 + 20
+
+    def test_rdbub_appendix(self):
+        _, result = analyzed("rdbub")
+        # Paper: 3|[0,n]|^2.
+        value = float(result.bound.evaluate({"n": 30}))
+        assert value == pytest.approx(3 * 30 * 30, rel=0.12)
+
+
+class TestBoundsDominateSimulation:
+    """The paper's evaluation criterion: inferred bound >= measured expectation."""
+
+    @pytest.mark.parametrize("name,state", [
+        ("rdwalk", {"x": 0, "n": 60}),
+        ("ber", {"x": 0, "n": 60}),
+        ("race", {"h": 0, "t": 40}),
+        ("miner", {"n": 40}),
+        ("linear01", {"x": 60}),
+        ("C4B_t13", {"x": 40, "y": 20}),
+    ])
+    def test_linear_benchmarks(self, name, state):
+        benchmark, result = analyzed(name)
+        stats = estimate_expected_cost(benchmark.build(), state, runs=300, seed=7)
+        assert float(result.bound.evaluate(state)) + 1e-6 >= stats.mean - 3 * stats.standard_error()
+
+    @pytest.mark.parametrize("name,state", [
+        ("pol04", {"x": 25}),
+        ("rdbub", {"n": 25}),
+    ])
+    def test_polynomial_benchmarks(self, name, state):
+        benchmark, result = analyzed(name)
+        stats = estimate_expected_cost(benchmark.build(), state, runs=200, seed=11)
+        assert float(result.bound.evaluate(state)) + 1e-6 >= stats.mean - 3 * stats.standard_error()

@@ -1,0 +1,194 @@
+"""Tests for the lexer, parser and pretty printer (including round trips)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_command, parse_expr, parse_program
+from repro.lang.printer import command_to_source, program_to_source
+
+TRADER_SOURCE = """
+// The stock trader of Fig. 1.
+proc main(smin, s) {
+    assume(smin >= 0);
+    while (s > smin) {
+        prob(1/4) { s = s + 1; } else { s = s - 1; }
+        call trade;
+    }
+}
+
+proc trade() {
+    nShares = unif(0, 10);
+    while (nShares > 0) {
+        nShares = nShares - 1;
+        tick(s);
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_symbols_and_idents(self):
+        kinds = [tok.kind for tok in tokenize("x = x + 1;")]
+        assert kinds == ["ident", "symbol", "ident", "symbol", "number", "symbol", "eof"]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("x = 1; // comment\ny = 2;")
+        assert all(tok.value != "comment" for tok in tokens)
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("/* a\nb */ x = 1;")
+        assert tokens[0].value == "x"
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x = $;")
+
+    def test_line_numbers(self):
+        tokens = tokenize("x = 1;\ny = 2;")
+        y_token = [tok for tok in tokens if tok.value == "y"][0]
+        assert y_token.line == 2
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * x")
+        lowered = ast.expr_to_linexpr(expr)
+        assert lowered.coefficient("x") == 2
+        assert lowered.const_term == 1
+
+    def test_comparison(self):
+        expr = parse_expr("x + 1 <= n")
+        assert isinstance(expr, ast.BinOp) and expr.op == "<="
+
+    def test_boolean_connectives(self):
+        expr = parse_expr("x > 0 && y > 0 || z > 0")
+        assert isinstance(expr, ast.BinOp) and expr.op == "or"
+
+    def test_star(self):
+        assert isinstance(parse_expr("*"), ast.Star)
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x + 3")
+        lowered = ast.expr_to_linexpr(expr)
+        assert lowered.coefficient("x") == -1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("x + 1 )")
+
+
+class TestStatementParsing:
+    def test_assignment(self):
+        command = parse_command("x = x + 1;")
+        assert isinstance(command, ast.Assign)
+
+    def test_sampling_assignment(self):
+        command = parse_command("x = x + unif(0, 10);")
+        assert isinstance(command, ast.Sample)
+        assert command.op == "+"
+        assert command.distribution.max_value() == 10
+
+    def test_plain_distribution_assignment(self):
+        command = parse_command("x = unif(0, 3);")
+        assert isinstance(command, ast.Sample)
+        assert isinstance(command.expr, ast.Const)
+
+    def test_bernoulli_with_fraction(self):
+        command = parse_command("x = x + ber(1/3);")
+        assert isinstance(command, ast.Sample)
+
+    def test_two_distributions_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("x = unif(0,1) + unif(0,2);")
+
+    def test_prob_statement(self):
+        command = parse_command("prob(3/4) { x = x - 1; } else { x = x + 1; }")
+        assert isinstance(command, ast.ProbChoice)
+        assert command.probability == Fraction(3, 4)
+
+    def test_nondet_if(self):
+        command = parse_command("if (*) { skip; } else { abort; }")
+        assert isinstance(command, ast.NonDetChoice)
+
+    def test_if_else_if(self):
+        command = parse_command(
+            "if (x > 0) { tick(1); } else if (x < 0) { tick(2); } else { skip; }")
+        assert isinstance(command, ast.If)
+        assert isinstance(command.else_branch, ast.If)
+
+    def test_while_with_star_conjunction(self):
+        command = parse_command("while (y >= 100 && *) { y = y - 100; tick(5); }")
+        assert isinstance(command, ast.While)
+        assert isinstance(command.condition, ast.BinOp)
+
+    def test_tick_expression(self):
+        command = parse_command("tick(s);")
+        assert isinstance(command, ast.Tick) and not command.is_constant
+
+    def test_call(self):
+        command = parse_command("call trade;")
+        assert isinstance(command, ast.Call) and command.procedure == "trade"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_command("x = 1")
+
+
+class TestProgramParsing:
+    def test_trader_program(self):
+        program = parse_program(TRADER_SOURCE)
+        assert set(program.procedures) == {"main", "trade"}
+        assert program.main == "main"
+        assert program.main_procedure.params == ("smin", "s")
+
+    def test_explicit_main_selection(self):
+        program = parse_program(TRADER_SOURCE, main="trade")
+        assert program.main == "trade"
+
+    def test_local_declarations(self):
+        program = parse_program("proc main(x) { local t, u; t = x; tick(1); }")
+        assert program.main_procedure.locals == ("t", "u")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   ")
+
+
+class TestPrinterRoundTrip:
+    def test_trader_round_trip(self):
+        program = parse_program(TRADER_SOURCE)
+        printed = program_to_source(program)
+        reparsed = parse_program(printed)
+        assert program_to_source(reparsed) == printed
+
+    def test_command_round_trip(self):
+        source = "prob(1/2) { x = x + unif(0, 10); } else { skip; }"
+        command = parse_command(source)
+        printed = command_to_source(command)
+        reparsed = parse_command(printed)
+        assert command_to_source(reparsed) == printed
+
+    @pytest.mark.parametrize("snippet", [
+        "skip;",
+        "abort;",
+        "assert(x > 0);",
+        "assume(x >= 0 && y >= 0);",
+        "tick(3);",
+        "x = unif(0, 5);",
+        "if (x == 0) { tick(1); }",
+        "while (x > 0) { x = x - 1; tick(1); }",
+        "if (*) { x = 1; } else { x = 2; }",
+        "call p;",
+    ])
+    def test_snippet_round_trips(self, snippet):
+        command = parse_command(snippet)
+        printed = command_to_source(command)
+        assert command_to_source(parse_command(printed)) == printed

@@ -1,0 +1,137 @@
+"""Unit tests for the program transformations."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang import builder as B
+from repro.lang.distributions import Uniform
+from repro.lang.errors import AnalysisError
+from repro.lang.transform import (
+    clone_command,
+    counter_as_resource,
+    command_modified_variables,
+    inline_calls,
+    is_loop_free,
+    max_sampling_range,
+    modified_variables,
+    program_size,
+    rename_variables,
+)
+
+
+class TestClone:
+    def test_clone_gets_fresh_node_ids(self):
+        original = B.while_("x > 0", B.assign("x", "x - 1"), B.tick(1))
+        cloned = clone_command(original)
+        original_ids = {node.node_id for node in original.iter_nodes()}
+        cloned_ids = {node.node_id for node in cloned.iter_nodes()}
+        assert original_ids.isdisjoint(cloned_ids)
+
+    def test_clone_preserves_structure(self):
+        original = B.seq(B.prob("1/2", B.tick(1), B.skip()),
+                         B.if_("x > 0", B.assign("x", "0")))
+        cloned = clone_command(original)
+        assert type(cloned) is type(original)
+        assert len(list(cloned.iter_nodes())) == len(list(original.iter_nodes()))
+
+    def test_rename_variables(self):
+        command = B.seq(B.assign("x", "x + y"), B.tick(B.expr("x")))
+        renamed = rename_variables(command, {"x": "a"})
+        assert renamed.assigned_variables() == {"a"}
+        assert "a" in renamed.used_variables()
+        assert "y" in renamed.used_variables()
+
+
+class TestInlining:
+    def test_simple_inline(self):
+        program = B.program(
+            B.proc("main", ["x"], B.while_("x > 0", B.call("step"))),
+            B.proc("step", [], B.assign("x", "x - 1"), B.tick(1)))
+        inlined = inline_calls(program)
+        assert not any(isinstance(node, ast.Call) for node in inlined.iter_nodes())
+        # The inlined body still contains the tick from the callee.
+        assert any(isinstance(node, ast.Tick)
+                   for node in inlined.main_procedure.body.iter_nodes())
+
+    def test_nested_inline(self):
+        program = B.program(
+            B.proc("main", [], B.call("a")),
+            B.proc("a", [], B.call("b")),
+            B.proc("b", [], B.tick(1)))
+        inlined = inline_calls(program)
+        assert not any(isinstance(node, ast.Call)
+                       for node in inlined.main_procedure.body.iter_nodes())
+
+    def test_recursive_calls_left_alone(self):
+        program = B.program(
+            B.proc("main", [], B.call("rec")),
+            B.proc("rec", [], B.if_("x > 0", B.seq(B.assign("x", "x - 1"), B.call("rec")))))
+        inlined = inline_calls(program)
+        calls = [node for node in inlined.iter_nodes() if isinstance(node, ast.Call)]
+        assert calls and all(call.procedure == "rec" for call in calls)
+
+    def test_undefined_procedure(self):
+        program = B.program(B.proc("main", [], B.call("ghost")))
+        with pytest.raises(AnalysisError):
+            inline_calls(program)
+
+
+class TestModifiedVariables:
+    def test_transitive(self):
+        program = B.program(
+            B.proc("main", [], B.call("a")),
+            B.proc("a", [], B.assign("x", "1"), B.call("b")),
+            B.proc("b", [], B.sample("y", Uniform(0, 1))))
+        assert modified_variables(program, "a") == {"x", "y"}
+        assert modified_variables(program, "main") == {"x", "y"}
+
+    def test_recursive_termination(self):
+        program = B.program(
+            B.proc("main", [], B.call("rec")),
+            B.proc("rec", [], B.assign("z", "z - 1"), B.call("rec")))
+        assert modified_variables(program, "rec") == {"z"}
+
+    def test_command_modified_variables(self):
+        program = B.program(
+            B.proc("main", [], B.seq(B.assign("a", "1"), B.call("p"))),
+            B.proc("p", [], B.assign("b", "2")))
+        assert command_modified_variables(
+            program, program.main_procedure.body) == {"a", "b"}
+
+
+class TestResourceCounter:
+    def test_counter_increment_becomes_tick(self):
+        program = B.program(B.proc("main", ["n"],
+            B.while_("n > 0",
+                B.assign("n", "n - 1"),
+                B.assign("cost", "cost + n"))))
+        converted = counter_as_resource(program, "cost")
+        ticks = [node for node in converted.iter_nodes() if isinstance(node, ast.Tick)]
+        assert len(ticks) == 1
+        assert not ticks[0].is_constant
+
+    def test_counter_initialisation_dropped(self):
+        program = B.program(B.proc("main", [],
+            B.assign("cost", "0"), B.assign("cost", "cost + 3")))
+        converted = counter_as_resource(program, "cost")
+        ticks = [node for node in converted.iter_nodes() if isinstance(node, ast.Tick)]
+        assert len(ticks) == 1 and ticks[0].amount == 3
+
+    def test_unsupported_counter_write_rejected(self):
+        program = B.program(B.proc("main", [], B.assign("cost", "cost * 2")))
+        with pytest.raises(AnalysisError):
+            counter_as_resource(program, "cost")
+
+
+class TestStructuralHelpers:
+    def test_is_loop_free(self):
+        assert is_loop_free(B.seq(B.tick(1), B.prob("1/2", B.tick(1), B.skip())))
+        assert not is_loop_free(B.while_("x > 0", B.tick(1)))
+        assert not is_loop_free(B.call("p"))
+
+    def test_program_size(self, rdwalk_program):
+        assert program_size(rdwalk_program) > 3
+
+    def test_max_sampling_range(self):
+        command = B.seq(B.incr_sample("x", Uniform(0, 10)), B.assign("y", "y + 3"))
+        assert max_sampling_range(command) == 10
