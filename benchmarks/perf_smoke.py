@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Perf smoke entry point runnable straight from a checkout.
+
+Equivalent to ``PYTHONPATH=src python -m repro.bench.perfsmoke``; see that
+module (and PERFORMANCE.md) for the options and the output format.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.perfsmoke import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

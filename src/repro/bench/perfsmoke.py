@@ -1,0 +1,139 @@
+"""Perf smoke runner: a fast, scriptable performance trajectory.
+
+Times the analyzer over the Table 1 benchmark suite (linear by default) and
+records, per program, the wall time together with the entailment-engine
+counters (Fourier-Motzkin query count, cache hit rate).  The result is
+written as JSON (``BENCH_entailment.json`` by default) so future PRs can
+compare against a committed baseline::
+
+    python -m repro.bench.perfsmoke
+    python -m repro.bench.perfsmoke --group polynomial --output /tmp/bench.json
+    python benchmarks/perf_smoke.py            # same entry point
+
+See PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.registry import (all_benchmarks, linear_benchmarks,
+                                  polynomial_benchmarks)
+from repro.bench.reporting import render_table
+from repro.core.analyzer import analyze_program
+from repro.logic.entailment import get_engine
+
+#: Default output path (repo root when invoked from a checkout).
+DEFAULT_OUTPUT = "BENCH_entailment.json"
+
+_GROUPS = {
+    "linear": linear_benchmarks,
+    "polynomial": polynomial_benchmarks,
+    "all": all_benchmarks,
+}
+
+
+def run_suite(group: str = "linear",
+              limit: Optional[int] = None) -> Dict[str, object]:
+    """Analyze every benchmark of ``group``; return the report dict."""
+    engine = get_engine()
+    benchmarks = _GROUPS[group]()
+    if limit is not None:
+        benchmarks = benchmarks[:max(0, limit)]
+    programs: List[Dict[str, object]] = []
+    suite_before = engine.stats.snapshot()
+    evictions_before = engine.evictions
+    suite_start = time.perf_counter()
+    for bench in benchmarks:
+        program = bench.build()
+        before = engine.stats.snapshot()
+        start = time.perf_counter()
+        result = analyze_program(program, **bench.analyzer_options)
+        wall = time.perf_counter() - start
+        delta = engine.stats.delta(before)
+        answered = delta["memo_hits"] + delta["fast_hits"]
+        programs.append({
+            "name": bench.name,
+            "wall_seconds": round(wall, 4),
+            "success": result.success,
+            "degree": result.degree,
+            "bound": result.bound.pretty() if result.bound else None,
+            "fm_queries": delta["queries"],
+            "fm_eliminations": delta["eliminations"],
+            "cache_memo_hits": delta["memo_hits"],
+            "cache_fast_hits": delta["fast_hits"],
+            "cache_hit_rate": round(answered / delta["queries"], 4)
+                              if delta["queries"] else None,
+        })
+    total_wall = time.perf_counter() - suite_start
+    # Report the delta over this suite only, so the JSON is comparable to
+    # the committed baseline even from a warm or multi-suite process.
+    suite_stats = engine.stats.delta(suite_before)
+    answered = suite_stats["memo_hits"] + suite_stats["fast_hits"]
+    suite_stats["hit_rate"] = (round(answered / suite_stats["queries"], 4)
+                               if suite_stats["queries"] else 0.0)
+    return {
+        "suite": f"table1-{group}",
+        "generated_by": "python -m repro.bench.perfsmoke",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "total_wall_seconds": round(total_wall, 3),
+        "programs": programs,
+        "entailment_cache": suite_stats,
+        "cache_evictions": engine.evictions - evictions_before,
+    }
+
+
+def _summary_table(report: Dict[str, object]) -> str:
+    rows = [(p["name"],
+             f"{p['wall_seconds']:.3f}",
+             p["fm_queries"],
+             p["fm_eliminations"],
+             "-" if p["cache_hit_rate"] is None else f"{p['cache_hit_rate']:.2f}",
+             "ok" if p["success"] else "FAIL")
+            for p in report["programs"]]
+    return render_table(
+        ["program", "time(s)", "fm-queries", "eliminations", "hit-rate", "status"],
+        rows, title=f"perf smoke: {report['suite']}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perfsmoke",
+        description="Time the Table 1 suite and dump entailment-cache stats.")
+    parser.add_argument("--group", choices=sorted(_GROUPS), default="linear")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="only run the first N programs (CI smoke)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary table")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.group, args.limit)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if not args.quiet:
+        print(_summary_table(report))
+        cache = report["entailment_cache"]
+        print(f"\ntotal: {report['total_wall_seconds']:.2f}s over "
+              f"{len(report['programs'])} programs; cache hit rate "
+              f"{cache['hit_rate']:.1%} ({cache['queries']} queries, "
+              f"{cache['eliminations']} eliminations)")
+        print(f"wrote {args.output}")
+    failures = [p["name"] for p in report["programs"] if not p["success"]]
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

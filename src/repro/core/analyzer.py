@@ -207,17 +207,22 @@ class ExpectedCostAnalyzer:
     _WEIGHT_HIGH = 1000
     _WEIGHT_SEED = 12345
 
-    def _weight_states(self, variables: Sequence[str]) -> List[Dict[str, int]]:
-        """Deterministic pseudo-random reference states used to weigh monomials."""
+    def _weight_matrix(self, variables: Sequence[str]) -> "np.ndarray":
+        """Deterministic pseudo-random reference states, one row per sample.
+
+        The single vectorised ``integers`` call draws the exact same stream
+        as per-variable scalar draws, so the reference states themselves are
+        reproducible.  The downstream weighting evaluates monomials in
+        float64 (rather than exact rationals converted at the end), so
+        weights may differ in the last ulp for non-dyadic coefficients
+        before ``limit_denominator`` snaps them.
+        """
         import numpy as np
 
         rng = np.random.default_rng(self._WEIGHT_SEED)
-        states = []
-        for _ in range(self._WEIGHT_SAMPLES):
-            states.append({var: int(rng.integers(self._WEIGHT_LOW,
-                                                 self._WEIGHT_HIGH + 1))
-                           for var in variables})
-        return states
+        samples = rng.integers(self._WEIGHT_LOW, self._WEIGHT_HIGH + 1,
+                               size=(self._WEIGHT_SAMPLES, len(variables)))
+        return samples.astype(np.float64)
 
     def _objectives(self, initial: PotentialAnnotation) -> List[AffExpr]:
         """One weighted objective per degree, highest degree first.
@@ -227,19 +232,40 @@ class ExpectedCostAnalyzer:
         paper weighs larger intervals more for the same reason: the objective
         should reflect how much each base function contributes to the bound's
         value).  Coefficients of higher-degree base functions are minimised
-        first, then fixed, following the paper's iterative scheme.
+        first, then fixed, following the paper's iterative scheme.  Monomial
+        magnitudes are evaluated with NumPy over the whole sample matrix at
+        once, caching the shared ``max(0, D)`` atom columns.
         """
+        import numpy as np
+
         variables = sorted({var for monomial in initial.terms
                             for var in monomial.variables()})
-        states = self._weight_states(variables) if variables else []
+        column: Dict[str, int] = {var: i for i, var in enumerate(variables)}
+        states = self._weight_matrix(variables) if variables else None
+        atom_values: Dict[object, "np.ndarray"] = {}
+
+        def values_of(atom) -> "np.ndarray":
+            values = atom_values.get(atom)
+            if values is None:
+                coeffs = np.zeros(len(variables))
+                for var, coeff in atom.diff.coeff_items:
+                    coeffs[column[var]] = float(coeff)
+                values = np.maximum(0.0, states @ coeffs
+                                    + float(atom.diff.const_term))
+                atom_values[atom] = values
+            return values
+
         by_degree: Dict[int, AffExpr] = {}
         for monomial, coeff in initial.terms.items():
             degree = monomial.degree()
-            if monomial.is_constant() or not states:
+            if monomial.is_constant() or states is None:
                 weight = Fraction(1)
             else:
-                total = sum(float(monomial.evaluate(state)) for state in states)
-                weight = Fraction(max(1.0, total / len(states))).limit_denominator(1000)
+                magnitudes = np.ones(self._WEIGHT_SAMPLES)
+                for atom, power in monomial.factors:
+                    magnitudes = magnitudes * values_of(atom) ** power
+                mean = float(magnitudes.sum()) / self._WEIGHT_SAMPLES
+                weight = Fraction(max(1.0, mean)).limit_denominator(1000)
             weighted = coeff * weight
             by_degree[degree] = by_degree.get(degree, AffExpr.zero()) + weighted
         return [by_degree[d] for d in sorted(by_degree, reverse=True)]

@@ -22,9 +22,15 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from repro.utils.rationals import Number, pretty_fraction, to_fraction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class LPVar:
-    """One variable of the linear program."""
+    """One variable of the linear program.
+
+    Instances are created exactly once per variable (by
+    :meth:`ConstraintSystem.new_var`), so identity equality/hashing is both
+    correct and much faster than field-based hashing -- LPVars key the term
+    dicts of every :class:`AffExpr` on the analyzer's hottest path.
+    """
 
     index: int
     name: str
@@ -64,11 +70,51 @@ class AffExpr:
     def zero(cls) -> "AffExpr":
         return cls()
 
+    @classmethod
+    def _raw(cls, terms: Dict[LPVar, Fraction], const: Fraction) -> "AffExpr":
+        """Wrap an already-clean term dict without re-validating it.
+
+        Internal fast path: ``terms`` must map LPVars to non-zero Fractions
+        and is owned by the new expression (not copied).
+        """
+        self = object.__new__(cls)
+        self._terms = terms
+        self._const = const
+        return self
+
+    @classmethod
+    def linear_combination(cls,
+                           items: Iterable[Tuple["AffExpr", Number]]) -> "AffExpr":
+        """``sum(expr * factor)`` built with a single dict accumulation.
+
+        Equivalent to chaining ``+``/``*`` but allocates one expression
+        instead of one per step; used by the constraint-assembly hot paths.
+        """
+        terms: Dict[LPVar, Fraction] = {}
+        const = Fraction(0)
+        for expr, factor in items:
+            factor = to_fraction(factor)
+            if factor == 0:
+                continue
+            const += expr._const * factor
+            for var, coeff in expr._terms.items():
+                value = terms.get(var)
+                value = coeff * factor if value is None else value + coeff * factor
+                if value == 0:
+                    del terms[var]
+                else:
+                    terms[var] = value
+        return cls._raw(terms, const)
+
     # -- accessors -----------------------------------------------------------
 
     @property
     def terms(self) -> Dict[LPVar, Fraction]:
         return dict(self._terms)
+
+    def term_items(self):
+        """Items view of the term dict (no copy; do not mutate)."""
+        return self._terms.items()
 
     @property
     def const(self) -> Fraction:
@@ -89,13 +135,19 @@ class AffExpr:
         other_expr = _as_affexpr(other)
         terms = dict(self._terms)
         for var, coeff in other_expr._terms.items():
-            terms[var] = terms.get(var, Fraction(0)) + coeff
-        return AffExpr(terms, self._const + other_expr._const)
+            value = terms.get(var)
+            value = coeff if value is None else value + coeff
+            if value == 0:
+                del terms[var]
+            else:
+                terms[var] = value
+        return AffExpr._raw(terms, self._const + other_expr._const)
 
     __radd__ = __add__
 
     def __neg__(self) -> "AffExpr":
-        return AffExpr({var: -coeff for var, coeff in self._terms.items()}, -self._const)
+        return AffExpr._raw({var: -coeff for var, coeff in self._terms.items()},
+                            -self._const)
 
     def __sub__(self, other: Union["AffExpr", Number]) -> "AffExpr":
         return self + (-_as_affexpr(other))
@@ -105,8 +157,10 @@ class AffExpr:
 
     def __mul__(self, scalar: Number) -> "AffExpr":
         factor = to_fraction(scalar)
-        return AffExpr({var: coeff * factor for var, coeff in self._terms.items()},
-                       self._const * factor)
+        if factor == 0:
+            return AffExpr._raw({}, Fraction(0))
+        return AffExpr._raw({var: coeff * factor for var, coeff in self._terms.items()},
+                            self._const * factor)
 
     __rmul__ = __mul__
 
@@ -192,7 +246,10 @@ class ConstraintSystem:
     def add_eq(self, left: Union[AffExpr, Number], right: Union[AffExpr, Number] = 0,
                origin: str = "") -> None:
         """Add ``left == right``."""
-        expr = _as_affexpr(left) - _as_affexpr(right)
+        if isinstance(left, AffExpr) and not isinstance(right, AffExpr) and right == 0:
+            expr = left
+        else:
+            expr = _as_affexpr(left) - _as_affexpr(right)
         if expr.is_constant():
             if expr.const != 0:
                 # Record an obviously infeasible constraint so the solver
@@ -204,7 +261,10 @@ class ConstraintSystem:
     def add_ge(self, left: Union[AffExpr, Number], right: Union[AffExpr, Number] = 0,
                origin: str = "") -> None:
         """Add ``left >= right``."""
-        expr = _as_affexpr(left) - _as_affexpr(right)
+        if isinstance(left, AffExpr) and not isinstance(right, AffExpr) and right == 0:
+            expr = left
+        else:
+            expr = _as_affexpr(left) - _as_affexpr(right)
         if expr.is_constant():
             if expr.const < 0:
                 self.constraints.append(Constraint(expr, "ge", origin or "contradiction"))

@@ -127,16 +127,20 @@ class DerivationBuilder:
         rewrites = generate_rewrites(context, monomials, max_degree)
         multipliers = [self.system.new_var(self._fresh_name(f"u_{origin}_"), nonneg=True)
                        for _ in rewrites]
+        # Index the rewrite columns by monomial once, so each equation below
+        # is assembled from exactly its non-zero entries (instead of scanning
+        # every rewrite per monomial) with a single linear combination.
+        by_monomial: Dict[Monomial, List[Tuple[AffExpr, Fraction]]] = {}
+        for multiplier, rewrite in zip(multipliers, rewrites):
+            for monomial, coeff in rewrite.polynomial.term_items():
+                by_monomial.setdefault(monomial, []).append((multiplier, -coeff))
         all_monomials: Set[Monomial] = set(monomials)
-        for rewrite in rewrites:
-            all_monomials.update(rewrite.polynomial.terms)
+        all_monomials.update(by_monomial)
         for monomial in sorted(all_monomials, key=lambda m: m.sort_key()):
-            lhs = stronger.coefficient(monomial)
-            for multiplier, rewrite in zip(multipliers, rewrites):
-                coeff = rewrite.polynomial.coefficient(monomial)
-                if coeff != 0:
-                    lhs = lhs - multiplier * coeff
-            self.system.add_eq(lhs, weaker.coefficient(monomial),
+            pairs = [(stronger.coefficient(monomial), 1),
+                     (weaker.coefficient(monomial), -1)]
+            pairs.extend(by_monomial.get(monomial, ()))
+            self.system.add_eq(AffExpr.linear_combination(pairs),
                                origin=f"weaken:{origin}:{monomial}")
         self.weakens.append(WeakenStep(origin, context, stronger, weaker,
                                        rewrites, multipliers))

@@ -39,12 +39,29 @@ from repro.utils.linear import LinExpr
 from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 
 
-@dataclass
 class RewriteFunction:
-    """A polynomial provably non-negative under a logical context."""
+    """A polynomial provably non-negative under a logical context.
 
-    polynomial: Polynomial
-    reason: str
+    ``reason`` documents the entailment justifying non-negativity.  Rendering
+    these strings for the thousands of generated rewrites dominates the
+    generator's cost, while only the handful picked by the LP (plus tests)
+    ever read them -- so the constructor also accepts a zero-argument
+    callable that is rendered lazily on first access.
+    """
+
+    __slots__ = ("polynomial", "_reason")
+
+    def __init__(self, polynomial: Polynomial, reason) -> None:
+        self.polynomial = polynomial
+        self._reason = reason
+
+    @property
+    def reason(self) -> str:
+        rendered = self._reason
+        if callable(rendered):
+            rendered = rendered()
+            self._reason = rendered
+        return rendered
 
     def __repr__(self) -> str:
         return f"RewriteFunction({self.polynomial}  [{self.reason}])"
@@ -65,14 +82,31 @@ def _share_variable(a: IntervalAtom, b: IntervalAtom) -> bool:
     return bool(set(a.variables()) & set(b.variables()))
 
 
-def _pair_constant(context: Context, a: IntervalAtom, b: IntervalAtom,
+#: Pairwise differences ``D_A - D_B`` recur across weakenings (the atom pool
+#: is stable per program); memoise them process-wide.
+_DIFF_CACHE: Dict[Tuple[IntervalAtom, IntervalAtom], LinExpr] = {}
+_DIFF_CACHE_LIMIT = 65536
+
+
+def _atom_difference(a: IntervalAtom, b: IntervalAtom) -> LinExpr:
+    key = (a, b)
+    difference = _DIFF_CACHE.get(key)
+    if difference is None:
+        difference = a.diff - b.diff
+        if len(_DIFF_CACHE) >= _DIFF_CACHE_LIMIT:
+            _DIFF_CACHE.clear()
+        _DIFF_CACHE[key] = difference
+    return difference
+
+
+def _pair_constant(context: Context, difference: LinExpr,
                    lower_a: Optional[Fraction]) -> Optional[Fraction]:
     """The largest sound ``c`` for the rewrite ``A - B - c`` (None if invalid).
 
-    ``lower_a`` is the (cached) greatest lower bound of ``D_A`` under the
-    context, or ``None`` when unbounded below.
+    ``difference`` is the precomputed ``D_A - D_B``; ``lower_a`` is the
+    (cached) greatest lower bound of ``D_A`` under the context, or ``None``
+    when unbounded below.
     """
-    difference = a.diff - b.diff
     if difference.is_constant():
         gap: Optional[Fraction] = difference.const_term
     else:
@@ -87,6 +121,12 @@ def _pair_constant(context: Context, a: IntervalAtom, b: IntervalAtom,
     return min(gap, lower_a)
 
 
+#: Memo for :func:`generate_rewrites`; repeated weakenings at the same
+#: program point (loop entry/exit, degree retries) ask for identical sets.
+_REWRITE_CACHE: Dict[Tuple, List[RewriteFunction]] = {}
+_REWRITE_CACHE_LIMIT = 4096
+
+
 def generate_rewrites(context: Context,
                       monomials: Iterable[Monomial],
                       max_degree: int,
@@ -96,27 +136,49 @@ def generate_rewrites(context: Context,
     ``monomials`` should be the union of the base functions appearing in the
     stronger and weaker annotations; only atoms occurring there are
     considered, which keeps the LP small (the paper similarly only enriches
-    the rewrite set on demand).
+    the rewrite set on demand).  Results are memoised: the returned list is
+    shared, so callers must not mutate it.
     """
+    monomials = frozenset(monomials)
+    cache_key = (context, monomials, max_degree, max_pair_rewrites)
+    cached = _REWRITE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    result = _generate_rewrites(context, monomials, max_degree,
+                                max_pair_rewrites)
+    if len(_REWRITE_CACHE) >= _REWRITE_CACHE_LIMIT:
+        _REWRITE_CACHE.clear()
+    _REWRITE_CACHE[cache_key] = result
+    return result
+
+
+def _generate_rewrites(context: Context,
+                       monomials: Iterable[Monomial],
+                       max_degree: int,
+                       max_pair_rewrites: int) -> List[RewriteFunction]:
     pool = sorted(set(monomials), key=lambda m: m.sort_key())
     atoms = _atoms_of(pool)
     rewrites: List[RewriteFunction] = []
+    unit = Monomial.one()
+    atom_monomials: Dict[IntervalAtom, Monomial] = {
+        atom: Monomial.of_atom(atom) for atom in atoms}
 
     # 1. every base function may be discarded.
     for monomial in pool:
-        rewrites.append(RewriteFunction(Polynomial.of_monomial(monomial),
-                                        reason=f"{monomial} >= 0"))
+        rewrites.append(RewriteFunction(
+            Polynomial.of_monomial(monomial),
+            reason=lambda m=monomial: f"{m} >= 0"))
 
     # 2. constant extraction from single atoms (cache the lower bounds; they
     #    are reused by the pair rewrites below).
-    degree_one: List[Tuple[Polynomial, str, IntervalAtom]] = []
+    degree_one: List[Tuple[Polynomial, object, IntervalAtom]] = []
     lower_bounds: Dict[IntervalAtom, Optional[Fraction]] = {}
     for atom in atoms:
         lower = context.greatest_lower_bound(atom.diff)
         lower_bounds[atom] = lower
         if lower is not None and lower > 0:
-            poly = Polynomial.of_monomial(Monomial.of_atom(atom)) - Polynomial.constant(lower)
-            reason = f"{atom} >= {lower} under context"
+            poly = Polynomial({atom_monomials[atom]: 1, unit: -lower})
+            reason = (lambda a=atom, c=lower: f"{a} >= {c} under context")
             rewrites.append(RewriteFunction(poly, reason))
             degree_one.append((poly, reason, atom))
 
@@ -124,30 +186,31 @@ def generate_rewrites(context: Context,
     #    (the telescoping rewrites of Sec. 7.1) are generated first -- they
     #    need no entailment query and are the ones the derivations rely on --
     #    followed by general shared-variable pairs up to the budget.
-    pair_candidates: List[Tuple[int, Fraction, IntervalAtom, IntervalAtom]] = []
+    pair_candidates: List[Tuple[int, Fraction, IntervalAtom, IntervalAtom,
+                                LinExpr]] = []
     for a in atoms:
         for b in atoms:
             if a is b:
                 continue
-            difference = a.diff - b.diff
+            difference = _atom_difference(a, b)
             if difference.is_constant():
                 # Smaller shifts first: the telescoping rewrites between
                 # neighbouring offsets are the ones every derivation needs.
-                pair_candidates.append((0, abs(difference.const_term), a, b))
+                pair_candidates.append((0, abs(difference.const_term), a, b,
+                                        difference))
             elif _share_variable(a, b):
-                pair_candidates.append((1, Fraction(0), a, b))
+                pair_candidates.append((1, Fraction(0), a, b, difference))
     pair_candidates.sort(key=lambda item: (item[0], item[1]))
     pair_count = 0
-    for _priority, _gap, a, b in pair_candidates:
+    for _priority, _gap, a, b, difference in pair_candidates:
         if pair_count >= max_pair_rewrites:
             break
-        constant = _pair_constant(context, a, b, lower_bounds.get(a))
+        constant = _pair_constant(context, difference, lower_bounds.get(a))
         if constant is None:
             continue
-        poly = (Polynomial.of_monomial(Monomial.of_atom(a))
-                - Polynomial.of_monomial(Monomial.of_atom(b))
-                - Polynomial.constant(constant))
-        reason = f"{a} - {b} >= {constant} under context"
+        poly = Polynomial({atom_monomials[a]: 1, atom_monomials[b]: -1,
+                           unit: -constant})
+        reason = (lambda x=a, y=b, c=constant: f"{x} - {y} >= {c} under context")
         rewrites.append(RewriteFunction(poly, reason))
         degree_one.append((poly, reason, a))
         pair_count += 1
@@ -172,7 +235,9 @@ def generate_rewrites(context: Context,
                     continue
                 product = poly * Polynomial.of_monomial(factor)
                 lifted.append(RewriteFunction(
-                    product, reason=f"({reason}) * {factor}"))
+                    product,
+                    reason=lambda r=reason, f=factor:
+                        f"({r() if callable(r) else r}) * {f}"))
                 if len(lifted) >= max_lifted:
                     break
             if len(lifted) >= max_lifted:

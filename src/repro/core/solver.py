@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import lil_matrix
+from scipy.sparse import coo_matrix, csr_matrix, vstack
 
 from repro.core.constraints import AffExpr, Constraint, ConstraintSystem, LPVar
 from repro.utils.rationals import snap_fraction
@@ -46,79 +46,120 @@ class SolverError(Exception):
     """Raised when the LP solver fails unexpectedly (not mere infeasibility)."""
 
 
-def _build_matrices(system: ConstraintSystem,
-                    extra: Sequence[Tuple[AffExpr, float]] = ()):
-    """Translate the constraint system into the arrays ``linprog`` expects.
+def _rows_to_csr(rows: Sequence[AffExpr], num_vars: int,
+                 sign: float = 1.0) -> Optional[csr_matrix]:
+    """Assemble ``sign * rows`` as one CSR matrix via COO triplet arrays.
 
-    ``extra`` contains additional upper-bound constraints ``expr <= bound``
-    added by the iterative objective scheme.
+    Vectorised replacement for entry-by-entry ``lil_matrix`` writes: the
+    (row, col, value) triplets are materialised once with ``np.fromiter`` and
+    handed to ``coo_matrix`` in a single call.
     """
-    num_vars = system.num_variables
-    eq_rows = [c for c in system.constraints if c.kind == "eq"]
-    ge_rows = [c for c in system.constraints if c.kind == "ge"]
+    if not rows:
+        return None
+    triplets = [(row_index, var.index, coeff)
+                for row_index, expr in enumerate(rows)
+                for var, coeff in expr.term_items()]
+    count = len(triplets)
+    row_idx = np.fromiter((t[0] for t in triplets), dtype=np.intp, count=count)
+    col_idx = np.fromiter((t[1] for t in triplets), dtype=np.intp, count=count)
+    values = np.fromiter((float(t[2]) for t in triplets), dtype=np.float64,
+                         count=count)
+    if sign != 1.0:
+        values *= sign
+    return coo_matrix((values, (row_idx, col_idx)),
+                      shape=(len(rows), num_vars)).tocsr()
 
-    a_eq = lil_matrix((len(eq_rows), num_vars)) if eq_rows else None
-    b_eq = np.zeros(len(eq_rows)) if eq_rows else None
-    for row, constraint in enumerate(eq_rows):
-        for var, coeff in constraint.expr.terms.items():
-            a_eq[row, var.index] = float(coeff)
-        b_eq[row] = -float(constraint.expr.const)
 
-    num_ub = len(ge_rows) + len(extra)
-    a_ub = lil_matrix((num_ub, num_vars)) if num_ub else None
-    b_ub = np.zeros(num_ub) if num_ub else None
-    for row, constraint in enumerate(ge_rows):
+class AssembledSystem:
+    """A :class:`ConstraintSystem` translated once into ``linprog`` arrays.
+
+    The base equality/inequality matrices are immutable; per-stage ``extra``
+    upper-bound rows from the iterative objective scheme are assembled
+    separately and stacked with ``scipy.sparse.vstack``, so repeated solves
+    over the same system never rebuild the base matrices.
+    """
+
+    def __init__(self, system: ConstraintSystem) -> None:
+        self.system = system
+        self.num_vars = system.num_variables
+        eq_rows = [c.expr for c in system.constraints if c.kind == "eq"]
+        ge_rows = [c.expr for c in system.constraints if c.kind == "ge"]
+        self.a_eq = _rows_to_csr(eq_rows, self.num_vars)
+        self.b_eq = (np.fromiter((-float(e.const) for e in eq_rows),
+                                 dtype=np.float64, count=len(eq_rows))
+                     if eq_rows else None)
         # expr >= 0   <=>   -expr <= 0
-        for var, coeff in constraint.expr.terms.items():
-            a_ub[row, var.index] = -float(coeff)
-        b_ub[row] = float(constraint.expr.const)
-    for offset, (expr, bound) in enumerate(extra):
-        row = len(ge_rows) + offset
-        for var, coeff in expr.terms.items():
-            a_ub[row, var.index] = float(coeff)
-        b_ub[row] = bound - float(expr.const)
+        self.a_ub_base = _rows_to_csr(ge_rows, self.num_vars, sign=-1.0)
+        self.b_ub_base = (np.fromiter((float(e.const) for e in ge_rows),
+                                      dtype=np.float64, count=len(ge_rows))
+                          if ge_rows else None)
+        self.bounds = [(0.0, None) if var.nonneg else (None, None)
+                       for var in system.variables]
 
-    bounds = [(0.0, None) if var.nonneg else (None, None) for var in system.variables]
-    return (a_ub.tocsr() if a_ub is not None else None, b_ub,
-            a_eq.tocsr() if a_eq is not None else None, b_eq, bounds)
+    def matrices(self, extra: Sequence[Tuple[AffExpr, float]] = ()):
+        """The ``(A_ub, b_ub, A_eq, b_eq, bounds)`` tuple for ``linprog``."""
+        a_ub, b_ub = self.a_ub_base, self.b_ub_base
+        if extra:
+            a_extra = _rows_to_csr([expr for expr, _ in extra], self.num_vars)
+            b_extra = np.fromiter((bound - float(expr.const)
+                                   for expr, bound in extra),
+                                  dtype=np.float64, count=len(extra))
+            if a_ub is None:
+                a_ub, b_ub = a_extra, b_extra
+            else:
+                a_ub = vstack([a_ub, a_extra], format="csr")
+                b_ub = np.concatenate([b_ub, b_extra])
+        return a_ub, b_ub, self.a_eq, self.b_eq, self.bounds
+
+    def objective_vector(self, objective: Optional[AffExpr]) -> np.ndarray:
+        c = np.zeros(self.num_vars)
+        if objective is not None:
+            for var, coeff in objective.term_items():
+                c[var.index] = float(coeff)
+        return c
+
+    def solve(self, objective: Optional[AffExpr] = None,
+              extra: Sequence[Tuple[AffExpr, float]] = ()) -> Optional[np.ndarray]:
+        """Minimise ``objective`` over the system; return values or None."""
+        if self.num_vars == 0:
+            return np.zeros(0)
+        a_ub, b_ub, a_eq, b_eq, bounds = self.matrices(extra)
+        result = linprog(self.objective_vector(objective), A_ub=a_ub, b_ub=b_ub,
+                         A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        if not result.success:
+            return None
+        return result.x
 
 
 def solve_lp(system: ConstraintSystem, objective: Optional[AffExpr] = None,
              extra: Sequence[Tuple[AffExpr, float]] = ()) -> Optional[np.ndarray]:
     """Minimise ``objective`` subject to the system; return values or None."""
-    num_vars = system.num_variables
-    if num_vars == 0:
-        return np.zeros(0)
-    c = np.zeros(num_vars)
-    if objective is not None:
-        for var, coeff in objective.terms.items():
-            c[var.index] = float(coeff)
-    a_ub, b_ub, a_eq, b_eq, bounds = _build_matrices(system, extra)
-    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
-                     bounds=bounds, method="highs")
-    if not result.success:
-        return None
-    return result.x
+    return AssembledSystem(system).solve(objective, extra)
 
 
 class IterativeMinimizer:
-    """Minimise a sequence of objectives, fixing each optimum before the next."""
+    """Minimise a sequence of objectives, fixing each optimum before the next.
+
+    The base LP matrices are assembled exactly once; each stage only stacks
+    its incremental ``extra`` rows on top of them.
+    """
 
     def __init__(self, system: ConstraintSystem, tolerance: float = 1e-6) -> None:
         self.system = system
         self.tolerance = tolerance
 
     def solve(self, objectives: Sequence[AffExpr]) -> Optional[LPSolution]:
+        assembled = AssembledSystem(self.system)
         extra: List[Tuple[AffExpr, float]] = []
         values: Optional[np.ndarray] = None
         achieved: List[float] = []
         stages = list(objectives) or [AffExpr.zero()]
         for objective in stages:
-            values = solve_lp(self.system, objective, extra)
+            values = assembled.solve(objective, extra)
             if values is None:
                 return None
             achieved_value = float(sum(float(coeff) * values[var.index]
-                                       for var, coeff in objective.terms.items())
+                                       for var, coeff in objective.term_items())
                                    + float(objective.const))
             achieved.append(achieved_value)
             if not objective.is_constant():

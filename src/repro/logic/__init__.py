@@ -12,6 +12,13 @@ a Presburger decision procedure).
 from repro.logic.contexts import Context
 from repro.logic.conditions import facts_from_condition, negated_facts_from_condition
 from repro.logic.absint import AbstractInterpreter, ContextMap
+from repro.logic.entailment import (
+    EntailmentEngine,
+    EntailmentStats,
+    clear_cache,
+    get_engine,
+    reset_stats,
+)
 from repro.logic.fourier_motzkin import (
     Infeasible,
     Unbounded,
@@ -26,6 +33,11 @@ __all__ = [
     "negated_facts_from_condition",
     "AbstractInterpreter",
     "ContextMap",
+    "EntailmentEngine",
+    "EntailmentStats",
+    "clear_cache",
+    "get_engine",
+    "reset_stats",
     "Infeasible",
     "Unbounded",
     "entails",

@@ -142,6 +142,10 @@ class AbstractInterpreter:
             joined = invariant.join(body_post)
             if iteration >= WIDENING_DELAY:
                 joined = invariant.widen(joined)
+            # Syntactic equality is the common stabilisation case and avoids
+            # the two-way semantic entailment check entirely.
+            if joined == invariant:
+                break
             if joined.entails_context(invariant) and invariant.entails_context(joined):
                 invariant = joined
                 break

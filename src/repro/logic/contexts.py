@@ -17,17 +17,24 @@ Contexts support the operations the analysis needs:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic import fourier_motzkin as fm
+from repro.logic.entailment import get_engine
 from repro.utils.linear import LinExpr
 from repro.utils.rationals import Number, to_fraction
 
 
 class Context:
-    """An immutable conjunction of linear facts ``e >= 0``."""
+    """An immutable conjunction of linear facts ``e >= 0``.
 
-    __slots__ = ("_facts", "_unreachable")
+    All entailment/feasibility/lower-bound queries are routed through the
+    process-wide :class:`~repro.logic.entailment.EntailmentEngine`, which
+    memoises answers per ``(facts, query)`` and shares Fourier-Motzkin
+    projections across queries.
+    """
+
+    __slots__ = ("_facts", "_unreachable", "_fact_set")
 
     def __init__(self, facts: Iterable[LinExpr] = (), unreachable: bool = False) -> None:
         cleaned: List[LinExpr] = []
@@ -41,6 +48,7 @@ class Context:
                 seen.add(fact)
                 cleaned.append(fact)
         self._facts: Tuple[LinExpr, ...] = tuple(cleaned)
+        self._fact_set: FrozenSet[LinExpr] = frozenset(cleaned)
         self._unreachable = bool(unreachable)
 
     # -- constructors --------------------------------------------------------
@@ -77,10 +85,10 @@ class Context:
         if not isinstance(other, Context):
             return NotImplemented
         return (self._unreachable == other._unreachable
-                and set(self._facts) == set(other._facts))
+                and self._fact_set == other._fact_set)
 
     def __hash__(self) -> int:
-        return hash((self._unreachable, frozenset(self._facts)))
+        return hash((self._unreachable, self._fact_set))
 
     def __repr__(self) -> str:
         if self._unreachable:
@@ -106,13 +114,19 @@ class Context:
     def is_satisfiable(self) -> bool:
         if self._unreachable:
             return False
-        return fm.is_feasible(self._facts)
+        return get_engine().is_feasible(self._facts, self._fact_set)
 
     def entails(self, fact: LinExpr) -> bool:
         """Whether ``self |= fact >= 0``."""
         if self._unreachable:
             return True
-        return fm.entails(self._facts, fact)
+        return get_engine().entails(self._facts, fact, self._fact_set)
+
+    def entails_many(self, facts: Sequence[LinExpr]) -> List[bool]:
+        """Batched :meth:`entails`: one projection for all candidate facts."""
+        if self._unreachable:
+            return [True] * len(facts)
+        return get_engine().entails_many(self._facts, facts, self._fact_set)
 
     def entails_context(self, other: "Context") -> bool:
         """Whether ``self |= other`` (every fact of ``other`` is implied)."""
@@ -120,13 +134,17 @@ class Context:
             return True
         if other._unreachable:
             return not self.is_satisfiable()
-        return all(self.entails(fact) for fact in other._facts)
+        # Syntactic subset: every fact of ``other`` appears literally.
+        if other._fact_set <= self._fact_set:
+            return True
+        return all(self.entails_many(other._facts))
 
     def greatest_lower_bound(self, expression: LinExpr) -> Optional[Fraction]:
         """The largest ``c`` with ``self |= expression >= c`` (``None`` if unbounded)."""
         if self._unreachable:
             return None
-        return fm.greatest_lower_bound(self._facts, expression)
+        return get_engine().greatest_lower_bound(self._facts, expression,
+                                                 self._fact_set)
 
     # -- state transformers (used by the abstract interpreter) ----------------------
 
@@ -159,9 +177,9 @@ class Context:
         renamed.append(new_var - rhs_old)
         renamed.append(rhs_old - new_var)
         try:
-            projected = fm.eliminate_all(
-                renamed, keep=[v for fact in renamed for v in fact.variables()
-                               if v != old])
+            projected = get_engine().project(
+                renamed, frozenset(v for fact in renamed
+                                   for v in fact.variables() if v != old))
         except fm.Infeasible:
             return Context.unreachable_context()
         except MemoryError:
@@ -185,9 +203,9 @@ class Context:
         renamed.append(new_var - rhs_old - LinExpr.const(to_fraction(low_shift)))
         renamed.append(rhs_old + LinExpr.const(to_fraction(high_shift)) - new_var)
         try:
-            projected = fm.eliminate_all(
-                renamed, keep=[v for fact in renamed for v in fact.variables()
-                               if v != old])
+            projected = get_engine().project(
+                renamed, frozenset(v for fact in renamed
+                                   for v in fact.variables() if v != old))
         except fm.Infeasible:
             return Context.unreachable_context()
         except MemoryError:
@@ -207,10 +225,12 @@ class Context:
             return other
         if other._unreachable:
             return self
-        kept = [fact for fact in self._facts if other.entails(fact)]
-        for fact in other._facts:
-            if fact not in kept and self.entails(fact):
-                kept.append(fact)
+        kept = [fact for fact, ok in zip(self._facts, other.entails_many(self._facts))
+                if ok]
+        seen = set(kept)
+        candidates = [fact for fact in other._facts if fact not in seen]
+        kept.extend(fact for fact, ok in zip(candidates, self.entails_many(candidates))
+                    if ok)
         return Context(kept)
 
     def widen(self, newer: "Context") -> "Context":
@@ -219,7 +239,8 @@ class Context:
             return newer
         if newer._unreachable:
             return self
-        return Context(fact for fact in self._facts if newer.entails(fact))
+        return Context(fact for fact, ok in
+                       zip(self._facts, newer.entails_many(self._facts)) if ok)
 
     # -- miscellaneous --------------------------------------------------------------------
 

@@ -1,0 +1,471 @@
+"""Cached entailment engine fronting every Fourier-Motzkin query.
+
+The abstract interpreter and the rewrite generator ask the same small family
+of questions over and over: ``Gamma |= e >= 0`` (entailment), the greatest
+lower bound of an expression under ``Gamma``, and satisfiability of
+``Gamma``.  A loop fixpoint alone re-asks each of them once per iteration,
+and ``join``/``widen`` fan a single lattice operation out into one
+entailment per fact.  Running a fresh Fourier-Motzkin elimination for each
+query dominates the analyzer's wall-clock time.
+
+:class:`EntailmentEngine` answers these queries through three layers, each
+tried in order:
+
+1. **memo cache** -- results keyed on ``(frozenset(facts), query)``, shared
+   process-wide, so repeated queries (fixpoint iterations, repeated degrees,
+   repeated program points) are O(1);
+2. **syntactic fast paths** -- the query is a literal fact, a non-negative
+   combination of at most two facts, a trivially true constant, or shares no
+   variable with the context; these answer without any elimination;
+3. **cached projection** -- the context is projected once onto the variables
+   of the query (and, for :meth:`entails_many`, once onto the union of all
+   query variables); the projection is memoised so every further query over
+   the same variables reuses it and only runs a tiny final minimisation.
+
+All layers are exact: fast paths only return definite answers, projections
+are exact for rational Fourier-Motzkin, and the memo never crosses contexts.
+``MemoryError`` raised by the constraint cap is never cached and always
+propagates so callers (e.g. :meth:`Context.assign <repro.logic.contexts.Context.assign>`)
+keep their fallback behaviour.
+
+Use :func:`get_engine` for the process-wide instance; ``Context`` routes all
+its logical operations through it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from repro.logic import fourier_motzkin as fm
+from repro.utils.linear import LinExpr
+
+FactKey = FrozenSet[LinExpr]
+
+#: Sentinel stored in the projection cache for infeasible contexts.
+_INFEASIBLE = object()
+
+#: Do not attempt the two-fact combination fast path on larger contexts.
+_PAIR_FAST_PATH_LIMIT = 16
+
+_ZERO = Fraction(0)
+
+
+class EntailmentStats:
+    """Counters describing how queries were answered."""
+
+    __slots__ = ("queries", "memo_hits", "fast_hits", "misses", "eliminations")
+
+    def __init__(self) -> None:
+        self.queries = 0        # top-level entails/glb/feasibility queries
+        self.memo_hits = 0      # answered from the (facts, query) memo
+        self.fast_hits = 0      # answered by a syntactic fast path
+        self.misses = 0         # required Fourier-Motzkin work
+        self.eliminations = 0   # actual eliminate/minimize invocations
+
+    def hit_rate(self) -> float:
+        """Fraction of queries answered without any elimination."""
+        if not self.queries:
+            return 0.0
+        return (self.memo_hits + self.fast_hits) / self.queries
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def delta(self, since: Dict[str, int]) -> Dict[str, int]:
+        return {name: getattr(self, name) - since.get(name, 0)
+                for name in self.__slots__}
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = self.snapshot()
+        data["hit_rate"] = round(self.hit_rate(), 4)
+        return data
+
+    def __repr__(self) -> str:
+        return (f"EntailmentStats(queries={self.queries}, "
+                f"memo_hits={self.memo_hits}, fast_hits={self.fast_hits}, "
+                f"misses={self.misses}, eliminations={self.eliminations})")
+
+
+class EntailmentEngine:
+    """Process-wide cache + fast paths for Fourier-Motzkin queries."""
+
+    #: Clear a cache wholesale once it grows past this many entries; the
+    #: contexts of one program are small, so in practice this only guards
+    #: long-running multi-program processes.
+    MAX_ENTRIES = 200_000
+
+    def __init__(self) -> None:
+        self.stats = EntailmentStats()
+        self.evictions = 0
+        self._entails_cache: Dict[Tuple[FactKey, LinExpr], bool] = {}
+        self._glb_cache: Dict[Tuple[FactKey, LinExpr], Optional[Fraction]] = {}
+        self._feasible_cache: Dict[FactKey, bool] = {}
+        self._projection_cache: Dict[Tuple[FactKey, FrozenSet[str]], object] = {}
+        # Per-context index for the single-fact fast path: canonical linear
+        # part -> smallest canonical constant among the facts.
+        self._norm_index: Dict[FactKey, Dict[Tuple, Fraction]] = {}
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached result (statistics are kept)."""
+        self._entails_cache.clear()
+        self._glb_cache.clear()
+        self._feasible_cache.clear()
+        self._projection_cache.clear()
+        self._norm_index.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = EntailmentStats()
+
+    def _guard(self, cache: Dict) -> None:
+        if len(cache) > self.MAX_ENTRIES:
+            cache.clear()
+            self.evictions += 1
+
+    # -- public queries ----------------------------------------------------
+
+    def entails(self, facts: Sequence[LinExpr], query: LinExpr,
+                key: Optional[FactKey] = None) -> bool:
+        """Whether ``facts |= query >= 0`` over the rationals."""
+        if key is None:
+            key = frozenset(facts)
+        self.stats.queries += 1
+        return self._entails_impl(facts, key, query)
+
+    def entails_many(self, facts: Sequence[LinExpr],
+                     queries: Sequence[LinExpr],
+                     key: Optional[FactKey] = None) -> List[bool]:
+        """Batched :meth:`entails`: project the context once for all queries.
+
+        The context is projected onto the union of the query variables a
+        single time; every query is then decided against that (much smaller)
+        system.  Answers are memoised under the *original* context so later
+        point queries hit the cache.
+        """
+        if key is None:
+            key = frozenset(facts)
+        results: List[Optional[bool]] = [None] * len(queries)
+        pending: List[int] = []
+        for index, query in enumerate(queries):
+            self.stats.queries += 1
+            cached = self._entails_cache.get((key, query))
+            if cached is not None:
+                self.stats.memo_hits += 1
+                results[index] = cached
+                continue
+            fast = self._fast_entails(facts, key, query)
+            if fast is not None:
+                self.stats.fast_hits += 1
+                self._store_entails(key, query, fast)
+                results[index] = fast
+                continue
+            pending.append(index)
+        if pending:
+            self.stats.misses += len(pending)
+            union_vars = frozenset(var for index in pending
+                                   for var in queries[index].variables())
+            try:
+                base = self.project(facts, union_vars, key)
+            except fm.Infeasible:
+                base = None
+            if base is None:
+                # The context is unsatisfiable: it entails everything.
+                for index in pending:
+                    self._store_entails(key, queries[index], True)
+                    results[index] = True
+            else:
+                base_key = frozenset(base)
+                for index in pending:
+                    query = queries[index]
+                    answer = self._entails_impl(base, base_key, query,
+                                                count=False)
+                    self._store_entails(key, query, answer)
+                    results[index] = answer
+        return results  # type: ignore[return-value]
+
+    def is_feasible(self, facts: Sequence[LinExpr],
+                    key: Optional[FactKey] = None) -> bool:
+        """Whether the conjunction of ``e >= 0`` facts is satisfiable."""
+        if key is None:
+            key = frozenset(facts)
+        self.stats.queries += 1
+        cached = self._feasible_cache.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        if not facts:
+            self.stats.fast_hits += 1
+            self._feasible_cache[key] = True
+            return True
+        self.stats.misses += 1
+        try:
+            self.project(facts, frozenset(), key)
+            result = True
+        except fm.Infeasible:
+            result = False
+        self._guard(self._feasible_cache)
+        self._feasible_cache[key] = result
+        return result
+
+    def greatest_lower_bound(self, facts: Sequence[LinExpr],
+                             expression: LinExpr,
+                             key: Optional[FactKey] = None) -> Optional[Fraction]:
+        """Largest ``c`` with ``facts |= expression >= c`` (None if none)."""
+        if key is None:
+            key = frozenset(facts)
+        self.stats.queries += 1
+        cache_key = (key, expression)
+        if cache_key in self._glb_cache:
+            self.stats.memo_hits += 1
+            return self._glb_cache[cache_key]
+        result: Optional[Fraction]
+        fast_answered = True
+        if expression.is_constant():
+            # min over any non-empty feasible set is the constant itself; the
+            # unsatisfiable case returns None by convention.
+            result = (expression.const_term
+                      if self._feasible_quiet(facts, key) else None)
+        elif not self._overlaps(facts, expression):
+            # Unconstrained variables: unbounded below when feasible, and the
+            # infeasible convention is None as well.
+            result = None
+        else:
+            fast_answered = False
+            self.stats.misses += 1
+            result = self._glb_cold(facts, key, expression)
+        if fast_answered:
+            self.stats.fast_hits += 1
+        self._guard(self._glb_cache)
+        self._glb_cache[cache_key] = result
+        return result
+
+    def project(self, facts: Sequence[LinExpr], keep: FrozenSet[str],
+                key: Optional[FactKey] = None) -> Tuple[LinExpr, ...]:
+        """Cached exact projection of ``facts`` onto the ``keep`` variables.
+
+        Raises :class:`~repro.logic.fourier_motzkin.Infeasible` for
+        unsatisfiable systems (also on cache hits).  ``MemoryError`` from the
+        constraint cap is never cached and propagates to the caller.
+        """
+        if key is None:
+            key = frozenset(facts)
+        cache_key = (key, keep)
+        cached = self._projection_cache.get(cache_key)
+        if cached is not None:
+            if cached is _INFEASIBLE:
+                raise fm.Infeasible()
+            return cached  # type: ignore[return-value]
+        self.stats.eliminations += 1
+        try:
+            projected = tuple(fm.eliminate_all(facts, keep=sorted(keep)))
+        except fm.Infeasible:
+            self._guard(self._projection_cache)
+            self._projection_cache[cache_key] = _INFEASIBLE
+            raise
+        self._guard(self._projection_cache)
+        self._projection_cache[cache_key] = projected
+        return projected
+
+    # -- internals ---------------------------------------------------------
+
+    def _store_entails(self, key: FactKey, query: LinExpr, result: bool) -> None:
+        self._guard(self._entails_cache)
+        self._entails_cache[(key, query)] = result
+
+    def _entails_impl(self, facts: Sequence[LinExpr], key: FactKey,
+                      query: LinExpr, count: bool = True) -> bool:
+        cached = self._entails_cache.get((key, query))
+        if cached is not None:
+            if count:
+                self.stats.memo_hits += 1
+            return cached
+        fast = self._fast_entails(facts, key, query)
+        if fast is not None:
+            if count:
+                self.stats.fast_hits += 1
+            self._store_entails(key, query, fast)
+            return fast
+        if count:
+            self.stats.misses += 1
+        result = self._entails_cold(facts, key, query)
+        self._store_entails(key, query, result)
+        return result
+
+    def _entails_cold(self, facts: Sequence[LinExpr], key: FactKey,
+                      query: LinExpr) -> bool:
+        try:
+            projected = self.project(facts, frozenset(query.variables()), key)
+        except fm.Infeasible:
+            return True
+        self.stats.eliminations += 1
+        try:
+            lowest = fm.minimize(query, projected)
+        except fm.Infeasible:
+            return True
+        except fm.Unbounded:
+            return False
+        return lowest >= 0
+
+    def _glb_cold(self, facts: Sequence[LinExpr], key: FactKey,
+                  expression: LinExpr) -> Optional[Fraction]:
+        try:
+            projected = self.project(facts, frozenset(expression.variables()),
+                                     key)
+        except fm.Infeasible:
+            return None
+        self.stats.eliminations += 1
+        try:
+            return fm.minimize(expression, projected)
+        except (fm.Infeasible, fm.Unbounded):
+            return None
+
+    def _feasible_quiet(self, facts: Sequence[LinExpr], key: FactKey) -> bool:
+        """Feasibility without bumping the top-level query counters."""
+        cached = self._feasible_cache.get(key)
+        if cached is not None:
+            return cached
+        if not facts:
+            result = True
+        else:
+            try:
+                self.project(facts, frozenset(), key)
+                result = True
+            except fm.Infeasible:
+                result = False
+        self._guard(self._feasible_cache)
+        self._feasible_cache[key] = result
+        return result
+
+    # -- syntactic fast paths ----------------------------------------------
+
+    def _overlaps(self, facts: Sequence[LinExpr], query: LinExpr) -> bool:
+        query_vars = query.variables()
+        for fact in facts:
+            for var, _ in fact.coeff_items:
+                if var in query_vars:
+                    return True
+        return False
+
+    def _norm_index_for(self, key: FactKey) -> Dict[Tuple, Fraction]:
+        index = self._norm_index.get(key)
+        if index is None:
+            index = {}
+            for fact in key:
+                if fact.is_constant():
+                    continue
+                _, canonical = fact.normalised()
+                lin = canonical.coeff_items
+                const = canonical.const_term
+                current = index.get(lin)
+                if current is None or const < current:
+                    index[lin] = const
+            self._guard(self._norm_index)
+            self._norm_index[key] = index
+        return index
+
+    def _fast_entails(self, facts: Sequence[LinExpr], key: FactKey,
+                      query: LinExpr) -> Optional[bool]:
+        """Definite answers that need no elimination; ``None`` = undecided."""
+        # Constants: trivially true when non-negative; a negative constant is
+        # entailed exactly by the infeasible contexts.
+        if query.is_constant():
+            if query.const_term >= 0:
+                return True
+            return not self._feasible_quiet(facts, key)
+        # The query is a fact (or a positive multiple of one, possibly with
+        # extra slack on the constant): f says lin >= -c_f, the query needs
+        # lin >= -c_q, so any fact with c_f <= c_q decides it.
+        if query in key:
+            return True
+        _, canonical = query.normalised()
+        best = self._norm_index_for(key).get(canonical.coeff_items)
+        if best is not None and canonical.const_term >= best:
+            return True
+        # No variable in common with the context: the query's variables are
+        # unconstrained, so the minimum is -inf unless the context itself is
+        # infeasible (in which case everything is entailed).
+        if not self._overlaps(facts, query):
+            return not self._feasible_quiet(facts, key)
+        # Non-negative combination of two facts.
+        if 2 <= len(key) <= _PAIR_FAST_PATH_LIMIT:
+            if self._two_fact_combination(key, query):
+                return True
+        return None
+
+    def _two_fact_combination(self, key: FactKey, query: LinExpr) -> bool:
+        """Whether ``query = a*f1 + b*f2 + c`` with ``a, b, c >= 0`` exactly.
+
+        Sound but deliberately incomplete: only facts whose support is
+        contained in the query's support are considered, so no cancellation
+        between the two facts is explored.
+        """
+        qmap = dict(query.coeff_items)
+        qvars = set(qmap)
+        candidates = [fact for fact in key
+                      if all(var in qvars for var, _ in fact.coeff_items)]
+        if len(candidates) < 2:
+            return False
+        for i, f1 in enumerate(candidates):
+            m1 = dict(f1.coeff_items)
+            for f2 in candidates[i + 1:]:
+                m2 = dict(f2.coeff_items)
+                solution = self._solve_pair(qmap, qvars, m1, m2)
+                if solution is None:
+                    continue
+                a, b = solution
+                slack = (query.const_term - a * f1.const_term
+                         - b * f2.const_term)
+                if slack >= 0:
+                    return True
+        return False
+
+    @staticmethod
+    def _solve_pair(qmap: Dict[str, Fraction], qvars: Iterable[str],
+                    m1: Dict[str, Fraction],
+                    m2: Dict[str, Fraction]) -> Optional[Tuple[Fraction, Fraction]]:
+        """Solve ``a*m1 + b*m2 = qmap`` over all query variables, a, b >= 0."""
+        variables = list(qvars)
+        pivot = None
+        for p, v1 in enumerate(variables):
+            for v2 in variables[p + 1:]:
+                det = (m1.get(v1, _ZERO) * m2.get(v2, _ZERO)
+                       - m1.get(v2, _ZERO) * m2.get(v1, _ZERO))
+                if det != 0:
+                    pivot = (v1, v2, det)
+                    break
+            if pivot:
+                break
+        if pivot is None:
+            return None
+        v1, v2, det = pivot
+        q1, q2 = qmap[v1], qmap[v2]
+        a = (q1 * m2.get(v2, _ZERO) - q2 * m2.get(v1, _ZERO)) / det
+        b = (m1.get(v1, _ZERO) * q2 - m1.get(v2, _ZERO) * q1) / det
+        if a < 0 or b < 0:
+            return None
+        for var in variables:
+            if a * m1.get(var, _ZERO) + b * m2.get(var, _ZERO) != qmap[var]:
+                return None
+        return a, b
+
+
+#: The process-wide engine shared by every :class:`Context`.
+_ENGINE = EntailmentEngine()
+
+
+def get_engine() -> EntailmentEngine:
+    """The process-wide entailment engine."""
+    return _ENGINE
+
+
+def clear_cache() -> None:
+    """Drop all cached entailment results (useful between experiments)."""
+    _ENGINE.clear()
+
+
+def reset_stats() -> None:
+    """Reset the hit/miss statistics of the process-wide engine."""
+    _ENGINE.reset_stats()

@@ -47,12 +47,11 @@ def _normalise(constraint: LinExpr) -> Optional[LinExpr]:
         if constraint.const_term < 0:
             raise Infeasible()
         return None
+    # ``normalised`` divides by |lead|, a positive factor, so the direction of
+    # the inequality is preserved and positive multiples of the same
+    # constraint share one canonical form.
     _, canonical = constraint.normalised()
-    # ``normalised`` divides by |lead|; preserve the inequality direction by
-    # only rescaling with positive factors.
-    lead = constraint.coeffs[sorted(constraint.coeffs)[0]]
-    scale = abs(lead)
-    return constraint / scale
+    return canonical
 
 
 def _dedupe(constraints: Iterable[LinExpr]) -> List[LinExpr]:
@@ -62,7 +61,7 @@ def _dedupe(constraints: Iterable[LinExpr]) -> List[LinExpr]:
         normalised = _normalise(constraint)
         if normalised is None:
             continue
-        key = tuple(sorted(normalised.coeffs.items()))
+        key = normalised.coeff_items
         current = best.get(key)
         # Same linear part: keep the *stronger* inequality (larger constant
         # means a weaker requirement on the variables... e + c >= 0 with the
@@ -74,22 +73,20 @@ def _dedupe(constraints: Iterable[LinExpr]) -> List[LinExpr]:
 
 def eliminate_variable(constraints: Sequence[LinExpr], var: str) -> List[LinExpr]:
     """Project the polyhedron ``{x | all e >= 0}`` onto the other variables."""
-    lowers: List[LinExpr] = []   # coefficient of var > 0: gives lower bounds
-    uppers: List[LinExpr] = []   # coefficient of var < 0: gives upper bounds
+    lowers: List[Tuple[LinExpr, Fraction]] = []   # coeff of var > 0: lower bounds
+    uppers: List[Tuple[LinExpr, Fraction]] = []   # coeff of var < 0: upper bounds
     others: List[LinExpr] = []
     for constraint in constraints:
         coeff = constraint.coefficient(var)
         if coeff > 0:
-            lowers.append(constraint)
+            lowers.append((constraint, coeff))
         elif coeff < 0:
-            uppers.append(constraint)
+            uppers.append((constraint, -coeff))
         else:
             others.append(constraint)
     result = list(others)
-    for low in lowers:
-        for high in uppers:
-            low_coeff = low.coefficient(var)
-            high_coeff = -high.coefficient(var)
+    for low, low_coeff in lowers:
+        for high, high_coeff in uppers:
             combined = low * high_coeff + high * low_coeff
             # ``combined`` no longer mentions ``var``.
             result.append(combined)

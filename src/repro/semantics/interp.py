@@ -85,7 +85,16 @@ class _StepBudgetExceeded(Exception):
 
 
 class Interpreter:
-    """Executes programs; one instance can be reused for many runs."""
+    """Executes programs; one instance can be reused for many runs.
+
+    Command and expression trees are compiled once per interpreter into
+    nested closures (the classic closure-compilation trick), so repeated
+    runs -- the Monte-Carlo sampler executes the same program hundreds of
+    times -- pay no per-node ``isinstance`` dispatch.  The compiled form is
+    observationally identical to the tree-walking :meth:`_exec` (same
+    evaluation order, same RNG draw sequence, same step accounting), which
+    is kept for direct use.
+    """
 
     def __init__(self, program: ast.Program,
                  scheduler: Optional[Scheduler] = None,
@@ -95,6 +104,8 @@ class Interpreter:
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
+        self._main_fn = None
+        self._proc_cache: Dict[str, object] = {}
 
     # -- public API -------------------------------------------------------------
 
@@ -113,8 +124,10 @@ class Interpreter:
         self._rng = rng
         terminated = True
         assertion_failed = False
+        if self._main_fn is None:
+            self._main_fn = self._compile_command(self.program.main_procedure.body)
         try:
-            self._exec(self.program.main_procedure.body, state, 0)
+            self._main_fn(state, 0)
         except _ProgramStop:
             assertion_failed = True
         except _StepBudgetExceeded:
@@ -260,6 +273,225 @@ class Interpreter:
             self._exec(callee.body, state, depth + 1)
             return
         raise EvaluationError(f"unknown command {command!r}")
+
+    # -- closure compilation --------------------------------------------------------------
+    #
+    # Each ``_compile_*`` method returns a closure over the pre-resolved
+    # children, so the per-node type dispatch happens once per program
+    # instead of once per execution step.  Runtime-dependent lookups
+    # (``self.scheduler``, ``self._rng``, procedure resolution, error
+    # raising for malformed nodes) stay inside the closures to keep the
+    # observable behaviour of the tree walker, including for nodes that are
+    # never reached.
+
+    def _compile_expr(self, expr: ast.Expr):
+        if isinstance(expr, ast.Const):
+            value = int(expr.value)  # truncate non-integral constants
+            return lambda state: value
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            return lambda state: state.get(name, 0)
+        if isinstance(expr, ast.Star):
+            def star(state):
+                raise EvaluationError("'*' may only appear as a branching guard")
+            return star
+        if isinstance(expr, ast.Not):
+            operand = self._compile_expr(expr.operand)
+            return lambda state: 0 if operand(state) != 0 else 1
+        if isinstance(expr, ast.BinOp):
+            return self._compile_binop(expr)
+
+        def unknown(state):
+            raise EvaluationError(f"cannot evaluate expression {expr!r}")
+        return unknown
+
+    def _compile_binop(self, expr: ast.BinOp):
+        op = expr.op
+        if op == "and":
+            left_bool = self._compile_bool(expr.left)
+            right_bool = self._compile_bool(expr.right)
+            return lambda state: 1 if (left_bool(state) and right_bool(state)) else 0
+        if op == "or":
+            left_bool = self._compile_bool(expr.left)
+            right_bool = self._compile_bool(expr.right)
+            return lambda state: 1 if (left_bool(state) or right_bool(state)) else 0
+        left = self._compile_expr(expr.left)
+        right = self._compile_expr(expr.right)
+        if op == "+":
+            return lambda state: left(state) + right(state)
+        if op == "-":
+            return lambda state: left(state) - right(state)
+        if op == "*":
+            return lambda state: left(state) * right(state)
+        if op == "div":
+            def div(state):
+                divisor = right(state)
+                if divisor == 0:
+                    raise EvaluationError("division by zero")
+                return left(state) // divisor
+            return div
+        if op == "mod":
+            def mod(state):
+                divisor = right(state)
+                if divisor == 0:
+                    raise EvaluationError("modulo by zero")
+                return left(state) % divisor
+            return mod
+        if op == "==":
+            return lambda state: int(left(state) == right(state))
+        if op == "!=":
+            return lambda state: int(left(state) != right(state))
+        if op == "<":
+            return lambda state: int(left(state) < right(state))
+        if op == "<=":
+            return lambda state: int(left(state) <= right(state))
+        if op == ">":
+            return lambda state: int(left(state) > right(state))
+        if op == ">=":
+            return lambda state: int(left(state) >= right(state))
+
+        def unknown(state):
+            raise EvaluationError(f"unknown operator {op!r}")
+        return unknown
+
+    def _compile_bool(self, expr: ast.Expr):
+        if isinstance(expr, ast.Star):
+            return lambda state: self.scheduler.choose(expr, state, self._rng)
+        inner = self._compile_expr(expr)
+        return lambda state: inner(state) != 0
+
+    def _compile_command(self, command: ast.Command):
+        charge = self._charge_step
+        if isinstance(command, ast.Skip):
+            return lambda state, depth: charge()
+        if isinstance(command, ast.Abort):
+            def run_abort(state, depth):
+                charge()
+                raise _ProgramStop()
+            return run_abort
+        if isinstance(command, (ast.Assert, ast.Assume)):
+            condition = self._compile_bool(command.condition)
+
+            def run_assert(state, depth):
+                charge()
+                if not condition(state):
+                    raise _ProgramStop()
+            return run_assert
+        if isinstance(command, ast.Tick):
+            if command.is_constant:
+                amount = command.amount
+
+                def run_tick(state, depth):
+                    charge()
+                    self._cost += amount
+            else:
+                amount_fn = self._compile_expr(command.amount)
+
+                def run_tick(state, depth):
+                    charge()
+                    self._cost += Fraction(amount_fn(state))
+            return run_tick
+        if isinstance(command, ast.Assign):
+            target = command.target
+            value = self._compile_expr(command.expr)
+
+            def run_assign(state, depth):
+                charge()
+                state[target] = value(state)
+            return run_assign
+        if isinstance(command, ast.Sample):
+            target = command.target
+            base_fn = self._compile_expr(command.expr)
+            sample = command.distribution.sample
+            op = command.op
+            if op == "+":
+                def run_sample(state, depth):
+                    charge()
+                    state[target] = base_fn(state) + sample(self._rng)
+            elif op == "-":
+                def run_sample(state, depth):
+                    charge()
+                    state[target] = base_fn(state) - sample(self._rng)
+            else:
+                def run_sample(state, depth):
+                    charge()
+                    state[target] = base_fn(state) * sample(self._rng)
+            return run_sample
+        if isinstance(command, ast.Seq):
+            subs = [self._compile_command(sub) for sub in command.commands]
+
+            def run_seq(state, depth):
+                charge()
+                for sub in subs:
+                    sub(state, depth)
+            return run_seq
+        if isinstance(command, ast.If):
+            condition = self._compile_bool(command.condition)
+            then_branch = self._compile_command(command.then_branch)
+            else_branch = self._compile_command(command.else_branch)
+
+            def run_if(state, depth):
+                charge()
+                if condition(state):
+                    then_branch(state, depth)
+                else:
+                    else_branch(state, depth)
+            return run_if
+        if isinstance(command, ast.NonDetChoice):
+            left = self._compile_command(command.left)
+            right = self._compile_command(command.right)
+
+            def run_nondet(state, depth):
+                charge()
+                if self.scheduler.choose(command, state, self._rng):
+                    left(state, depth)
+                else:
+                    right(state, depth)
+            return run_nondet
+        if isinstance(command, ast.ProbChoice):
+            probability = float(command.probability)
+            left = self._compile_command(command.left)
+            right = self._compile_command(command.right)
+
+            def run_prob(state, depth):
+                charge()
+                if self._rng.random() < probability:
+                    left(state, depth)
+                else:
+                    right(state, depth)
+            return run_prob
+        if isinstance(command, ast.While):
+            condition = self._compile_bool(command.condition)
+            body = self._compile_command(command.body)
+
+            def run_while(state, depth):
+                charge()
+                while condition(state):
+                    body(state, depth)
+                    charge()
+            return run_while
+        if isinstance(command, ast.Call):
+            name = command.procedure
+
+            def run_call(state, depth):
+                charge()
+                if depth >= self.max_call_depth:
+                    raise EvaluationError(
+                        f"call depth limit {self.max_call_depth} exceeded")
+                callee_fn = self._proc_cache.get(name)
+                if callee_fn is None:
+                    callee = self.program.procedures.get(name)
+                    if callee is None:
+                        raise EvaluationError(f"undefined procedure {name!r}")
+                    callee_fn = self._compile_command(callee.body)
+                    self._proc_cache[name] = callee_fn
+                callee_fn(state, depth + 1)
+            return run_call
+
+        def run_unknown(state, depth):
+            charge()
+            raise EvaluationError(f"unknown command {command!r}")
+        return run_unknown
 
 
 def run_program(program: ast.Program,

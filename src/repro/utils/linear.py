@@ -20,11 +20,13 @@ from repro.utils.rationals import Number, pretty_fraction, to_fraction
 
 State = Mapping[str, Union[int, float, Fraction]]
 
+_ZERO = Fraction(0)
+
 
 class LinExpr:
     """An immutable linear expression ``constant + sum(coeff_v * v)``."""
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_coeff_map", "_const", "_hash")
 
     def __init__(self, coeffs: Optional[Mapping[str, Number]] = None,
                  const: Number = 0) -> None:
@@ -35,6 +37,7 @@ class LinExpr:
                 if frac != 0:
                     clean[str(var)] = frac
         self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(sorted(clean.items()))
+        self._coeff_map: Dict[str, Fraction] = clean
         self._const: Fraction = to_fraction(const)
         self._hash: Optional[int] = None
 
@@ -54,6 +57,20 @@ class LinExpr:
     def zero(cls) -> "LinExpr":
         return cls({}, 0)
 
+    @classmethod
+    def _raw(cls, clean: Dict[str, Fraction], const: Fraction) -> "LinExpr":
+        """Wrap an already-clean coefficient dict without re-validating it.
+
+        Internal fast path for the arithmetic operators: ``clean`` must map
+        variable names to non-zero Fractions and is owned by the result.
+        """
+        self = object.__new__(cls)
+        self._coeffs = tuple(sorted(clean.items()))
+        self._coeff_map = clean
+        self._const = const
+        self._hash = None
+        return self
+
     # -- accessors --------------------------------------------------------
 
     @property
@@ -62,14 +79,16 @@ class LinExpr:
         return dict(self._coeffs)
 
     @property
+    def coeff_items(self) -> Tuple[Tuple[str, Fraction], ...]:
+        """The coefficients as a sorted ``(var, coeff)`` tuple (no copy)."""
+        return self._coeffs
+
+    @property
     def const_term(self) -> Fraction:
         return self._const
 
     def coefficient(self, var: str) -> Fraction:
-        for name, coeff in self._coeffs:
-            if name == var:
-                return coeff
-        return Fraction(0)
+        return self._coeff_map.get(var, _ZERO)
 
     def variables(self) -> Tuple[str, ...]:
         return tuple(name for name, _ in self._coeffs)
@@ -84,15 +103,21 @@ class LinExpr:
 
     def __add__(self, other: Union["LinExpr", Number]) -> "LinExpr":
         other_expr = _as_linexpr(other)
-        coeffs = dict(self._coeffs)
+        coeffs = dict(self._coeff_map)
         for var, coeff in other_expr._coeffs:
-            coeffs[var] = coeffs.get(var, Fraction(0)) + coeff
-        return LinExpr(coeffs, self._const + other_expr._const)
+            value = coeffs.get(var)
+            value = coeff if value is None else value + coeff
+            if value == 0:
+                del coeffs[var]
+            else:
+                coeffs[var] = value
+        return LinExpr._raw(coeffs, self._const + other_expr._const)
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
-        return LinExpr({var: -coeff for var, coeff in self._coeffs}, -self._const)
+        return LinExpr._raw({var: -coeff for var, coeff in self._coeffs},
+                            -self._const)
 
     def __sub__(self, other: Union["LinExpr", Number]) -> "LinExpr":
         return self + (-_as_linexpr(other))
@@ -104,8 +129,8 @@ class LinExpr:
         factor = to_fraction(scalar)
         if factor == 0:
             return LinExpr.zero()
-        return LinExpr({var: coeff * factor for var, coeff in self._coeffs},
-                       self._const * factor)
+        return LinExpr._raw({var: coeff * factor for var, coeff in self._coeffs},
+                            self._const * factor)
 
     __rmul__ = __mul__
 
@@ -126,7 +151,7 @@ class LinExpr:
         if coeff == 0:
             return self
         remaining = {name: value for name, value in self._coeffs if name != var}
-        base = LinExpr(remaining, self._const)
+        base = LinExpr._raw(remaining, self._const)
         return base + replacement * coeff
 
     def substitute_all(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
@@ -163,6 +188,8 @@ class LinExpr:
             return Fraction(1), self
         lead = self._coeffs[0][1]
         scale = abs(lead)
+        if scale == 1:
+            return scale, self
         canonical = self / scale
         return scale, canonical
 

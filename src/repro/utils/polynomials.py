@@ -276,6 +276,10 @@ class Polynomial:
     def terms(self) -> Dict[Monomial, Fraction]:
         return dict(self._terms)
 
+    def term_items(self):
+        """Items view of the term dict (no copy; do not mutate)."""
+        return self._terms.items()
+
     def coefficient(self, monomial: Monomial) -> Fraction:
         return self._terms.get(monomial, Fraction(0))
 

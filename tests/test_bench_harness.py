@@ -103,3 +103,29 @@ class TestFigureHarness:
         series = figure8_pol04_series(runs=30, values=(10, 20))
         assert len(series.points) == 2
         assert series.bound is not None and series.bound.degree() == 2
+
+
+class TestPerfSmoke:
+    def test_perfsmoke_limit_two(self, tmp_path):
+        import json
+
+        from repro.bench.perfsmoke import main, run_suite
+
+        output = tmp_path / "bench.json"
+        assert main(["--limit", "2", "--quiet",
+                     "--output", str(output)]) == 0
+        report = json.loads(output.read_text())
+        assert report["suite"] == "table1-linear"
+        assert len(report["programs"]) == 2
+        for program in report["programs"]:
+            assert program["success"]
+            assert program["wall_seconds"] >= 0
+            assert program["fm_queries"] >= 0
+        assert "hit_rate" in report["entailment_cache"]
+
+    def test_run_suite_counts_queries(self):
+        from repro.bench.perfsmoke import run_suite
+
+        report = run_suite("linear", limit=1)
+        assert report["programs"][0]["fm_queries"] >= 0
+        assert report["total_wall_seconds"] >= 0

@@ -99,6 +99,39 @@ class TestEntailment:
         assert greatest_lower_bound([X], Y) is None
 
 
+class TestNormalisation:
+    def test_positive_multiples_dedupe_to_one(self):
+        from repro.logic.fourier_motzkin import _dedupe
+        # 2x + 2 >= 0 and x + 1 >= 0 are the same constraint; the canonical
+        # form keeps exactly one copy.
+        deduped = _dedupe([lin({"x": 2}, 2), lin({"x": 1}, 1)])
+        assert deduped == [lin({"x": 1}, 1)]
+
+    def test_positive_multiples_with_many_vars_dedupe(self):
+        from repro.logic.fourier_motzkin import _dedupe
+        base = lin({"x": 2, "y": -4}, 6)
+        assert _dedupe([base, base * Fraction(3, 2), base / 2]) \
+            == [lin({"x": 1, "y": -2}, 3)]
+
+    def test_dedupe_keeps_strongest_constant(self):
+        from repro.logic.fourier_motzkin import _dedupe
+        # x + 5 >= 0 is weaker than x + 1 >= 0; keep the strongest.
+        deduped = _dedupe([lin({"x": 1}, 5), lin({"x": 2}, 2)])
+        assert deduped == [lin({"x": 1}, 1)]
+
+    def test_normalise_preserves_inequality_direction(self):
+        # -2x + 4 >= 0 must canonicalise to -x + 2 >= 0 (scale by a positive
+        # factor only), not x - 2 >= 0.
+        from repro.logic.fourier_motzkin import _normalise
+        assert _normalise(lin({"x": -2}, 4)) == lin({"x": -1}, 2)
+
+    def test_normalise_trivial_constants(self):
+        from repro.logic.fourier_motzkin import _normalise
+        assert _normalise(lin({}, 3)) is None
+        with pytest.raises(Infeasible):
+            _normalise(lin({}, -1))
+
+
 class TestElimination:
     def test_eliminate_variable_projects(self):
         # x >= y and 10 - x >= 0 project to 10 - y >= 0.
