@@ -8,7 +8,20 @@ compare against a committed baseline::
 
     python -m repro.bench.perfsmoke
     python -m repro.bench.perfsmoke --group polynomial --output /tmp/bench.json
+    python -m repro.bench.perfsmoke --programs 'C4B_*' rdwalk
+    python -m repro.bench.perfsmoke --workers 4          # + parallel pass
+    python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
+
+The sequential pass always runs (its per-program times are what ``--check``
+compares against the committed baseline).  With ``--workers N > 1`` the
+suite is then re-run through the :mod:`repro.service` scheduler and the
+parallel wall clock is recorded as ``suite_wall_parallel`` next to the
+sequential ``total_wall_seconds``, giving the speedup in one file.
+
+``--check <baseline.json>`` exits non-zero when any program regressed by
+more than 25% wall time (and more than an absolute noise floor) against
+the baseline, which makes the runner usable as a CI gate.
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -20,10 +33,9 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.bench.registry import (all_benchmarks, linear_benchmarks,
-                                  polynomial_benchmarks)
+from repro.bench.registry import select_benchmarks
 from repro.bench.reporting import render_table
 from repro.core.analyzer import analyze_program
 from repro.logic.entailment import get_engine
@@ -31,21 +43,35 @@ from repro.logic.entailment import get_engine
 #: Default output path (repo root when invoked from a checkout).
 DEFAULT_OUTPUT = "BENCH_entailment.json"
 
-_GROUPS = {
-    "linear": linear_benchmarks,
-    "polynomial": polynomial_benchmarks,
-    "all": all_benchmarks,
-}
+#: Regression gate: flag programs that got this much slower than baseline...
+REGRESSION_THRESHOLD = 0.25
+#: ...but only when the absolute slowdown also clears this noise floor.
+REGRESSION_FLOOR_SECONDS = 0.05
+
+_GROUPS = ("all", "linear", "polynomial")
+
+
+def _select(group: str, programs: Optional[Sequence[str]],
+            limit: Optional[int]):
+    benchmarks = select_benchmarks(programs if programs else [f"@{group}"])
+    if limit is not None:
+        benchmarks = benchmarks[:max(0, limit)]
+    return benchmarks
 
 
 def run_suite(group: str = "linear",
-              limit: Optional[int] = None) -> Dict[str, object]:
-    """Analyze every benchmark of ``group``; return the report dict."""
+              limit: Optional[int] = None,
+              programs: Optional[Sequence[str]] = None,
+              workers: int = 1) -> Dict[str, object]:
+    """Analyze every selected benchmark; return the report dict.
+
+    The sequential pass produces the per-program numbers; with
+    ``workers > 1`` an additional parallel pass through the service
+    scheduler measures ``suite_wall_parallel``.
+    """
     engine = get_engine()
-    benchmarks = _GROUPS[group]()
-    if limit is not None:
-        benchmarks = benchmarks[:max(0, limit)]
-    programs: List[Dict[str, object]] = []
+    benchmarks = _select(group, programs, limit)
+    rows: List[Dict[str, object]] = []
     suite_before = engine.stats.snapshot()
     evictions_before = engine.evictions
     suite_start = time.perf_counter()
@@ -57,7 +83,7 @@ def run_suite(group: str = "linear",
         wall = time.perf_counter() - start
         delta = engine.stats.delta(before)
         answered = delta["memo_hits"] + delta["fast_hits"]
-        programs.append({
+        rows.append({
             "name": bench.name,
             "wall_seconds": round(wall, 4),
             "success": result.success,
@@ -77,30 +103,98 @@ def run_suite(group: str = "linear",
     answered = suite_stats["memo_hits"] + suite_stats["fast_hits"]
     suite_stats["hit_rate"] = (round(answered / suite_stats["queries"], 4)
                                if suite_stats["queries"] else 0.0)
+
+    suite_wall_parallel: Optional[float] = None
+    parallel_speedup: Optional[float] = None
+    if workers > 1:
+        suite_wall_parallel = _parallel_pass(benchmarks, rows, workers)
+        if suite_wall_parallel > 0:
+            parallel_speedup = round(total_wall / suite_wall_parallel, 2)
+
     return {
-        "suite": f"table1-{group}",
+        "suite": f"table1-{group}" if not programs \
+            else f"table1-custom({','.join(programs)})",
         "generated_by": "python -m repro.bench.perfsmoke",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "workers": workers,
         "total_wall_seconds": round(total_wall, 3),
-        "programs": programs,
+        "suite_wall_parallel": suite_wall_parallel,
+        "parallel_speedup": parallel_speedup,
+        "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
     }
 
 
+def _parallel_pass(benchmarks, rows: List[Dict[str, object]],
+                   workers: int) -> float:
+    """Re-run the suite through the scheduler; annotate rows, return wall."""
+    from repro.service.jobs import job_from_benchmark
+    from repro.service.scheduler import run_jobs
+
+    jobs = [job_from_benchmark(bench) for bench in benchmarks]
+    start = time.perf_counter()
+    results = run_jobs(jobs, workers=workers)
+    wall = round(time.perf_counter() - start, 3)
+    for row, result in zip(rows, results):
+        row["parallel_wall_seconds"] = result.wall_seconds
+        if result.bound_pretty != row["bound"]:
+            # Parallel analysis is deterministic; surface any divergence
+            # loudly instead of silently publishing mismatched numbers.
+            raise AssertionError(
+                f"parallel bound mismatch for {row['name']}: "
+                f"{result.bound_pretty!r} != {row['bound']!r}")
+    return wall
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (--check)
+# ---------------------------------------------------------------------------
+
+def find_regressions(report: Dict[str, object], baseline: Dict[str, object],
+                     threshold: float = REGRESSION_THRESHOLD,
+                     floor_seconds: float = REGRESSION_FLOOR_SECONDS
+                     ) -> List[str]:
+    """Per-program wall-time regressions of ``report`` vs ``baseline``.
+
+    A program regresses when it is both ``threshold`` (relative) slower and
+    ``floor_seconds`` (absolute) slower than the baseline -- the floor keeps
+    sub-50ms jitter on tiny programs from failing CI.  Programs missing
+    from either side are skipped (they changed identity, not speed).
+    """
+    base_times = {row["name"]: row["wall_seconds"]
+                  for row in baseline.get("programs", ())}
+    problems = []
+    for row in report["programs"]:
+        base = base_times.get(row["name"])
+        if base is None or base <= 0:
+            continue
+        fresh = row["wall_seconds"]
+        if fresh > base * (1 + threshold) and fresh - base > floor_seconds:
+            problems.append(
+                f"{row['name']}: {fresh:.3f}s vs baseline {base:.3f}s "
+                f"(+{(fresh / base - 1) * 100:.0f}%)")
+    return problems
+
+
 def _summary_table(report: Dict[str, object]) -> str:
-    rows = [(p["name"],
-             f"{p['wall_seconds']:.3f}",
-             p["fm_queries"],
-             p["fm_eliminations"],
-             "-" if p["cache_hit_rate"] is None else f"{p['cache_hit_rate']:.2f}",
-             "ok" if p["success"] else "FAIL")
-            for p in report["programs"]]
-    return render_table(
-        ["program", "time(s)", "fm-queries", "eliminations", "hit-rate", "status"],
-        rows, title=f"perf smoke: {report['suite']}")
+    parallel = any("parallel_wall_seconds" in p for p in report["programs"])
+    headers = ["program", "time(s)"] \
+        + (["par(s)"] if parallel else []) \
+        + ["fm-queries", "eliminations", "hit-rate", "status"]
+    rows = []
+    for p in report["programs"]:
+        row = [p["name"], f"{p['wall_seconds']:.3f}"]
+        if parallel:
+            row.append(f"{p.get('parallel_wall_seconds', float('nan')):.3f}")
+        row.extend([p["fm_queries"], p["fm_eliminations"],
+                    "-" if p["cache_hit_rate"] is None
+                    else f"{p['cache_hit_rate']:.2f}",
+                    "ok" if p["success"] else "FAIL"])
+        rows.append(tuple(row))
+    return render_table(headers, rows, title=f"perf smoke: {report['suite']}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -108,6 +202,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.bench.perfsmoke",
         description="Time the Table 1 suite and dump entailment-cache stats.")
     parser.add_argument("--group", choices=sorted(_GROUPS), default="linear")
+    parser.add_argument("--programs", nargs="+", default=None,
+                        help="only these benchmarks (names, globs like "
+                             "'C4B_*', or @linear/@polynomial/@all); "
+                             "overrides --group")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="with N > 1, also run the suite through the "
+                             "service scheduler on N processes and record "
+                             "suite_wall_parallel")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="compare per-program wall times against this "
+                             "baseline and exit non-zero on a "
+                             f">{REGRESSION_THRESHOLD:.0%} regression")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD,
+                        help="relative regression threshold for --check "
+                             "(raise it when baseline and checker run on "
+                             "different hardware)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
     parser.add_argument("--limit", type=int, default=None,
@@ -116,7 +227,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="suppress the summary table")
     args = parser.parse_args(argv)
 
-    report = run_suite(args.group, args.limit)
+    # Resolve selectors up front so a typo fails fast (and is not confused
+    # with an internal error from the suite itself).
+    try:
+        _select(args.group, args.programs, args.limit)
+    except KeyError as exc:
+        print(f"unknown program selector: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    # Read the baseline BEFORE writing the report: with the default
+    # --output both paths are BENCH_entailment.json, and reading after the
+    # write would compare the fresh run against itself (and silently
+    # clobber the committed baseline the gate was meant to enforce).
+    baseline = None
+    if args.check:
+        try:
+            with open(args.check, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.check!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    report = run_suite(args.group, args.limit, programs=args.programs,
+                       workers=args.workers)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -127,11 +261,31 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{len(report['programs'])} programs; cache hit rate "
               f"{cache['hit_rate']:.1%} ({cache['queries']} queries, "
               f"{cache['eliminations']} eliminations)")
+        if report["suite_wall_parallel"] is not None:
+            speedup = report["parallel_speedup"]
+            print(f"parallel ({report['workers']} workers): "
+                  f"{report['suite_wall_parallel']:.2f}s"
+                  + (f" (speedup {speedup:.2f}x)" if speedup is not None
+                     else ""))
         print(f"wrote {args.output}")
+
     failures = [p["name"] for p in report["programs"] if not p["success"]]
     if failures:
         print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
+
+    if baseline is not None:
+        regressions = find_regressions(report, baseline,
+                                       threshold=args.threshold)
+        if regressions:
+            print(f"\nperformance regressions vs {args.check}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"no per-program regression vs {args.check} "
+                  f"(threshold {args.threshold:.0%})")
     return 0
 
 

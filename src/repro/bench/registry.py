@@ -59,6 +59,18 @@ class BenchmarkProgram:
     def build(self) -> Program:
         return self.factory()
 
+    def source_text(self) -> str:
+        """The program rendered back to concrete syntax.
+
+        This is the text shipped to scheduler workers and hashed by the
+        persistent store: printing is a bound-preserving round trip (see
+        ``tests/test_parser_printer.py``), and a stable text form means the
+        cache key only changes when the program itself does.
+        """
+        from repro.lang.printer import program_to_source
+
+        return program_to_source(self.factory())
+
     def build_for_simulation(self) -> Program:
         """The program whose ``tick`` cost matches the analysed resource.
 
@@ -119,3 +131,32 @@ def get_benchmark(name: str) -> BenchmarkProgram:
         return _REGISTRY[name]
     except KeyError as exc:
         raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}") from exc
+
+
+def select_benchmarks(patterns: Sequence[str]) -> List[BenchmarkProgram]:
+    """Resolve user-facing benchmark selectors to a sorted benchmark list.
+
+    Each pattern is either a group selector (``@all``, ``@linear``,
+    ``@polynomial``), an exact benchmark name, or an ``fnmatch``-style glob
+    (``C4B_*``).  The union of all matches is returned in registry order
+    (category, then name).  Unknown selectors raise ``KeyError`` so typos
+    fail loudly instead of silently running an empty suite.
+    """
+    import fnmatch
+
+    groups = {"@all": all_benchmarks, "@linear": linear_benchmarks,
+              "@polynomial": polynomial_benchmarks}
+    selected: Dict[str, BenchmarkProgram] = {}
+    for pattern in patterns:
+        if pattern in groups:
+            matches = groups[pattern]()
+        elif any(char in pattern for char in "*?["):
+            matches = [b for b in all_benchmarks()
+                       if fnmatch.fnmatchcase(b.name, pattern)]
+            if not matches:
+                raise KeyError(f"pattern {pattern!r} matches no benchmark")
+        else:
+            matches = [get_benchmark(pattern)]
+        for benchmark in matches:
+            selected[benchmark.name] = benchmark
+    return sorted(selected.values(), key=lambda b: (b.category, b.name))

@@ -4,24 +4,40 @@ Usage::
 
     absynth-py analyze program.imp [--degree 2] [--counter cost] [--certificate]
     absynth-py simulate program.imp --input x=100 n=500 [--runs 1000]
-    absynth-py bench [--group linear|polynomial|all] [--quick]
+    absynth-py bench [--group linear|polynomial|all] [--quick] [--workers N]
+    absynth-py batch DIR|FILE|@group|name... [--workers N] [--cache-dir DIR]
+    absynth-py serve [--workers N] [--cache-dir DIR]
     absynth-py list
 
 ``analyze`` parses a program in the concrete syntax (see
 :mod:`repro.lang.parser`), runs the expected-cost analysis and prints the
 bound; ``simulate`` estimates the expected cost by sampling; ``bench``
-regenerates Table 1.
+regenerates Table 1; ``batch`` fans a set of programs out over the
+:mod:`repro.service` scheduler with the persistent result cache; ``serve``
+runs the line-oriented JSON analysis service on stdin/stdout.
+
+Exit codes are distinct per failure class so scripts can tell them apart:
+``0`` success, ``2`` parse error, ``3`` no bound found (the LP is
+infeasible for every attempted degree), ``4`` the analysis could not be set
+up (lowering/derivation failure), ``5`` certificate validation failed, and
+``1`` for anything else (timeouts, cancelled jobs, internal errors).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.registry import benchmark_names
 from repro.core.analyzer import analyze_program
 from repro.core.certificates import check_certificate
+from repro.exitcodes import (EXIT_ANALYSIS_ERROR, EXIT_CERTIFICATE_ERROR,
+                             EXIT_FAILURE, EXIT_NO_BOUND, EXIT_OK,
+                             EXIT_PARSE_ERROR, STATUS_EXIT,
+                             exit_code_for_statuses)
+from repro.lang.errors import ParseError
 from repro.lang.parser import parse_program
 from repro.semantics.sampler import estimate_expected_cost
 
@@ -42,14 +58,19 @@ def _load_program(path: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    program = _load_program(args.program)
+    try:
+        program = _load_program(args.program)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     options = {"max_degree": args.degree, "auto_degree": not args.no_auto_degree}
     if args.counter:
         options["resource_counter"] = args.counter
     result = analyze_program(program, **options)
     if not result.success:
         print(f"no bound found: {result.message}")
-        return 1
+        return STATUS_EXIT.get(result.failure_kind or "analysis-error",
+                               EXIT_FAILURE)
     print(f"expected cost bound: {result.bound}")
     print(f"degree: {result.degree}   analysis time: {result.time_seconds:.3f}s   "
           f"LP size: {result.lp_variables} variables / {result.lp_constraints} constraints")
@@ -59,21 +80,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("certificate check FAILED:")
             for problem in problems[:10]:
                 print(f"  - {problem}")
-            return 2
+            return EXIT_CERTIFICATE_ERROR
         print(f"certificate check passed "
               f"({len(result.certificate.points)} annotated program points, "
               f"{len(result.certificate.weakenings)} weakenings)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    program = _load_program(args.program)
+    try:
+        program = _load_program(args.program)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     state = _parse_assignments(args.input or [])
     stats = estimate_expected_cost(program, state, runs=args.runs, seed=args.seed)
     print(f"runs: {stats.runs}   mean cost: {stats.mean:.3f}   std: {stats.std:.3f}")
     print(f"min/q1/median/q3/max: {stats.minimum:.1f} / {stats.first_quartile:.1f} / "
           f"{stats.median:.1f} / {stats.third_quartile:.1f} / {stats.maximum:.1f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -86,13 +111,111 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--no-simulation")
     if args.names:
         forwarded.extend(["--names", *args.names])
+    if args.workers is not None:
+        forwarded.extend(["--workers", str(args.workers)])
     return table1.main(forwarded)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    for name in benchmark_names():
+    # Stable, plainly sorted output so scripts can diff/bisect the listing.
+    for name in sorted(benchmark_names()):
         print(name)
-    return 0
+    return EXIT_OK
+
+
+# -- repro.service front ends -------------------------------------------------
+
+def _make_store(args: argparse.Namespace):
+    from repro.service.store import ResultStore
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultStore(args.cache_dir)
+
+
+def _collect_batch_jobs(targets: Sequence[str]):
+    """Resolve batch targets (directories, files, registry selectors) to jobs."""
+    from repro.bench.registry import select_benchmarks
+    from repro.service.jobs import job_from_benchmark, job_from_file
+
+    jobs = []
+    registry_selectors: List[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            entries = sorted(entry for entry in os.listdir(target)
+                             if entry.endswith(".imp"))
+            if not entries:
+                raise SystemExit(f"no .imp programs under {target!r}")
+            for entry in entries:
+                path = os.path.join(target, entry)
+                jobs.append(job_from_file(path, name=os.path.splitext(entry)[0]))
+        elif os.path.isfile(target):
+            name = os.path.splitext(os.path.basename(target))[0]
+            jobs.append(job_from_file(target, name=name))
+        else:
+            registry_selectors.append(target)
+    if registry_selectors:
+        try:
+            benchmarks = select_benchmarks(registry_selectors)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0] if exc.args else exc))
+        jobs.extend(job_from_benchmark(benchmark) for benchmark in benchmarks)
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.reporting import render_table
+    from repro.service.scheduler import SchedulerConfig, run_batch
+
+    if args.timeout is not None and args.workers < 1:
+        raise SystemExit("--timeout requires --workers >= 1 (inline "
+                         "execution cannot preempt a running job)")
+    jobs = _collect_batch_jobs(args.targets)
+    if not jobs:
+        raise SystemExit("nothing to analyze")
+    store = _make_store(args)
+    report = run_batch(jobs, SchedulerConfig(
+        workers=args.workers, timeout=args.timeout, store=store,
+        refresh=args.refresh))
+
+    rows = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        rows.append((result.name, result.status,
+                     result.bound_pretty or f"<{result.message[:40]}>",
+                     f"{result.wall_seconds:.3f}",
+                     "store" if outcome.cached else "computed"))
+    if not args.quiet:
+        print(render_table(("program", "status", "bound", "time(s)", "from"),
+                           rows, title=f"batch: {len(jobs)} jobs, "
+                                       f"{args.workers} workers"))
+        print(f"\nwall {report.wall_seconds:.2f}s; {report.executed} executed, "
+              f"{report.cache_hits} served from store "
+              f"({report.cache_hit_rate():.0%} hit rate)")
+        if store is not None:
+            print(f"cache: {store.root} ({store.stats.writes} records written)")
+    if args.json:
+        payload = {
+            "wall_seconds": report.wall_seconds,
+            "workers": report.workers,
+            "cache_hits": report.cache_hits,
+            "results": [outcome.result.to_record()
+                        for outcome in report.outcomes],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    return exit_code_for_statuses(result.status for result in report.results)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_stdio
+
+    return serve_stdio(store=_make_store(args), workers=args.workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,7 +248,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--names", nargs="*", default=None)
     bench.add_argument("--quick", action="store_true")
     bench.add_argument("--no-simulation", action="store_true")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="analyze benchmarks through the service scheduler "
+                            "with this many worker processes (0 = inline)")
     bench.set_defaults(func=_cmd_bench)
+
+    batch = subparsers.add_parser(
+        "batch", help="analyze many programs through the scheduler + cache")
+    batch.add_argument("targets", nargs="+",
+                       help="directories of .imp files, single files, or "
+                            "registry selectors (@all, @linear, @polynomial, "
+                            "names, globs)")
+    batch.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = inline, default)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds "
+                            "(requires --workers >= 1)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent result cache directory "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+    batch.add_argument("--refresh", action="store_true",
+                       help="re-analyze even on cache hits (results are "
+                            "written back)")
+    batch.add_argument("--json", default=None,
+                       help="also write the full result records to this file")
+    batch.add_argument("--quiet", action="store_true")
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve analysis requests as JSON lines on stdin/stdout")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes used for 'batch' requests")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent result cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+    serve.set_defaults(func=_cmd_serve)
 
     listing = subparsers.add_parser("list", help="list the benchmark programs")
     listing.set_defaults(func=_cmd_list)

@@ -87,6 +87,11 @@ class AnalysisResult:
     lp_constraints: int
     certificate: Optional[Certificate] = None
     message: str = ""
+    #: ``""`` on success; ``"no-bound"`` when the LP is infeasible for every
+    #: attempted degree; ``"analysis-error"`` when the derivation could not
+    #: even be set up (lowering failures, unsupported constructs, ...).
+    #: Front ends map these to distinct exit codes.
+    failure_kind: str = ""
 
     def require_bound(self) -> ExpectedBound:
         if not self.success or self.bound is None:
@@ -144,7 +149,8 @@ class ExpectedCostAnalyzer:
         try:
             program = self._prepare_program()
         except AnalysisError as exc:
-            return AnalysisResult(False, None, degree, 0.0, 0, 0, None, str(exc))
+            return AnalysisResult(False, None, degree, 0.0, 0, 0, None, str(exc),
+                                  failure_kind="analysis-error")
 
         interpreter = AbstractInterpreter(program)
         interpreter.analyze_procedure(program.main)
@@ -177,7 +183,7 @@ class ExpectedCostAnalyzer:
         except AnalysisError as exc:
             return AnalysisResult(False, None, degree, 0.0,
                                   system.num_variables, system.num_constraints,
-                                  None, str(exc))
+                                  None, str(exc), failure_kind="analysis-error")
 
         objectives = self._objectives(initial)
         solver = IterativeMinimizer(system, tolerance=self.config.lp_tolerance)
@@ -187,7 +193,8 @@ class ExpectedCostAnalyzer:
                 False, None, degree, 0.0,
                 system.num_variables, system.num_constraints, None,
                 f"the LP is infeasible for degree {degree} "
-                "(no bound exists for the chosen base functions)")
+                "(no bound exists for the chosen base functions)",
+                failure_kind="no-bound")
 
         bound_poly = self._extract_bound(initial, solution)
         certificate = build_certificate(bound_poly, builder.steps, builder.weakens,
@@ -283,3 +290,16 @@ class ExpectedCostAnalyzer:
 def analyze_program(program: ast.Program, **options) -> AnalysisResult:
     """Convenience wrapper: ``analyze_program(prog, max_degree=2, ...)``."""
     return ExpectedCostAnalyzer(program, **options).analyze()
+
+
+def analyze_source(source: str, **options) -> AnalysisResult:
+    """Parse concrete syntax and analyze it: the pure batch entry point.
+
+    A module-level function of picklable inputs (source text + keyword
+    options) and a picklable :class:`AnalysisResult`, so it can be shipped
+    to worker processes by :mod:`repro.service.scheduler` as-is.
+    :class:`~repro.lang.errors.ParseError` propagates to the caller.
+    """
+    from repro.lang.parser import parse_program
+
+    return ExpectedCostAnalyzer(parse_program(source), **options).analyze()

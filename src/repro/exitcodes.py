@@ -1,0 +1,41 @@
+"""Process exit codes shared by every front end.
+
+Lives outside :mod:`repro.cli` so lower layers (``bench``, ``service``)
+can map job/result statuses to exit codes without importing the CLI
+(which sits at the top of the layer cake, see ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+EXIT_OK = 0
+EXIT_FAILURE = 1            # generic / unexpected
+EXIT_PARSE_ERROR = 2
+EXIT_NO_BOUND = 3
+EXIT_ANALYSIS_ERROR = 4     # derivation/solver setup failure
+EXIT_CERTIFICATE_ERROR = 5
+
+#: Job/result statuses mapped to exit codes (worst one wins for batches).
+STATUS_EXIT = {
+    "ok": EXIT_OK,
+    "parse-error": EXIT_PARSE_ERROR,
+    "no-bound": EXIT_NO_BOUND,
+    "analysis-error": EXIT_ANALYSIS_ERROR,
+}
+
+#: Severity order used to aggregate a batch into one exit code: parse
+#: errors are reported first (the input is broken), then missing bounds,
+#: then setup failures, then anything unexpected.
+_STATUS_SEVERITY = ("parse-error", "no-bound", "analysis-error")
+
+
+def exit_code_for_statuses(statuses: Iterable[str]) -> int:
+    """One exit code summarising many job statuses."""
+    seen = set(statuses)
+    if seen <= {"ok"}:
+        return EXIT_OK
+    for status in _STATUS_SEVERITY:
+        if status in seen:
+            return STATUS_EXIT[status]
+    return EXIT_FAILURE

@@ -1,0 +1,30 @@
+"""Batch-analysis orchestration: jobs, scheduler, persistent store, server.
+
+This layer turns the one-shot analyzer (:mod:`repro.core.analyzer`) into a
+throughput-oriented system:
+
+* :mod:`repro.service.jobs` -- picklable, content-addressed analysis jobs
+  and JSON-able results (bound + derivation certificate included);
+* :mod:`repro.service.scheduler` -- multiprocess fan-out with per-worker
+  warm entailment engines, per-job timeouts, deterministic result order;
+* :mod:`repro.service.store` -- the on-disk content-addressed result cache;
+* :mod:`repro.service.server` -- the ``repro serve`` JSON request loop.
+
+See ARCHITECTURE.md for where this sits in the layer cake.
+"""
+
+from repro.service.jobs import (AnalysisJob, JobResult, bound_from_payload,
+                                job_from_benchmark, job_from_file, run_job)
+from repro.service.scheduler import (BatchReport, JobOutcome, SchedulerConfig,
+                                     default_worker_count, run_batch, run_jobs)
+from repro.service.server import AnalysisServer, serve_stdio
+from repro.service.store import ResultStore, default_cache_dir
+
+__all__ = [
+    "AnalysisJob", "JobResult", "bound_from_payload", "job_from_benchmark",
+    "job_from_file", "run_job",
+    "BatchReport", "JobOutcome", "SchedulerConfig", "default_worker_count",
+    "run_batch", "run_jobs",
+    "AnalysisServer", "serve_stdio",
+    "ResultStore", "default_cache_dir",
+]

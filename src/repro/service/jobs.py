@@ -1,0 +1,294 @@
+"""Analysis jobs: picklable units of work with canonical content hashes.
+
+An :class:`AnalysisJob` wraps one parse→analyze→bound request as plain data
+(program source text + analyzer options), so it can be
+
+* shipped to a worker process by :mod:`repro.service.scheduler` (everything
+  is picklable, no AST or engine state crosses the process boundary), and
+* content-addressed by :attr:`AnalysisJob.job_hash` so the persistent store
+  (:mod:`repro.service.store`) can serve unchanged programs without
+  re-analyzing them.
+
+The hash covers the *canonical* program text (whitespace-normalised), the
+analyzer options that affect the result (degree, resource counter, hints,
+solver tolerances) and a schema version, so any change to the result format
+invalidates old cache records wholesale.
+
+:class:`JobResult` is the JSON-able mirror of
+:class:`repro.core.analyzer.AnalysisResult`: the bound is serialised term by
+term with exact rational coefficients (so the parent process can rebuild an
+evaluable :class:`~repro.core.bounds.ExpectedBound`), and the certificate is
+flattened to its annotated points and weakening evidence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analyzer import AnalysisResult, analyze_source
+from repro.core.bounds import ExpectedBound
+from repro.core.certificates import Certificate
+from repro.lang.errors import ParseError
+from repro.utils.linear import LinExpr
+from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
+
+#: Bump when the JobResult/record layout changes: old store records become
+#: cache misses instead of being misread.
+SCHEMA_VERSION = 1
+
+#: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
+#: deterministic outcomes of the job's content and therefore cacheable;
+#: ``analysis-error`` may be environment-dependent (e.g. the constraint cap)
+#: and ``timeout``/``cancelled``/``error`` describe the run, not the job.
+CACHEABLE_STATUSES = frozenset({"ok", "no-bound", "parse-error"})
+
+
+def canonical_source(source: str) -> str:
+    """Whitespace-normalised program text (the hashed representation).
+
+    Trailing whitespace, ``\\r`` line endings and leading/trailing blank
+    lines never change the parsed program, so they do not change the hash.
+    """
+    lines = [line.rstrip() for line in source.replace("\r\n", "\n").split("\n")]
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+def _jsonable_option(value: object) -> object:
+    """Deterministic JSON image of one analyzer option value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Fraction):
+        return f"fraction:{value}"
+    if isinstance(value, (list, tuple)):
+        return [_jsonable_option(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable_option(value[key]) for key in sorted(value)}
+    # LinExpr hints and other rich values have deterministic reprs.
+    return f"repr:{value!r}"
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One self-contained analysis request (picklable, content-addressed)."""
+
+    name: str
+    source: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(cls, name: str, source: str,
+               options: Optional[Dict[str, object]] = None) -> "AnalysisJob":
+        items = tuple(sorted((options or {}).items()))
+        return cls(name=name, source=source, options=items)
+
+    @property
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    @property
+    def job_hash(self) -> str:
+        """Canonical content hash: source + options + schema version."""
+        payload = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "source": canonical_source(self.source),
+            "options": {name: _jsonable_option(value)
+                        for name, value in self.options},
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def job_from_file(path: str, options: Optional[Dict[str, object]] = None,
+                  name: Optional[str] = None) -> AnalysisJob:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return AnalysisJob.create(name or path, source, options)
+
+
+def job_from_benchmark(benchmark) -> AnalysisJob:
+    """Turn a registry :class:`~repro.bench.registry.BenchmarkProgram` into a job.
+
+    The program AST is printed back to concrete syntax (a bound-preserving
+    round trip, see ``tests/test_parser_printer.py``) so the job carries only
+    text and the worker parses it afresh.
+    """
+    return AnalysisJob.create(benchmark.name, benchmark.source_text(),
+                              dict(benchmark.analyzer_options))
+
+
+# ---------------------------------------------------------------------------
+# Result serialisation
+# ---------------------------------------------------------------------------
+
+def _linexpr_payload(expr: LinExpr) -> Dict[str, object]:
+    return {"coeffs": {var: str(coeff) for var, coeff in expr.coeff_items},
+            "const": str(expr.const_term)}
+
+
+def _linexpr_from_payload(payload: Dict[str, object]) -> LinExpr:
+    coeffs = {var: Fraction(coeff) for var, coeff in payload["coeffs"].items()}
+    return LinExpr(coeffs, Fraction(payload["const"]))
+
+
+def bound_payload(bound: ExpectedBound) -> Dict[str, object]:
+    """Exact, JSON-able image of a bound (reconstructible via :func:`bound_from_payload`)."""
+    terms = []
+    for monomial in bound.polynomial.monomials():
+        coeff = bound.polynomial.coefficient(monomial)
+        factors = [{"power": power, **_linexpr_payload(atom.diff)}
+                   for atom, power in monomial.factors]
+        terms.append({"coeff": str(coeff), "factors": factors})
+    return {"pretty": bound.pretty(), "terms": terms}
+
+
+def bound_from_payload(payload: Dict[str, object]) -> ExpectedBound:
+    terms: Dict[Monomial, Fraction] = {}
+    for term in payload["terms"]:
+        counts = {IntervalAtom(_linexpr_from_payload(factor)): factor["power"]
+                  for factor in term["factors"]}
+        terms[Monomial(counts)] = Fraction(term["coeff"])
+    return ExpectedBound(Polynomial(terms))
+
+
+def certificate_payload(certificate: Certificate) -> Dict[str, object]:
+    """JSON image of a derivation certificate (annotated points + weakenings).
+
+    This keeps the machine-checkable *evidence* attached to every stored
+    result: the instantiated annotation at every program point and, per
+    weakening, the non-negative combination of rewrite functions justifying
+    it.  Polynomials are rendered in the Table-1 syntax; the algebraic
+    re-check (:func:`repro.core.certificates.check_certificate`) runs on the
+    live objects before the record is written.
+    """
+    return {
+        "bound": str(certificate.bound),
+        "points": [{
+            "node_id": point.node_id,
+            "rule": point.rule,
+            "description": point.description,
+            "pre": str(point.pre),
+            "post": str(point.post),
+        } for point in certificate.points],
+        "weakenings": [{
+            "origin": evidence.origin,
+            "context": [str(fact) for fact in evidence.context.facts],
+            "stronger": str(evidence.stronger),
+            "weaker": str(evidence.weaker),
+            "combination": [{
+                "multiplier": str(value),
+                "rewrite": str(poly),
+                "reason": reason,
+            } for value, poly, reason in evidence.combination],
+        } for evidence in certificate.weakenings],
+    }
+
+
+@dataclass
+class JobResult:
+    """JSON-able outcome of one job (what workers return and the store keeps)."""
+
+    name: str
+    job_hash: str
+    status: str                      # ok | no-bound | analysis-error |
+                                     # parse-error | error | timeout | cancelled
+    wall_seconds: float = 0.0
+    degree: int = 0
+    bound: Optional[Dict[str, object]] = None
+    lp_variables: int = 0
+    lp_constraints: int = 0
+    message: str = ""
+    certificate: Optional[Dict[str, object]] = None
+    engine: Dict[str, int] = field(default_factory=dict)
+    worker_pid: int = 0
+
+    @property
+    def success(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def cacheable(self) -> bool:
+        return self.status in CACHEABLE_STATUSES
+
+    @property
+    def bound_pretty(self) -> Optional[str]:
+        return self.bound["pretty"] if self.bound else None
+
+    def expected_bound(self) -> Optional[ExpectedBound]:
+        """Rebuild the evaluable bound object (None for unsuccessful jobs)."""
+        return bound_from_payload(self.bound) if self.bound else None
+
+    def to_record(self) -> Dict[str, object]:
+        record = asdict(self)
+        record["schema"] = SCHEMA_VERSION
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "JobResult":
+        fields = {name: record[name] for name in (
+            "name", "job_hash", "status", "wall_seconds", "degree", "bound",
+            "lp_variables", "lp_constraints", "message", "certificate",
+            "engine", "worker_pid")}
+        return cls(**fields)
+
+
+def result_from_analysis(job: AnalysisJob, analysis: AnalysisResult,
+                         wall_seconds: float,
+                         engine_delta: Optional[Dict[str, int]] = None) -> JobResult:
+    """Flatten an in-process :class:`AnalysisResult` into a :class:`JobResult`."""
+    import os
+
+    status = "ok" if analysis.success else (analysis.failure_kind or "analysis-error")
+    return JobResult(
+        name=job.name,
+        job_hash=job.job_hash,
+        status=status,
+        wall_seconds=round(wall_seconds, 4),
+        degree=analysis.degree,
+        bound=bound_payload(analysis.bound) if analysis.bound else None,
+        lp_variables=analysis.lp_variables,
+        lp_constraints=analysis.lp_constraints,
+        message=analysis.message,
+        certificate=(certificate_payload(analysis.certificate)
+                     if analysis.certificate else None),
+        engine=dict(engine_delta or {}),
+        worker_pid=os.getpid(),
+    )
+
+
+def run_job(job: AnalysisJob) -> JobResult:
+    """Execute one job in this process (the scheduler's worker entry point).
+
+    Never raises for job-content problems: parse errors and analysis
+    failures come back as structured statuses.  Only genuinely unexpected
+    exceptions are folded into an ``error`` result so a bad job cannot take
+    the worker down.
+    """
+    import os
+
+    from repro.logic.entailment import get_engine
+
+    engine = get_engine()
+    before = engine.stats.snapshot()
+    start = time.perf_counter()
+    try:
+        analysis = analyze_source(job.source, **job.options_dict)
+    except ParseError as exc:
+        return JobResult(name=job.name, job_hash=job.job_hash,
+                         status="parse-error",
+                         wall_seconds=round(time.perf_counter() - start, 4),
+                         message=str(exc), worker_pid=os.getpid())
+    except Exception as exc:  # noqa: BLE001 -- workers must survive bad jobs
+        return JobResult(name=job.name, job_hash=job.job_hash, status="error",
+                         wall_seconds=round(time.perf_counter() - start, 4),
+                         message=f"{type(exc).__name__}: {exc}",
+                         worker_pid=os.getpid())
+    wall = time.perf_counter() - start
+    return result_from_analysis(job, analysis, wall, engine.stats.delta(before))

@@ -1,0 +1,293 @@
+"""Multiprocess batch scheduler: fan analysis jobs out over worker processes.
+
+The scheduler turns a list of :class:`~repro.service.jobs.AnalysisJob` into a
+deterministic list of :class:`~repro.service.jobs.JobResult`:
+
+* **store first** -- jobs whose hash is in the persistent store
+  (:mod:`repro.service.store`) are served without any work;
+* **fan-out** -- remaining jobs run on a ``ProcessPoolExecutor``.  Each
+  worker installs a fresh :class:`~repro.logic.entailment.EntailmentEngine`
+  at start (no state inherited from the parent, none leaked back) and keeps
+  it warm across all jobs it executes, so a worker analyzing its third
+  program already owns the hot projection caches;
+* **timeouts and cancellation** -- with ``timeout`` set, every job gets that
+  much wall clock from the moment a worker slot can pick it up (a rolling
+  per-job deadline, so fast jobs queued behind slow ones are never
+  misreported).  A job that exceeds it is reported as ``timeout`` and its
+  stuck worker is terminated when the pool shuts down; jobs still queued
+  behind it are cancelled and reported as ``cancelled``.
+  ``KeyboardInterrupt`` cancels everything still pending before
+  propagating;
+* **deterministic ordering** -- results always come back in input order, no
+  matter which worker finished first, and identical jobs (same content
+  hash) are executed only once per batch.
+
+``workers=0`` runs everything inline in the calling process (no pool, no
+pickling) -- handy for tests and for callers that want the scheduler's
+store/dedup behaviour without multiprocessing.  Inline execution cannot
+preempt a job, so ``timeout`` requires ``workers >= 1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.jobs import AnalysisJob, JobResult, run_job
+from repro.service.store import ResultStore
+
+
+def default_worker_count() -> int:
+    """A sensible default fan-out: physical parallelism minus one, capped."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(8, cpus - 1))
+
+
+def _worker_init() -> None:
+    """Per-process initializer: fresh, pre-warmed entailment engine."""
+    from repro.logic import entailment
+
+    entailment.reset_engine()
+    entailment.warm_engine()
+
+
+def _execute_job(job: AnalysisJob) -> JobResult:
+    """What the pool actually runs (separate from run_job for test seams)."""
+    return run_job(job)
+
+
+def _pool_context():
+    """Prefer fork (workers inherit the already-imported LP stack)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of one batch run."""
+
+    #: Number of worker processes; 0 runs jobs inline in this process.
+    workers: int = 0
+    #: Per-job wall-clock budget in seconds, measured from when a worker
+    #: slot frees up for the job (requires ``workers >= 1``; inline
+    #: execution cannot preempt).
+    timeout: Optional[float] = None
+    #: Persistent result store; None disables caching entirely.
+    store: Optional[ResultStore] = None
+    #: Ignore store reads (results are still written back).
+    refresh: bool = False
+
+
+@dataclass
+class JobOutcome:
+    """One job's result plus where it came from."""
+
+    job: AnalysisJob
+    result: JobResult
+    cached: bool = False
+
+
+@dataclass
+class BatchReport:
+    """Everything a front end needs to render one batch run."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 0
+
+    @property
+    def results(self) -> List[JobResult]:
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.result.status != "ok"]
+
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
+
+    def count(self, status: str) -> int:
+        return sum(1 for outcome in self.outcomes
+                   if outcome.result.status == status)
+
+
+def run_batch(jobs: Sequence[AnalysisJob],
+              config: Optional[SchedulerConfig] = None,
+              **overrides) -> BatchReport:
+    """Run ``jobs`` through the store + worker pool; results in input order."""
+    if config is None:
+        config = SchedulerConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a SchedulerConfig or keyword overrides")
+    if config.timeout is not None and config.workers < 1:
+        raise ValueError("timeout requires workers >= 1 (inline execution "
+                         "cannot preempt a running job)")
+
+    start = time.perf_counter()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+    hashes = [job.job_hash for job in jobs]
+
+    # Layer 1: the persistent store.
+    pending: Dict[str, List[int]] = {}     # hash -> input indices to fill
+    for index, (job, job_hash) in enumerate(zip(jobs, hashes)):
+        cached = None
+        if config.store is not None and not config.refresh:
+            cached = config.store.get(job_hash)
+        if cached is not None:
+            outcomes[index] = JobOutcome(job, _named_for(cached, job),
+                                         cached=True)
+        else:
+            pending.setdefault(job_hash, []).append(index)
+
+    # Layer 2: execute each distinct pending job exactly once.
+    ordered_hashes = sorted(pending, key=lambda job_hash: pending[job_hash][0])
+    unique_jobs = [jobs[pending[job_hash][0]] for job_hash in ordered_hashes]
+    if config.workers <= 0:
+        executed = [_execute_job(job) for job in unique_jobs]
+    else:
+        executed = _run_on_pool(unique_jobs, config.workers, config.timeout)
+
+    for job_hash, result in zip(ordered_hashes, executed):
+        if config.store is not None:
+            config.store.put(result)
+        for index in pending[job_hash]:
+            outcomes[index] = JobOutcome(jobs[index],
+                                         _named_for(result, jobs[index]),
+                                         cached=False)
+
+    report = BatchReport(outcomes=[outcome for outcome in outcomes
+                                   if outcome is not None],
+                         wall_seconds=round(time.perf_counter() - start, 4),
+                         workers=config.workers)
+    return report
+
+
+def _named_for(result: JobResult, job: AnalysisJob) -> JobResult:
+    """The result relabelled with this job's name.
+
+    Store hits and batch-level dedup reuse one computed result for many
+    input jobs; the payload is content-determined but the name is
+    presentation, so each outcome reports under its own job's name.
+    """
+    if result.name == job.name:
+        return result
+    from dataclasses import replace
+
+    return replace(result, name=job.name)
+
+
+def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
+                 timeout: Optional[float]) -> List[JobResult]:
+    """Fan out over a ProcessPoolExecutor; one result per job, input order.
+
+    Per-job deadlines are rolling: job ``i`` cannot start before a worker
+    slot frees up, so its clock starts at the ``(i - workers)``-th
+    completion (batch start for the first wave).  A fast job queued behind
+    a slow one is therefore never misreported as timed out.
+    """
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    if not jobs:
+        return []
+    pool_size = min(workers, len(jobs))
+    executor = ProcessPoolExecutor(
+        max_workers=pool_size,
+        mp_context=_pool_context(),
+        initializer=_worker_init)
+    overdue = False
+    futures = []
+    try:
+        start = time.monotonic()
+        # When the i-th waited-on future settled (timeouts settle at the
+        # moment we gave up on them: the worker is still busy, so jobs
+        # queued behind are not starting either).
+        settled_at: List[float] = []
+        futures = [executor.submit(_execute_job, job) for job in jobs]
+        for index, (job, future) in enumerate(zip(jobs, futures)):
+            remaining = None
+            if timeout is not None:
+                slot_free = settled_at[index - pool_size] \
+                    if index >= pool_size else start
+                remaining = max(0.0, slot_free + timeout - time.monotonic())
+            try:
+                results[index] = future.result(timeout=remaining)
+            except FutureTimeout:
+                if future.cancel():
+                    status, note = "cancelled", "cancelled: batch deadline reached"
+                else:
+                    status, note = "timeout", \
+                        f"timed out after {timeout:.1f}s wall-clock budget"
+                    overdue = True
+                results[index] = JobResult(name=job.name, job_hash=job.job_hash,
+                                           status=status, message=note)
+            except BrokenProcessPool as exc:
+                # The pool died (OOM-killed worker, ...): every remaining
+                # future fails the same way, so fill and stop waiting.
+                for rest in range(index, len(jobs)):
+                    if results[rest] is None:
+                        results[rest] = JobResult(
+                            name=jobs[rest].name, job_hash=jobs[rest].job_hash,
+                            status="error", message=f"worker pool broke: {exc}")
+                break
+            except Exception as exc:  # noqa: BLE001 -- surface, don't crash batch
+                results[index] = JobResult(name=job.name, job_hash=job.job_hash,
+                                           status="error",
+                                           message=f"{type(exc).__name__}: {exc}")
+            settled_at.append(time.monotonic())
+    except KeyboardInterrupt:
+        for future in futures:
+            future.cancel()
+        _terminate_workers(executor)
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        if overdue:
+            # A timed-out job is still burning its worker, and the
+            # executor's atexit hook would join it forever: kill the
+            # worker processes so shutdown (and interpreter exit)
+            # actually completes.
+            _terminate_workers(executor)
+        executor.shutdown(wait=not overdue, cancel_futures=True)
+    return [result if result is not None else
+            JobResult(name=job.name, job_hash=job.job_hash, status="cancelled",
+                      message="cancelled: batch aborted")
+            for job, result in zip(jobs, results)]
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Forcefully stop the pool's worker processes (stuck/overdue jobs).
+
+    Reaches into the executor's process table -- there is no public kill
+    switch on ProcessPoolExecutor, and without this a worker stuck in a
+    never-terminating analysis would block interpreter exit.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+
+
+def run_jobs(jobs: Sequence[AnalysisJob], workers: int = 0,
+             store: Optional[ResultStore] = None,
+             timeout: Optional[float] = None,
+             refresh: bool = False) -> List[JobResult]:
+    """Convenience wrapper returning just the results, in input order."""
+    return run_batch(jobs, SchedulerConfig(workers=workers, timeout=timeout,
+                                           store=store, refresh=refresh)).results

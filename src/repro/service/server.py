@@ -1,0 +1,150 @@
+"""``repro serve``: a line-oriented JSON analysis service.
+
+One request per line on stdin, one JSON response per line on stdout -- the
+simplest protocol that lets an external driver (a CI harness, a notebook, a
+socket wrapper like ``socat``) hand programs to a long-lived analyzer
+process and benefit from the warm in-process entailment caches *and* the
+persistent result store across requests.
+
+Requests::
+
+    {"op": "analyze", "id": 1, "source": "proc main(n) {...}",
+     "options": {"max_degree": 2}, "name": "mine"}
+    {"op": "batch", "id": 2, "workers": 4,
+     "jobs": [{"source": "...", "options": {...}, "name": "a"}, ...]}
+    {"op": "stats", "id": 3}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Responses mirror the request ``id`` and carry ``status`` plus the full
+:class:`~repro.service.jobs.JobResult` record(s).  ``analyze`` runs inline
+(the per-request latency of spinning up a pool would dwarf a single
+analysis); ``batch`` fans out through the scheduler.  Malformed lines
+produce an ``{"error": ...}`` response instead of killing the server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Dict, List, Optional
+
+from repro.service.jobs import AnalysisJob
+from repro.service.scheduler import SchedulerConfig, run_batch
+from repro.service.store import ResultStore
+
+
+def _job_from_request(payload: Dict[str, object], index: int = 0) -> AnalysisJob:
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError("request needs a non-empty 'source' string")
+    options = payload.get("options") or {}
+    if not isinstance(options, dict):
+        raise ValueError("'options' must be an object")
+    name = payload.get("name")
+    return AnalysisJob.create(str(name) if name else f"request-{index}",
+                              source, options)
+
+
+class AnalysisServer:
+    """Stateful request loop over a store and (for batches) a worker pool."""
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 workers: int = 0) -> None:
+        self.store = store
+        self.workers = workers
+        self.requests_served = 0
+
+    # -- request handlers --------------------------------------------------
+
+    def handle(self, payload: Dict[str, object]) -> Dict[str, object]:
+        op = payload.get("op", "analyze")
+        if op == "ping":
+            return {"op": "ping", "ok": True}
+        if op == "stats":
+            return self._handle_stats()
+        if op == "analyze":
+            return self._handle_analyze(payload)
+        if op == "batch":
+            return self._handle_batch(payload)
+        return {"error": f"unknown op {op!r}"}
+
+    def _handle_analyze(self, payload: Dict[str, object]) -> Dict[str, object]:
+        job = _job_from_request(payload, self.requests_served)
+        report = run_batch([job], SchedulerConfig(workers=0, store=self.store))
+        outcome = report.outcomes[0]
+        return {"op": "analyze", "status": outcome.result.status,
+                "cached": outcome.cached, "result": outcome.result.to_record()}
+
+    def _handle_batch(self, payload: Dict[str, object]) -> Dict[str, object]:
+        raw_jobs = payload.get("jobs")
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise ValueError("'batch' needs a non-empty 'jobs' array")
+        jobs = [_job_from_request(raw, index)
+                for index, raw in enumerate(raw_jobs)]
+        workers = payload.get("workers", self.workers)
+        timeout = payload.get("timeout")
+        report = run_batch(jobs, SchedulerConfig(
+            workers=int(workers), store=self.store,
+            timeout=float(timeout) if timeout is not None else None))
+        return {
+            "op": "batch",
+            "wall_seconds": report.wall_seconds,
+            "cache_hits": report.cache_hits,
+            "results": [outcome.result.to_record()
+                        for outcome in report.outcomes],
+            "cached": [outcome.cached for outcome in report.outcomes],
+        }
+
+    def _handle_stats(self) -> Dict[str, object]:
+        from repro.logic.entailment import get_engine
+
+        return {
+            "op": "stats",
+            "requests_served": self.requests_served,
+            "store": self.store.stats.as_dict() if self.store else None,
+            "engine": get_engine().stats.as_dict(),
+        }
+
+    # -- the loop ----------------------------------------------------------
+
+    def serve(self, input_stream: IO[str], output_stream: IO[str]) -> int:
+        """Process requests until shutdown/EOF; return served request count."""
+        for line in input_stream:
+            line = line.strip()
+            if not line:
+                continue
+            response: Dict[str, object]
+            request_id = None
+            try:
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    raise ValueError("request must be a JSON object")
+                request_id = payload.get("id")
+                if payload.get("op") == "shutdown":
+                    response = {"op": "shutdown", "ok": True}
+                    if request_id is not None:
+                        response["id"] = request_id
+                    self._respond(output_stream, response)
+                    break
+                response = self.handle(payload)
+            except (ValueError, TypeError, KeyError) as exc:
+                response = {"error": str(exc)}
+            if request_id is not None:
+                response.setdefault("id", request_id)
+            self.requests_served += 1
+            self._respond(output_stream, response)
+        return self.requests_served
+
+    @staticmethod
+    def _respond(output_stream: IO[str], response: Dict[str, object]) -> None:
+        json.dump(response, output_stream, separators=(",", ":"))
+        output_stream.write("\n")
+        output_stream.flush()
+
+
+def serve_stdio(store: Optional[ResultStore] = None, workers: int = 0) -> int:
+    """Entry point for ``repro serve``: loop over stdin/stdout."""
+    server = AnalysisServer(store=store, workers=workers)
+    server.serve(sys.stdin, sys.stdout)
+    return 0

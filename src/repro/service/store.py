@@ -1,0 +1,158 @@
+"""Persistent, content-addressed result store.
+
+Records are JSON files keyed by the job's canonical content hash and laid
+out git-style (``<root>/<hh>/<hash>.json`` with a two-character fan-out
+directory), so re-running a suite only analyzes programs whose source or
+options changed.  Every record carries the full :class:`JobResult` payload
+including the serialised derivation certificate, plus provenance metadata
+(schema version, creation time, the job name it was first computed under).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
+writer can never leave a half-written record; concurrent writers of the
+*same* hash write identical content, so the race is benign.  Unreadable or
+schema-mismatched records are treated as cache misses and overwritten on
+the next put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Iterator, Optional
+
+from repro.service.jobs import SCHEMA_VERSION, JobResult
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+class StoreStats:
+    """Hit/miss/write counters of one :class:`ResultStore` instance."""
+
+    __slots__ = ("hits", "misses", "writes", "invalid")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0        # unreadable/mismatched records seen
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "invalid": self.invalid,
+                "hit_rate": round(self.hit_rate(), 4)}
+
+    def __repr__(self) -> str:
+        return (f"StoreStats(hits={self.hits}, misses={self.misses}, "
+                f"writes={self.writes}, invalid={self.invalid})")
+
+
+class ResultStore:
+    """On-disk cache of :class:`JobResult` records keyed by job hash."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.stats = StoreStats()
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, job_hash: str) -> str:
+        return os.path.join(self.root, job_hash[:2], f"{job_hash}.json")
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_hash: str) -> Optional[JobResult]:
+        """The cached result for ``job_hash``, or None (counts hit/miss)."""
+        path = self._path(job_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if record.get("schema") != SCHEMA_VERSION \
+                or record.get("job_hash") != job_hash:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        try:
+            result = JobResult.from_record(record)
+        except (KeyError, TypeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, result: JobResult) -> None:
+        """Persist a result (atomic write; only cacheable statuses are kept)."""
+        if not result.cacheable:
+            return
+        record = result.to_record()
+        record["stored_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        path = self._path(result.job_hash)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, job_hash: str) -> bool:
+        return os.path.exists(self._path(job_hash))
+
+    # -- maintenance -------------------------------------------------------
+
+    def iter_hashes(self) -> Iterator[str]:
+        """All record hashes currently on disk."""
+        if not os.path.isdir(self.root):
+            return
+        for fan in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, fan)
+            if not os.path.isdir(subdir):
+                continue
+            for entry in sorted(os.listdir(subdir)):
+                if entry.endswith(".json") and not entry.startswith("."):
+                    yield entry[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_hashes())
+
+    def clear(self) -> int:
+        """Delete every record; return how many were removed."""
+        removed = 0
+        for job_hash in list(self.iter_hashes()):
+            try:
+                os.unlink(self._path(job_hash))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r}, {self.stats!r})"

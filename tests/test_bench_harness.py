@@ -129,3 +129,139 @@ class TestPerfSmoke:
         report = run_suite("linear", limit=1)
         assert report["programs"][0]["fm_queries"] >= 0
         assert report["total_wall_seconds"] >= 0
+        assert report["workers"] == 1
+        assert report["suite_wall_parallel"] is None
+
+    def test_programs_filter(self, tmp_path):
+        from repro.bench.perfsmoke import main
+
+        output = tmp_path / "bench.json"
+        assert main(["--programs", "ber", "rdwalk", "--quiet",
+                     "--output", str(output)]) == 0
+        import json
+
+        report = json.loads(output.read_text())
+        assert sorted(p["name"] for p in report["programs"]) \
+            == ["ber", "rdwalk"]
+
+    def test_programs_filter_unknown_selector(self, tmp_path, capsys):
+        from repro.bench.perfsmoke import main
+
+        assert main(["--programs", "nope-such-bench", "--quiet",
+                     "--output", str(tmp_path / "b.json")]) == 2
+
+    def test_parallel_pass_records_suite_wall(self, tmp_path):
+        import json
+
+        from repro.bench.perfsmoke import main
+
+        output = tmp_path / "bench.json"
+        assert main(["--limit", "2", "--workers", "2", "--quiet",
+                     "--output", str(output)]) == 0
+        report = json.loads(output.read_text())
+        assert report["workers"] == 2
+        assert report["suite_wall_parallel"] > 0
+        assert all("parallel_wall_seconds" in p for p in report["programs"])
+
+
+class TestPerfCheck:
+    def _report(self, times):
+        return {"programs": [{"name": name, "wall_seconds": wall}
+                             for name, wall in times.items()]}
+
+    def test_no_regression(self):
+        from repro.bench.perfsmoke import find_regressions
+
+        baseline = self._report({"a": 1.0, "b": 0.2})
+        fresh = self._report({"a": 1.1, "b": 0.21})
+        assert find_regressions(fresh, baseline) == []
+
+    def test_flags_large_regression(self):
+        from repro.bench.perfsmoke import find_regressions
+
+        baseline = self._report({"a": 1.0})
+        fresh = self._report({"a": 1.5})
+        problems = find_regressions(fresh, baseline)
+        assert len(problems) == 1 and "a:" in problems[0]
+
+    def test_absolute_floor_suppresses_tiny_jitter(self):
+        from repro.bench.perfsmoke import find_regressions
+
+        # +100% but only +20ms: below the absolute floor, not flagged.
+        baseline = self._report({"tiny": 0.02})
+        fresh = self._report({"tiny": 0.04})
+        assert find_regressions(fresh, baseline) == []
+
+    def test_new_programs_are_skipped(self):
+        from repro.bench.perfsmoke import find_regressions
+
+        assert find_regressions(self._report({"new": 9.9}),
+                                self._report({"old": 0.1})) == []
+
+    def test_check_cli_against_self(self, tmp_path):
+        from repro.bench.perfsmoke import main
+
+        output = tmp_path / "bench.json"
+        assert main(["--limit", "2", "--quiet",
+                     "--output", str(output)]) == 0
+        # A fresh run checked against itself-as-baseline cannot regress
+        # by more than the threshold (same machine, seconds apart).
+        again = tmp_path / "again.json"
+        assert main(["--limit", "2", "--quiet", "--output", str(again),
+                     "--check", str(output)]) == 0
+
+    def test_check_missing_baseline(self, tmp_path):
+        from repro.bench.perfsmoke import main
+
+        assert main(["--limit", "1", "--quiet",
+                     "--output", str(tmp_path / "b.json"),
+                     "--check", str(tmp_path / "missing.json")]) == 2
+
+    def test_check_when_output_equals_baseline_path(self, tmp_path):
+        """--check must read the baseline before --output overwrites it."""
+        import json
+
+        from repro.bench.perfsmoke import main
+
+        shared = tmp_path / "bench.json"
+        # roulette is the slowest linear benchmark (~0.6s), comfortably
+        # above the absolute regression floor.
+        assert main(["--programs", "roulette", "--quiet",
+                     "--output", str(shared)]) == 0
+        # Doctor the baseline into an impossible-to-meet budget: if the
+        # gate compared the fresh run against itself it would pass.
+        record = json.loads(shared.read_text())
+        for program in record["programs"]:
+            program["wall_seconds"] = 1e-9
+        shared.write_text(json.dumps(record))
+        assert main(["--programs", "roulette", "--quiet",
+                     "--output", str(shared), "--check", str(shared)]) == 1
+
+
+class TestTable1Workers:
+    def test_workers_path_matches_sequential(self):
+        from repro.bench.table1 import run_table1
+
+        sequential = run_table1(names=["ber", "rdwalk"], simulate=False)
+        scheduled = run_table1(names=["ber", "rdwalk"], simulate=False,
+                               workers=0)
+        assert [(r.name, r.bound) for r in sequential] \
+            == [(r.name, r.bound) for r in scheduled]
+        assert all(r.success for r in scheduled)
+
+    def test_workers_path_simulates(self):
+        from repro.bench.table1 import run_table1
+
+        rows = run_table1(names=["linear01"], runs=30, workers=0)
+        assert rows[0].measurements
+        assert rows[0].error_percent == rows[0].error_percent  # not NaN
+
+    def test_row_status_property(self):
+        from repro.bench.table1 import Table1Row
+
+        ok = Table1Row("x", "linear", "b", "b", 0.0, None, 0.1, None,
+                       True, "paper")
+        bad = Table1Row("x", "linear", None, "b", 0.0, None, 0.1, None,
+                        False, "paper", message="nope",
+                        failure_kind="no-bound")
+        assert ok.status == "ok" and bad.status == "no-bound"

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (EXIT_ANALYSIS_ERROR, EXIT_NO_BOUND, EXIT_PARSE_ERROR,
+                       build_parser, exit_code_for_statuses, main)
 
 RDWALK_SOURCE = """
 proc main(x, n) {
@@ -65,12 +66,32 @@ class TestAnalyzeCommand:
         assert exit_code == 0
         assert "|[0, n]|" in output
 
-    def test_analyze_failure_exit_code(self, tmp_path, capsys):
+    def test_analyze_no_bound_exit_code(self, tmp_path, capsys):
         path = tmp_path / "bad.imp"
         path.write_text("proc main(x) { assume(x >= 1); while (x > 0) { tick(1); } }")
         exit_code = main(["analyze", str(path), "--no-auto-degree"])
-        assert exit_code == 1
+        assert exit_code == EXIT_NO_BOUND
         assert "no bound" in capsys.readouterr().out
+
+    def test_analyze_parse_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.imp"
+        path.write_text("proc main( {")
+        exit_code = main(["analyze", str(path)])
+        assert exit_code == EXIT_PARSE_ERROR
+        assert "parse error" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        codes = {EXIT_PARSE_ERROR, EXIT_NO_BOUND, EXIT_ANALYSIS_ERROR}
+        assert len(codes) == 3 and 0 not in codes and 1 not in codes
+
+    def test_exit_code_aggregation(self):
+        assert exit_code_for_statuses(["ok", "ok"]) == 0
+        assert exit_code_for_statuses(["ok", "no-bound"]) == EXIT_NO_BOUND
+        assert exit_code_for_statuses(
+            ["no-bound", "parse-error"]) == EXIT_PARSE_ERROR
+        assert exit_code_for_statuses(
+            ["ok", "analysis-error"]) == EXIT_ANALYSIS_ERROR
+        assert exit_code_for_statuses(["ok", "timeout"]) == 1
 
 
 class TestSimulateCommand:
@@ -92,9 +113,68 @@ class TestListAndBench:
         output = capsys.readouterr().out
         assert "rdwalk" in output and "trader" in output
 
+    def test_list_is_sorted(self, capsys):
+        main(["list"])
+        names = capsys.readouterr().out.splitlines()
+        assert names == sorted(names)
+
     def test_bench_named_subset(self, capsys):
         exit_code = main(["bench", "--names", "ber", "--quick"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "Linear programs" in output
         assert "ber" in output
+
+    def test_bench_with_workers(self, capsys):
+        exit_code = main(["bench", "--names", "ber", "rdwalk",
+                          "--no-simulation", "--workers", "0"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rdwalk" in output
+
+
+class TestBatchCommand:
+    def test_batch_directory_with_cache(self, tmp_path, capsys):
+        programs = tmp_path / "programs"
+        programs.mkdir()
+        (programs / "walk.imp").write_text(RDWALK_SOURCE)
+        (programs / "count.imp").write_text(COUNTER_SOURCE.replace(
+            "cost = cost + 1;", "tick(1);"))
+        cache = tmp_path / "cache"
+
+        exit_code = main(["batch", str(programs),
+                          "--cache-dir", str(cache)])
+        first = capsys.readouterr().out
+        assert exit_code == 0
+        assert "computed" in first
+        assert "0 served from store" in first
+
+        exit_code = main(["batch", str(programs), "--cache-dir", str(cache)])
+        second = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 served from store" in second
+        assert "100% hit rate" in second
+
+    def test_batch_registry_selector(self, tmp_path, capsys):
+        exit_code = main(["batch", "ber", "--no-cache", "--quiet",
+                          "--json", str(tmp_path / "out.json")])
+        assert exit_code == 0
+        import json
+
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["results"][0]["name"] == "ber"
+        assert payload["results"][0]["status"] == "ok"
+
+    def test_batch_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.imp"
+        bad.write_text("proc main( {")
+        exit_code = main(["batch", str(bad), "--no-cache", "--quiet"])
+        assert exit_code == EXIT_PARSE_ERROR
+
+    def test_batch_unknown_selector(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "no-such-benchmark", "--no-cache"])
+
+    def test_batch_timeout_needs_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["batch", "ber", "--no-cache", "--timeout", "5"])
