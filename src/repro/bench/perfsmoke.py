@@ -10,6 +10,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --group polynomial --output /tmp/bench.json
     python -m repro.bench.perfsmoke --programs 'C4B_*' rdwalk
     python -m repro.bench.perfsmoke --workers 4          # + parallel pass
+    python -m repro.bench.perfsmoke --group all --escalation   # degree reuse
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -62,12 +63,18 @@ def _select(group: str, programs: Optional[Sequence[str]],
 def run_suite(group: str = "linear",
               limit: Optional[int] = None,
               programs: Optional[Sequence[str]] = None,
-              workers: int = 1) -> Dict[str, object]:
+              workers: int = 1,
+              escalation: bool = False) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
     ``workers > 1`` an additional parallel pass through the service
-    scheduler measures ``suite_wall_parallel``.
+    scheduler measures ``suite_wall_parallel``.  With ``escalation=True``
+    every degree->=2 benchmark is additionally run in degree-escalation
+    mode (start at degree 1, retry at the target degree) twice: once
+    through the incremental pipeline and once rebuilding each attempt from
+    scratch, which quantifies the reuse win and asserts that escalated
+    bounds are identical to the cold run's.
     """
     engine = get_engine()
     benchmarks = _select(group, programs, limit)
@@ -83,12 +90,18 @@ def run_suite(group: str = "linear",
         wall = time.perf_counter() - start
         delta = engine.stats.delta(before)
         answered = delta["memo_hits"] + delta["fast_hits"]
+        stats = result.stats
         rows.append({
             "name": bench.name,
             "wall_seconds": round(wall, 4),
             "success": result.success,
             "degree": result.degree,
             "bound": result.bound.pretty() if result.bound else None,
+            "attempted_degrees": list(stats.attempted_degrees) if stats else None,
+            "prepare_seconds": round(stats.prepare_seconds, 4) if stats else None,
+            "build_seconds": round(stats.build_seconds_total(), 4) if stats else None,
+            "solve_seconds": round(stats.solve_seconds_total(), 4) if stats else None,
+            "escalation_reuse_ratio": stats.escalation_reuse_ratio if stats else None,
             "fm_queries": delta["queries"],
             "fm_eliminations": delta["eliminations"],
             "cache_memo_hits": delta["memo_hits"],
@@ -111,6 +124,10 @@ def run_suite(group: str = "linear",
         if suite_wall_parallel > 0:
             parallel_speedup = round(total_wall / suite_wall_parallel, 2)
 
+    escalation_summary: Optional[Dict[str, object]] = None
+    if escalation:
+        escalation_summary = _escalation_pass(benchmarks, rows)
+
     return {
         "suite": f"table1-{group}" if not programs \
             else f"table1-custom({','.join(programs)})",
@@ -122,6 +139,7 @@ def run_suite(group: str = "linear",
         "total_wall_seconds": round(total_wall, 3),
         "suite_wall_parallel": suite_wall_parallel,
         "parallel_speedup": parallel_speedup,
+        "escalation": escalation_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -147,6 +165,82 @@ def _parallel_pass(benchmarks, rows: List[Dict[str, object]],
                 f"parallel bound mismatch for {row['name']}: "
                 f"{result.bound_pretty!r} != {row['bound']!r}")
     return wall
+
+
+def _escalation_pass(benchmarks, rows: List[Dict[str, object]]
+                     ) -> Dict[str, object]:
+    """Measure incremental vs rebuild degree escalation per benchmark.
+
+    For every benchmark whose target degree is >= 2 the program is analyzed
+    in escalation mode (``max_degree=1`` with auto-retry up to the target):
+
+    * *incremental* -- one analysis; the retry extends the degree-1
+      derivation/LP in place (the pipeline of ``repro.core.pipeline``);
+    * *rebuild* -- what the analyzer did before the incremental pipeline:
+      a full fresh analysis per attempted degree (degree 1, then the
+      target degree from scratch).
+
+    Programs that already succeed at degree 1 are skipped (nothing
+    escalates).  For the rest the escalated bound is asserted identical to
+    the sequential pass's cold bound -- the identity guarantee of the
+    incremental pipeline -- and the per-program walls, speedup and
+    ``escalation_reuse_ratio`` are recorded on the row.
+    """
+    summary = {"programs": 0, "wall_incremental": 0.0, "wall_rebuild": 0.0,
+               "speedup": None, "mean_reuse_ratio": None,
+               "identity_checked": 0}
+    reuse_ratios: List[float] = []
+    for bench, row in zip(benchmarks, rows):
+        options = dict(bench.analyzer_options)
+        target = int(options.get("max_degree", 1))
+        if target < 2:
+            continue
+        program = bench.build()
+        escalating = {**options, "max_degree": 1, "auto_degree": True,
+                      "degree_limit": target}
+        start = time.perf_counter()
+        incremental = analyze_program(program, **escalating)
+        wall_incremental = time.perf_counter() - start
+        if incremental.degree < target:
+            continue  # degree 1 already succeeds: no escalation to measure
+        start = time.perf_counter()
+        analyze_program(program, **{**options, "max_degree": 1,
+                                    "auto_degree": False})
+        analyze_program(program, **{**options, "max_degree": target,
+                                    "auto_degree": False})
+        wall_rebuild = time.perf_counter() - start
+        incremental_bound = (incremental.bound.pretty()
+                             if incremental.bound else None)
+        if incremental_bound != row["bound"]:
+            # The escalated system is byte-identical to the cold one by
+            # construction; any divergence is a bug worth failing loudly.
+            raise AssertionError(
+                f"escalated bound mismatch for {bench.name}: "
+                f"{incremental_bound!r} != {row['bound']!r}")
+        summary["identity_checked"] += 1
+        reuse = (incremental.stats.escalation_reuse_ratio
+                 if incremental.stats else None)
+        if reuse is not None:
+            reuse_ratios.append(reuse)
+        row["escalation"] = {
+            "wall_incremental": round(wall_incremental, 4),
+            "wall_rebuild": round(wall_rebuild, 4),
+            "speedup": (round(wall_rebuild / wall_incremental, 2)
+                        if wall_incremental > 0 else None),
+            "reuse_ratio": reuse,
+        }
+        summary["programs"] += 1
+        summary["wall_incremental"] += wall_incremental
+        summary["wall_rebuild"] += wall_rebuild
+    summary["wall_incremental"] = round(summary["wall_incremental"], 3)
+    summary["wall_rebuild"] = round(summary["wall_rebuild"], 3)
+    if summary["wall_incremental"] > 0:
+        summary["speedup"] = round(
+            summary["wall_rebuild"] / summary["wall_incremental"], 2)
+    if reuse_ratios:
+        summary["mean_reuse_ratio"] = round(
+            sum(reuse_ratios) / len(reuse_ratios), 4)
+    return summary
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +304,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with N > 1, also run the suite through the "
                              "service scheduler on N processes and record "
                              "suite_wall_parallel")
+    parser.add_argument("--escalation", action="store_true",
+                        help="also measure degree-escalation reuse: run "
+                             "every degree->=2 benchmark in escalating "
+                             "mode, incremental vs rebuild-per-degree, "
+                             "and assert bound identity with the cold run")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -250,7 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     report = run_suite(args.group, args.limit, programs=args.programs,
-                       workers=args.workers)
+                       workers=args.workers, escalation=args.escalation)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -267,6 +366,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{report['suite_wall_parallel']:.2f}s"
                   + (f" (speedup {speedup:.2f}x)" if speedup is not None
                      else ""))
+        escalation = report.get("escalation")
+        if escalation and escalation["programs"]:
+            print(f"escalation ({escalation['programs']} programs): "
+                  f"incremental {escalation['wall_incremental']:.2f}s vs "
+                  f"rebuild {escalation['wall_rebuild']:.2f}s "
+                  f"(speedup {escalation['speedup']:.2f}x, mean reuse "
+                  f"{escalation['mean_reuse_ratio']:.1%}, "
+                  f"{escalation['identity_checked']} bound identities checked)")
         print(f"wrote {args.output}")
 
     failures = [p["name"] for p in report["programs"] if not p["success"]]

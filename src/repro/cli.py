@@ -66,14 +66,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     options = {"max_degree": args.degree, "auto_degree": not args.no_auto_degree}
     if args.counter:
         options["resource_counter"] = args.counter
+    if args.degree_limit is not None:
+        options["degree_limit"] = args.degree_limit
     result = analyze_program(program, **options)
     if not result.success:
         print(f"no bound found: {result.message}")
         return STATUS_EXIT.get(result.failure_kind or "analysis-error",
                                EXIT_FAILURE)
     print(f"expected cost bound: {result.bound}")
-    print(f"degree: {result.degree}   analysis time: {result.time_seconds:.3f}s   "
+    attempted = result.stats.attempted_degrees if result.stats else [result.degree]
+    print(f"degree: {result.degree} (attempted {attempted})   "
+          f"time: {result.time_seconds:.3f}s attempt / "
+          f"{result.total_seconds:.3f}s total   "
           f"LP size: {result.lp_variables} variables / {result.lp_constraints} constraints")
+    reuse = result.stats.escalation_reuse_ratio if result.stats else None
+    if reuse is not None:
+        print(f"degree escalation reused {reuse:.1%} of the lower-degree system")
     if args.certificate:
         problems = check_certificate(result.certificate)
         if problems:
@@ -133,10 +141,16 @@ def _make_store(args: argparse.Namespace):
     return ResultStore(args.cache_dir)
 
 
-def _collect_batch_jobs(targets: Sequence[str]):
-    """Resolve batch targets (directories, files, registry selectors) to jobs."""
+def _collect_batch_jobs(targets: Sequence[str],
+                        extra_options: Optional[Dict[str, object]] = None):
+    """Resolve batch targets (directories, files, registry selectors) to jobs.
+
+    ``extra_options`` (e.g. ``--degree-limit``) are merged over each job's
+    own analyzer options; they participate in the job hash, so cached
+    results never alias across different option values.
+    """
     from repro.bench.registry import select_benchmarks
-    from repro.service.jobs import job_from_benchmark, job_from_file
+    from repro.service.jobs import AnalysisJob, job_from_benchmark, job_from_file
 
     jobs = []
     registry_selectors: List[str] = []
@@ -160,6 +174,10 @@ def _collect_batch_jobs(targets: Sequence[str]):
         except KeyError as exc:
             raise SystemExit(str(exc.args[0] if exc.args else exc))
         jobs.extend(job_from_benchmark(benchmark) for benchmark in benchmarks)
+    if extra_options:
+        jobs = [AnalysisJob.create(job.name, job.source,
+                                   {**job.options_dict, **extra_options})
+                for job in jobs]
     return jobs
 
 
@@ -172,7 +190,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.timeout is not None and args.workers < 1:
         raise SystemExit("--timeout requires --workers >= 1 (inline "
                          "execution cannot preempt a running job)")
-    jobs = _collect_batch_jobs(args.targets)
+    extra_options: Dict[str, object] = {}
+    if args.degree_limit is not None:
+        extra_options["degree_limit"] = args.degree_limit
+    jobs = _collect_batch_jobs(args.targets, extra_options)
     if not jobs:
         raise SystemExit("nothing to analyze")
     store = _make_store(args)
@@ -215,7 +236,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve_stdio
 
-    return serve_stdio(store=_make_store(args), workers=args.workers)
+    default_options: Dict[str, object] = {}
+    if args.degree_limit is not None:
+        default_options["degree_limit"] = args.degree_limit
+    return serve_stdio(store=_make_store(args), workers=args.workers,
+                       default_options=default_options)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--degree", type=int, default=1, help="maximal bound degree")
     analyze.add_argument("--no-auto-degree", action="store_true",
                          help="do not retry with a higher degree on failure")
+    analyze.add_argument("--degree-limit", type=int, default=None,
+                         help="highest degree the automatic retry may "
+                              "escalate to (default: 2); escalation reuses "
+                              "the lower-degree derivation incrementally")
     analyze.add_argument("--counter", default=None,
                          help="treat this global variable as the resource counter")
     analyze.add_argument("--certificate", action="store_true",
@@ -272,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--refresh", action="store_true",
                        help="re-analyze even on cache hits (results are "
                             "written back)")
+    batch.add_argument("--degree-limit", type=int, default=None,
+                       help="apply this auto-degree escalation limit to "
+                            "every job (part of the cache key)")
     batch.add_argument("--json", default=None,
                        help="also write the full result records to this file")
     batch.add_argument("--quiet", action="store_true")
@@ -285,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result cache directory")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the persistent result cache")
+    serve.add_argument("--degree-limit", type=int, default=None,
+                       help="default auto-degree escalation limit for "
+                            "requests that do not set one (part of the "
+                            "job hash)")
     serve.set_defaults(func=_cmd_serve)
 
     listing = subparsers.add_parser("list", help="list the benchmark programs")

@@ -1,46 +1,41 @@
 """The top-level expected-cost analyzer (the Python "Absynth").
 
-:class:`ExpectedCostAnalyzer` wires the pipeline of the paper together:
+:class:`ExpectedCostAnalyzer` wires the pipeline of the paper together
+(see :mod:`repro.core.pipeline` for the staged implementation):
 
-1. *front-end transformations*: optional resource-counter lowering and
-   inlining of non-recursive calls (:mod:`repro.lang.transform`);
-2. *abstract interpretation* to obtain logical contexts at every program
-   point (:mod:`repro.logic.absint`);
-3. *constraint generation*: templates for loop invariants, branch joins and
-   procedure specifications plus the derivation rules of Fig. 6
-   (:mod:`repro.core.derivation`);
-4. *LP solving* with the iterative degree-by-degree objective
-   (:mod:`repro.core.solver`);
-5. *bound extraction* and certificate construction
+1. *prepare*: resource-counter lowering, inlining of non-recursive calls
+   (:mod:`repro.lang.transform`) and abstract interpretation
+   (:mod:`repro.logic.absint`) -- degree independent, computed once;
+2. *templates + derivation*: loop-invariant/branch-join/procedure templates
+   plus the derivation rules of Fig. 6 (:mod:`repro.core.derivation`),
+   built incrementally degree by degree;
+3. *LP solving* with the iterative degree-by-degree objective over an
+   in-place-grown assembly (:mod:`repro.core.solver`);
+4. *bound extraction* and certificate construction
    (:mod:`repro.core.bounds`, :mod:`repro.core.certificates`).
 
 If no bound exists within the chosen maximal degree the analyzer can
 optionally retry with a higher degree (``auto_degree``), mirroring how users
-drive Absynth by specifying a maximal degree.
+drive Absynth by specifying a maximal degree.  Retries are *incremental*:
+the degree-``d`` derivation and LP are extended in place instead of being
+rebuilt (the escalated system is byte-identical to a cold run at the higher
+degree by construction).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, TYPE_CHECKING
 
-from repro.core.annotations import PotentialAnnotation
-from repro.core.basegen import BaseGenConfig, template_monomials_for_procedure
+from repro.core.basegen import BaseGenConfig
 from repro.core.bounds import ExpectedBound
-from repro.core.certificates import Certificate, build_certificate
-from repro.core.constraints import AffExpr, ConstraintSystem
-from repro.core.derivation import DerivationBuilder
-from repro.core.solver import IterativeMinimizer, LPSolution
-from repro.core.specs import ProcedureSpec, SpecContext
+from repro.core.certificates import Certificate
 from repro.lang import ast
-from repro.lang.errors import AnalysisError, NoBoundFoundError
-from repro.lang.transform import counter_as_resource, inline_calls, modified_variables
-from repro.logic.absint import AbstractInterpreter
-from repro.logic.contexts import Context
+from repro.lang.errors import NoBoundFoundError
 from repro.utils.linear import LinExpr
-from repro.utils.polynomials import Monomial, Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import PipelineStats
 
 
 @dataclass
@@ -77,7 +72,14 @@ class AnalyzerConfig:
 
 @dataclass
 class AnalysisResult:
-    """Outcome of one analysis run."""
+    """Outcome of one analysis run.
+
+    ``time_seconds`` is the wall time of the attempt that produced this
+    result (the successful degree, or the last failed one);
+    ``total_seconds`` covers the whole analysis including preparation and
+    earlier failed attempts.  ``stats`` carries the per-stage breakdown
+    (:class:`~repro.core.pipeline.PipelineStats`).
+    """
 
     success: bool
     bound: Optional[ExpectedBound]
@@ -92,6 +94,8 @@ class AnalysisResult:
     #: even be set up (lowering failures, unsupported constructs, ...).
     #: Front ends map these to distinct exit codes.
     failure_kind: str = ""
+    total_seconds: float = 0.0
+    stats: Optional["PipelineStats"] = None
 
     def require_bound(self) -> ExpectedBound:
         if not self.success or self.bound is None:
@@ -119,172 +123,10 @@ class ExpectedCostAnalyzer:
     # -- public API ----------------------------------------------------------------
 
     def analyze(self) -> AnalysisResult:
-        """Run the analysis, possibly retrying with a higher degree."""
-        start = time.perf_counter()
-        degrees = [self.config.max_degree]
-        if self.config.auto_degree:
-            degrees += list(range(self.config.max_degree + 1,
-                                  self.config.degree_limit + 1))
-        last_failure: Optional[AnalysisResult] = None
-        for degree in degrees:
-            result = self._attempt(degree)
-            result = replace(result, time_seconds=time.perf_counter() - start)
-            if result.success:
-                return result
-            last_failure = result
-        assert last_failure is not None
-        return last_failure
+        """Run the staged pipeline, escalating the degree incrementally."""
+        from repro.core.pipeline import AnalysisPipeline
 
-    # -- one attempt at a fixed degree ----------------------------------------------------
-
-    def _prepare_program(self) -> ast.Program:
-        program = self.program
-        if self.config.resource_counter:
-            program = counter_as_resource(program, self.config.resource_counter)
-        if self.config.inline:
-            program = inline_calls(program)
-        return program
-
-    def _attempt(self, degree: int) -> AnalysisResult:
-        try:
-            program = self._prepare_program()
-        except AnalysisError as exc:
-            return AnalysisResult(False, None, degree, 0.0, 0, 0, None, str(exc),
-                                  failure_kind="analysis-error")
-
-        interpreter = AbstractInterpreter(program)
-        interpreter.analyze_procedure(program.main)
-        recursive = sorted(program.recursive_procedures())
-        for name in recursive:
-            interpreter.analyze_procedure(name)
-
-        system = ConstraintSystem()
-        basegen_config = self.config.basegen(degree)
-        specs = SpecContext()
-        builder = DerivationBuilder(program, interpreter, system, basegen_config, specs)
-
-        try:
-            # Specifications for (mutually) recursive procedures.
-            for name in recursive:
-                proc = program.procedures[name]
-                entry_context = interpreter.context_before(proc.body)
-                monomials = template_monomials_for_procedure(
-                    proc.body, entry_context, basegen_config)
-                pre = PotentialAnnotation.template(system, monomials,
-                                                   f"spec_{name}", nonneg=True)
-                specs.register(ProcedureSpec(
-                    name=name, pre=pre, post=PotentialAnnotation.zero(),
-                    modified_variables=modified_variables(program, name)))
-            for name in recursive:
-                builder.constrain_specification(name)
-
-            initial = builder.analyze_command(program.main_procedure.body,
-                                              PotentialAnnotation.zero())
-        except AnalysisError as exc:
-            return AnalysisResult(False, None, degree, 0.0,
-                                  system.num_variables, system.num_constraints,
-                                  None, str(exc), failure_kind="analysis-error")
-
-        objectives = self._objectives(initial)
-        solver = IterativeMinimizer(system, tolerance=self.config.lp_tolerance)
-        solution = solver.solve(objectives)
-        if solution is None:
-            return AnalysisResult(
-                False, None, degree, 0.0,
-                system.num_variables, system.num_constraints, None,
-                f"the LP is infeasible for degree {degree} "
-                "(no bound exists for the chosen base functions)",
-                failure_kind="no-bound")
-
-        bound_poly = self._extract_bound(initial, solution)
-        certificate = build_certificate(bound_poly, builder.steps, builder.weakens,
-                                        solution.assignment)
-        return AnalysisResult(True, ExpectedBound(bound_poly), degree, 0.0,
-                              system.num_variables, system.num_constraints,
-                              certificate, "")
-
-    # -- objective construction ---------------------------------------------------------------
-
-    #: Reference scale and sample count for the objective weights.  The range
-    #: is asymmetric because the paper's benchmarks (and inputs in general)
-    #: are predominantly non-negative; a small negative tail keeps atoms such
-    #: as ``|[n, 0]|`` from being weightless.
-    _WEIGHT_SAMPLES = 300
-    _WEIGHT_LOW = -250
-    _WEIGHT_HIGH = 1000
-    _WEIGHT_SEED = 12345
-
-    def _weight_matrix(self, variables: Sequence[str]) -> "np.ndarray":
-        """Deterministic pseudo-random reference states, one row per sample.
-
-        The single vectorised ``integers`` call draws the exact same stream
-        as per-variable scalar draws, so the reference states themselves are
-        reproducible.  The downstream weighting evaluates monomials in
-        float64 (rather than exact rationals converted at the end), so
-        weights may differ in the last ulp for non-dyadic coefficients
-        before ``limit_denominator`` snaps them.
-        """
-        import numpy as np
-
-        rng = np.random.default_rng(self._WEIGHT_SEED)
-        samples = rng.integers(self._WEIGHT_LOW, self._WEIGHT_HIGH + 1,
-                               size=(self._WEIGHT_SAMPLES, len(variables)))
-        return samples.astype(np.float64)
-
-    def _objectives(self, initial: PotentialAnnotation) -> List[AffExpr]:
-        """One weighted objective per degree, highest degree first.
-
-        The LP minimises the bound itself, so each base function is weighted
-        by its average magnitude over a set of reference input states (the
-        paper weighs larger intervals more for the same reason: the objective
-        should reflect how much each base function contributes to the bound's
-        value).  Coefficients of higher-degree base functions are minimised
-        first, then fixed, following the paper's iterative scheme.  Monomial
-        magnitudes are evaluated with NumPy over the whole sample matrix at
-        once, caching the shared ``max(0, D)`` atom columns.
-        """
-        import numpy as np
-
-        variables = sorted({var for monomial in initial.terms
-                            for var in monomial.variables()})
-        column: Dict[str, int] = {var: i for i, var in enumerate(variables)}
-        states = self._weight_matrix(variables) if variables else None
-        atom_values: Dict[object, "np.ndarray"] = {}
-
-        def values_of(atom) -> "np.ndarray":
-            values = atom_values.get(atom)
-            if values is None:
-                coeffs = np.zeros(len(variables))
-                for var, coeff in atom.diff.coeff_items:
-                    coeffs[column[var]] = float(coeff)
-                values = np.maximum(0.0, states @ coeffs
-                                    + float(atom.diff.const_term))
-                atom_values[atom] = values
-            return values
-
-        by_degree: Dict[int, AffExpr] = {}
-        for monomial, coeff in initial.terms.items():
-            degree = monomial.degree()
-            if monomial.is_constant() or states is None:
-                weight = Fraction(1)
-            else:
-                magnitudes = np.ones(self._WEIGHT_SAMPLES)
-                for atom, power in monomial.factors:
-                    magnitudes = magnitudes * values_of(atom) ** power
-                mean = float(magnitudes.sum()) / self._WEIGHT_SAMPLES
-                weight = Fraction(max(1.0, mean)).limit_denominator(1000)
-            weighted = coeff * weight
-            by_degree[degree] = by_degree.get(degree, AffExpr.zero()) + weighted
-        return [by_degree[d] for d in sorted(by_degree, reverse=True)]
-
-    # -- bound extraction --------------------------------------------------------------------------
-
-    def _extract_bound(self, initial: PotentialAnnotation,
-                       solution: LPSolution) -> Polynomial:
-        polynomial = initial.instantiate(solution.assignment)
-        cleaned = {monomial: coeff for monomial, coeff in polynomial.terms.items()
-                   if abs(float(coeff)) > self.config.coefficient_epsilon}
-        return Polynomial(cleaned)
+        return AnalysisPipeline(self.program, self.config).run()
 
 
 def analyze_program(program: ast.Program, **options) -> AnalysisResult:

@@ -286,6 +286,13 @@ def monomials_up_to_degree(atoms: Sequence[IntervalAtom], max_degree: int,
     degree >= 2 only combine the first ``higher_degree_atom_limit`` atoms
     (seed order puts the most relevant atoms first), which keeps quadratic
     and cubic templates at a size the LP solver handles comfortably.
+
+    **Degree monotonicity** (relied on by the incremental escalation of
+    :mod:`repro.core.pipeline`): for a fixed atom sequence the degree-``d``
+    list is a *prefix* of the degree-``d+1`` list -- lower-degree monomials
+    are emitted first, in the same order, and raising the degree only
+    appends new products.  Template extension therefore never renames or
+    reorders existing LP variables.
     """
     monomials: List[Monomial] = [Monomial.one()]
     seen: Set[Monomial] = {Monomial.one()}
@@ -308,20 +315,41 @@ def monomials_up_to_degree(atoms: Sequence[IntervalAtom], max_degree: int,
     return monomials
 
 
-def template_monomials_for_loop(loop: ast.While, context: Context,
-                                post_monomials: Iterable[Monomial],
-                                config: BaseGenConfig) -> List[Monomial]:
-    """The full base-function template for a loop head."""
-    post_list = list(post_monomials)
-    atoms = atoms_for_loop(loop, context, post_list, config)
-    degree = max([config.max_degree] + [m.degree() for m in post_list])
-    monomials = monomials_up_to_degree(atoms, degree, config.monomial_limit)
+def append_missing(monomials: List[Monomial],
+                   extra: Iterable[Monomial]) -> List[Monomial]:
+    """Append the monomials of ``extra`` not already present, in order.
+
+    The deduplicated-append used wherever continuation (post-annotation)
+    monomials must be folded into a template: keeping the heuristic
+    monomials first preserves the prefix stability that degree escalation
+    depends on.
+    """
     known = set(monomials)
-    for monomial in post_list:
+    for monomial in extra:
         if monomial not in known:
             monomials.append(monomial)
             known.add(monomial)
     return monomials
+
+
+def template_monomials_for_loop(loop: ast.While, context: Context,
+                                post_monomials: Iterable[Monomial],
+                                config: BaseGenConfig) -> List[Monomial]:
+    """The full base-function template for a loop head.
+
+    Degree-monotone: with a degree-``d+1`` config and a continuation whose
+    monomials extend the degree-``d`` continuation, the returned template
+    is a superset of the degree-``d`` one (the atom pool only grows with
+    the continuation, and :func:`monomials_up_to_degree` is prefix-stable).
+    :meth:`repro.core.annotations.PotentialAnnotation.extend_template`
+    additionally keeps any base monomial dropped by budget truncation, so
+    escalation can only ever *add* base functions.
+    """
+    post_list = list(post_monomials)
+    atoms = atoms_for_loop(loop, context, post_list, config)
+    degree = max([config.max_degree] + [m.degree() for m in post_list])
+    monomials = monomials_up_to_degree(atoms, degree, config.monomial_limit)
+    return append_missing(monomials, post_list)
 
 
 def template_monomials_for_join(post_monomials_a: Iterable[Monomial],

@@ -68,7 +68,13 @@ class DerivationStep:
 
 @dataclass
 class WeakenStep:
-    """One application of ``Q:Weaken`` (for the certificate checker)."""
+    """One application of ``Q:Weaken`` (for the certificate checker).
+
+    ``rows`` maps each constrained monomial to the index of its equality in
+    the :class:`~repro.core.constraints.ConstraintSystem`; degree escalation
+    extends exactly these rows (new multiplier/template columns) instead of
+    re-emitting them.
+    """
 
     origin: str
     context: Context
@@ -76,10 +82,33 @@ class WeakenStep:
     weaker: PotentialAnnotation
     rewrites: List[RewriteFunction]
     multipliers: List[AffExpr]
+    rows: Dict[Monomial, int] = field(default_factory=dict)
+
+
+@dataclass
+class TemplateRecord:
+    """One template created during the base derivation (extendable later)."""
+
+    name: str
+    annotation: PotentialAnnotation
 
 
 class DerivationBuilder:
-    """Generates templates and constraints for one program."""
+    """Generates templates and constraints for one program.
+
+    The builder has two modes.  The *base* walk (:meth:`analyze_command`)
+    derives a fixed degree from scratch, journaling every template, weaken
+    and coefficient-drop it performs.  The *extension* walk
+    (:meth:`extend_command`) replays the exact same syntax-directed rule
+    sequence for the next degree, carrying ``(full, delta)`` annotation
+    pairs: the full annotation is the degree-``d+1`` value, the delta part
+    is its projection onto the freshly created LP variables.  Because every
+    derivation rule is affine in the template coefficients and the rational
+    constants are identical across degrees, the delta of each derived
+    annotation mentions only new variables -- so escalation appends new
+    rows / extends old rows into new columns without ever rewriting the
+    degree-``d`` system.
+    """
 
     def __init__(self, program: ast.Program, interpreter: AbstractInterpreter,
                  system: ConstraintSystem, basegen_config: BaseGenConfig,
@@ -91,7 +120,18 @@ class DerivationBuilder:
         self.specs = specs if specs is not None else SpecContext()
         self.steps: List[DerivationStep] = []
         self.weakens: List[WeakenStep] = []
+        self.templates: List[TemplateRecord] = []
+        #: Ordered journal of per-monomial constraint rows emitted outside
+        #: weakenings (nonlinear-assignment drops, call frames).
+        self.row_events: List[Tuple[str, Dict[Monomial, int]]] = []
         self._counter = 0
+        # -- extension-walk state --
+        self._extending = False
+        self._step_cursor = 0
+        self._template_cursor = 0
+        self._weaken_cursor = 0
+        self._row_event_cursor = 0
+        self._spec_deltas: Dict[str, PotentialAnnotation] = {}
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -106,6 +146,20 @@ class DerivationBuilder:
 
     def _context_before(self, command: ast.Command) -> Context:
         return self.interpreter.context_before(command)
+
+    def _new_template(self, monomials, prefix: str) -> PotentialAnnotation:
+        """Create and journal a fresh template (base walk only)."""
+        name = self._fresh_name(prefix)
+        annotation = PotentialAnnotation.template(self.system, monomials,
+                                                  name, nonneg=True)
+        self.templates.append(TemplateRecord(name, annotation))
+        return annotation
+
+    def _log_rows(self, tag: str) -> Dict[Monomial, int]:
+        """Journal (base walk) a per-monomial constraint-row map."""
+        rows: Dict[Monomial, int] = {}
+        self.row_events.append((tag, rows))
+        return rows
 
     # -- weakening ----------------------------------------------------------------
 
@@ -136,20 +190,24 @@ class DerivationBuilder:
                 by_monomial.setdefault(monomial, []).append((multiplier, -coeff))
         all_monomials: Set[Monomial] = set(monomials)
         all_monomials.update(by_monomial)
+        rows: Dict[Monomial, int] = {}
         for monomial in sorted(all_monomials, key=lambda m: m.sort_key()):
             pairs = [(stronger.coefficient(monomial), 1),
                      (weaker.coefficient(monomial), -1)]
             pairs.extend(by_monomial.get(monomial, ()))
-            self.system.add_eq(AffExpr.linear_combination(pairs),
-                               origin=f"weaken:{origin}:{monomial}")
+            index = self.system.add_eq(AffExpr.linear_combination(pairs),
+                                       origin=f"weaken:{origin}:{monomial}")
+            if index is not None:
+                rows[monomial] = index
         self.weakens.append(WeakenStep(origin, context, stronger, weaker,
-                                       rewrites, multipliers))
+                                       rewrites, multipliers, rows))
 
     # -- rule dispatch -----------------------------------------------------------------
 
     def analyze_command(self, command: ast.Command,
                         post: PotentialAnnotation) -> PotentialAnnotation:
         """Return a pre-annotation valid for ``command`` with continuation ``post``."""
+        assert not self._extending, "use extend_command during escalation"
         handler = getattr(self, f"_rule_{type(command).__name__.lower()}", None)
         if handler is None:
             raise AnalysisError(f"no derivation rule for {type(command).__name__}")
@@ -191,7 +249,8 @@ class DerivationBuilder:
         except LoweringError:
             return post.drop_monomials_with_variable(
                 command.target, self.system,
-                origin=f"nonlinear-assign:{command.target}@{command.node_id}")
+                origin=f"nonlinear-assign:{command.target}@{command.node_id}",
+                rows=self._log_rows("drop"))
         return post.substitute(command.target, rhs)
 
     def _rule_sample(self, command: ast.Sample, post: PotentialAnnotation) -> PotentialAnnotation:
@@ -200,7 +259,8 @@ class DerivationBuilder:
         except LoweringError:
             return post.drop_monomials_with_variable(
                 command.target, self.system,
-                origin=f"nonlinear-sample:{command.target}@{command.node_id}")
+                origin=f"nonlinear-sample:{command.target}@{command.node_id}",
+                rows=self._log_rows("drop"))
         parts: List[Tuple[Fraction, PotentialAnnotation]] = []
         for value, probability in command.distribution.support():
             if command.op == "+":
@@ -230,8 +290,7 @@ class DerivationBuilder:
         then_pre = self.analyze_command(command.then_branch, post)
         else_pre = self.analyze_command(command.else_branch, post)
         monomials = template_monomials_for_join(then_pre.monomials(), else_pre.monomials())
-        joined = PotentialAnnotation.template(
-            self.system, monomials, self._fresh_name("if"), nonneg=True)
+        joined = self._new_template(monomials, "if")
         self.weaken(then_ctx, joined, then_pre, origin=f"if-then@{command.node_id}")
         self.weaken(else_ctx, joined, else_pre, origin=f"if-else@{command.node_id}")
         return joined
@@ -242,8 +301,7 @@ class DerivationBuilder:
         left_pre = self.analyze_command(command.left, post)
         right_pre = self.analyze_command(command.right, post)
         monomials = template_monomials_for_join(left_pre.monomials(), right_pre.monomials())
-        joined = PotentialAnnotation.template(
-            self.system, monomials, self._fresh_name("nd"), nonneg=True)
+        joined = self._new_template(monomials, "nd")
         self.weaken(context, joined, left_pre, origin=f"nondet-left@{command.node_id}")
         self.weaken(context, joined, right_pre, origin=f"nondet-right@{command.node_id}")
         return joined
@@ -262,8 +320,7 @@ class DerivationBuilder:
         invariant_ctx = self._context_before(command)
         monomials = template_monomials_for_loop(command, invariant_ctx,
                                                 post.monomials(), self.basegen_config)
-        invariant = PotentialAnnotation.template(
-            self.system, monomials, self._fresh_name("inv"), nonneg=True)
+        invariant = self._new_template(monomials, "inv")
         exit_ctx = invariant_ctx.add_facts(
             negated_facts_from_condition(command.condition))
         body_ctx = invariant_ctx.add_facts(facts_from_condition(command.condition))
@@ -283,6 +340,7 @@ class DerivationBuilder:
                 f"no specification for procedure {command.procedure!r}; "
                 "non-recursive calls should have been inlined")
         frame_terms: Dict[Monomial, AffExpr] = {}
+        rows = self._log_rows("call")
         for monomial, coeff in post.terms.items():
             if spec.frameable(monomial):
                 frame_terms[monomial] = coeff
@@ -290,8 +348,10 @@ class DerivationBuilder:
                 # The callee may change this base function: its potential
                 # cannot be framed across the call, and the (zero) callee
                 # post-annotation cannot supply it either.
-                self.system.add_eq(coeff, 0,
-                                   origin=f"call-frame:{command.procedure}:{monomial}")
+                index = self.system.add_eq(
+                    coeff, 0, origin=f"call-frame:{command.procedure}:{monomial}")
+                if index is not None:
+                    rows[monomial] = index
         frame = PotentialAnnotation(frame_terms)
         return spec.pre.plus(frame)
 
@@ -313,3 +373,328 @@ class DerivationBuilder:
         body_pre = self.analyze_command(proc.body, spec.post)
         entry_context = self.interpreter.context_before(proc.body)
         self.weaken(entry_context, spec.pre, body_pre, origin=f"spec:{name}")
+
+    # ======================================================================
+    # Degree escalation: the append-only extension walk
+    # ======================================================================
+
+    def begin_extension(self, basegen_config: BaseGenConfig) -> None:
+        """Start replaying the derivation at the next degree.
+
+        The caller must have opened an extension round on the constraint
+        system first.  The walk consumes the journals (steps, templates,
+        weakens, row events) in the exact order the base walk produced
+        them -- the derivation is syntax-directed, so replaying the same
+        AST visits the same rule sequence.
+        """
+        if self._extending:
+            raise RuntimeError("extension walk already in progress")
+        self.basegen_config = basegen_config
+        self._extending = True
+        self._step_cursor = 0
+        self._template_cursor = 0
+        self._weaken_cursor = 0
+        self._row_event_cursor = 0
+        self._spec_deltas = {}
+
+    def end_extension(self) -> None:
+        """Finish the replay; assert every journal entry was consumed."""
+        if not self._extending:
+            raise RuntimeError("no extension walk in progress")
+        if (self._step_cursor != len(self.steps)
+                or self._template_cursor != len(self.templates)
+                or self._weaken_cursor != len(self.weakens)
+                or self._row_event_cursor != len(self.row_events)):
+            raise AnalysisError(
+                "degree-escalation replay diverged from the base derivation "
+                f"(steps {self._step_cursor}/{len(self.steps)}, templates "
+                f"{self._template_cursor}/{len(self.templates)}, weakens "
+                f"{self._weaken_cursor}/{len(self.weakens)}, rows "
+                f"{self._row_event_cursor}/{len(self.row_events)})")
+        self._extending = False
+
+    def register_spec_delta(self, name: str, delta: PotentialAnnotation) -> None:
+        """Record the new-monomial part of an extended procedure spec."""
+        self._spec_deltas[name] = delta
+
+    def _next_row_event(self, tag: str) -> Dict[Monomial, int]:
+        expected_tag, rows = self.row_events[self._row_event_cursor]
+        if expected_tag != tag:
+            raise AnalysisError(
+                f"escalation replay drift: expected a {expected_tag!r} row "
+                f"event, replayed {tag!r}")
+        self._row_event_cursor += 1
+        return rows
+
+    def _extend_rows(self, rows: Dict[Monomial, int], monomial: Monomial,
+                     delta: AffExpr, origin: str) -> None:
+        """Route a per-monomial delta to its existing row or a fresh one."""
+        if delta.is_zero():
+            return
+        index = rows.get(monomial)
+        if index is not None:
+            self.system.extend_constraint(index, delta)
+        else:
+            index = self.system.add_eq(delta, origin=origin)
+            if index is not None:
+                rows[monomial] = index
+
+    # -- extension dispatch -------------------------------------------------
+
+    def extend_command(self, command: ast.Command, post: PotentialAnnotation,
+                       dpost: PotentialAnnotation
+                       ) -> Tuple[PotentialAnnotation, PotentialAnnotation]:
+        """Replay one command at the next degree; return ``(pre, delta_pre)``.
+
+        ``post`` is the full next-degree continuation annotation and
+        ``dpost`` its new-variable delta (``post == base_post + dpost``).
+        The recorded :class:`DerivationStep` is updated in place so the
+        certificate reflects the escalated derivation.
+        """
+        handler = getattr(self, f"_ext_{type(command).__name__.lower()}", None)
+        if handler is None:
+            raise AnalysisError(f"no escalation rule for {type(command).__name__}")
+        pre, dpre = handler(command, post, dpost)
+        step = self.steps[self._step_cursor]
+        if step.node_id != command.node_id:
+            raise AnalysisError(
+                f"escalation replay drift at node {command.node_id} "
+                f"(recorded step has node {step.node_id})")
+        self.steps[self._step_cursor] = DerivationStep(
+            step.node_id, step.rule, step.description, pre, post)
+        self._step_cursor += 1
+        return pre, dpre
+
+    def extend_specification(self, name: str) -> None:
+        """Replay the ``ValidCtx`` obligation of a procedure spec."""
+        spec = self.specs.lookup(name)
+        if spec is None:
+            raise AnalysisError(f"procedure {name!r} has no registered specification")
+        proc = self.program.procedures[name]
+        body_pre, dbody_pre = self.extend_command(
+            proc.body, spec.post, PotentialAnnotation.zero())
+        entry_context = self.interpreter.context_before(proc.body)
+        self.extend_weaken(entry_context, spec.pre,
+                           self._spec_deltas.get(name, PotentialAnnotation.zero()),
+                           body_pre, dbody_pre, origin=f"spec:{name}")
+
+    def extend_template(self, monomials
+                        ) -> Tuple[PotentialAnnotation, PotentialAnnotation]:
+        """Grow the next journaled template to cover ``monomials``."""
+        record = self.templates[self._template_cursor]
+        self._template_cursor += 1
+        merged, delta = PotentialAnnotation.extend_template(
+            self.system, record.annotation, monomials, record.name, nonneg=True)
+        record.annotation = merged
+        return merged, delta
+
+    # -- extended weakening --------------------------------------------------
+
+    def extend_weaken(self, context: Context,
+                      stronger: PotentialAnnotation, dstronger: PotentialAnnotation,
+                      weaker: PotentialAnnotation, dweaker: PotentialAnnotation,
+                      origin: str) -> None:
+        """Replay a ``Q:Weaken`` at the next degree.
+
+        The degree-``d`` rows stay as they are; this emits, per monomial,
+        only the *delta* contribution -- new template coefficients and the
+        columns of the newly applicable rewrite functions (e.g. the lifted
+        degree-2 products).  Deltas land on the recorded row of the
+        monomial when one exists, else in a fresh row; either way the
+        combined system is row-for-row what a from-scratch derivation at
+        the higher degree would build, with the base rewrites kept as a
+        (sound) superset.
+        """
+        if context.is_unreachable or not context.is_satisfiable():
+            return  # the base walk skipped this weakening too
+        record = self.weakens[self._weaken_cursor]
+        self._weaken_cursor += 1
+        if record.origin != origin:
+            raise AnalysisError(
+                f"escalation replay drift: expected weakening "
+                f"{record.origin!r}, replayed {origin!r}")
+        monomials: Set[Monomial] = set(stronger.monomials()) | set(weaker.monomials())
+        monomials.add(Monomial.one())
+        max_degree = max((m.degree() for m in monomials), default=1)
+        rewrites = generate_rewrites(context, monomials, max_degree)
+        known = {rewrite.polynomial for rewrite in record.rewrites}
+        fresh = [rewrite for rewrite in rewrites
+                 if rewrite.polynomial not in known]
+        multipliers = [self.system.new_var(self._fresh_name(f"u_{origin}_"),
+                                           nonneg=True)
+                       for _ in fresh]
+        by_monomial: Dict[Monomial, List[Tuple[AffExpr, Fraction]]] = {}
+        for multiplier, rewrite in zip(multipliers, fresh):
+            for monomial, coeff in rewrite.polynomial.term_items():
+                by_monomial.setdefault(monomial, []).append((multiplier, -coeff))
+        delta_monomials: Set[Monomial] = set(dstronger.terms) | set(dweaker.terms)
+        delta_monomials.update(by_monomial)
+        for monomial in sorted(delta_monomials, key=lambda m: m.sort_key()):
+            pairs = [(dstronger.coefficient(monomial), 1),
+                     (dweaker.coefficient(monomial), -1)]
+            pairs.extend(by_monomial.get(monomial, ()))
+            self._extend_rows(record.rows, monomial,
+                              AffExpr.linear_combination(pairs),
+                              origin=f"weaken:{origin}:{monomial}")
+        record.stronger = stronger
+        record.weaker = weaker
+        # generate_rewrites returns shared memoised lists: concatenate into
+        # fresh lists instead of mutating.
+        record.rewrites = list(record.rewrites) + fresh
+        record.multipliers = list(record.multipliers) + multipliers
+
+    # -- per-rule extension handlers -----------------------------------------
+    # Each mirrors its ``_rule_*`` twin on (full, delta) pairs.  Rational
+    # contributions (tick amounts, probabilities, substitution scales) are
+    # identical across degrees, so they act on the full annotation while the
+    # delta tracks exactly the new-variable part.
+
+    def _ext_skip(self, command, post, dpost):
+        return post, dpost
+
+    def _ext_abort(self, command, post, dpost):
+        return PotentialAnnotation.zero(), PotentialAnnotation.zero()
+
+    def _ext_assert(self, command, post, dpost):
+        return post, dpost
+
+    def _ext_assume(self, command, post, dpost):
+        return post, dpost
+
+    def _ext_tick(self, command, post, dpost):
+        if command.is_constant:
+            return post.add_constant(command.amount), dpost
+        try:
+            amount = ast.expr_to_linexpr(command.amount)
+        except LoweringError as exc:
+            raise AnalysisError(f"tick amount is not linear: {command.amount}") from exc
+        return post.add_polynomial(Polynomial.interval(amount)), dpost
+
+    def _ext_drop(self, var: str, post: PotentialAnnotation,
+                  dpost: PotentialAnnotation, origin: str
+                  ) -> Tuple[PotentialAnnotation, PotentialAnnotation]:
+        rows = self._next_row_event("drop")
+        kept_delta: Dict[Monomial, AffExpr] = {}
+        for monomial, coeff in dpost.terms.items():
+            if var in monomial.variables():
+                self._extend_rows(rows, monomial, coeff, origin=origin)
+            else:
+                kept_delta[monomial] = coeff
+        kept_full = {monomial: coeff for monomial, coeff in post.terms.items()
+                     if var not in monomial.variables()}
+        return PotentialAnnotation(kept_full), PotentialAnnotation(kept_delta)
+
+    def _ext_assign(self, command, post, dpost):
+        try:
+            rhs = ast.expr_to_linexpr(command.expr)
+        except LoweringError:
+            return self._ext_drop(
+                command.target, post, dpost,
+                origin=f"nonlinear-assign:{command.target}@{command.node_id}")
+        return (post.substitute(command.target, rhs),
+                dpost.substitute(command.target, rhs))
+
+    def _ext_sample(self, command, post, dpost):
+        try:
+            base = ast.expr_to_linexpr(command.expr)
+        except LoweringError:
+            return self._ext_drop(
+                command.target, post, dpost,
+                origin=f"nonlinear-sample:{command.target}@{command.node_id}")
+        full_parts: List[Tuple[Fraction, PotentialAnnotation]] = []
+        delta_parts: List[Tuple[Fraction, PotentialAnnotation]] = []
+        for value, probability in command.distribution.support():
+            if command.op == "+":
+                outcome = base + value
+            elif command.op == "-":
+                outcome = base - value
+            else:
+                outcome = base * value
+            full_parts.append((probability,
+                               post.substitute(command.target, outcome)))
+            delta_parts.append((probability,
+                                dpost.substitute(command.target, outcome)))
+        return (PotentialAnnotation.weighted_sum(full_parts),
+                PotentialAnnotation.weighted_sum(delta_parts))
+
+    def _ext_probchoice(self, command, post, dpost):
+        left, dleft = self.extend_command(command.left, post, dpost)
+        right, dright = self.extend_command(command.right, post, dpost)
+        weights = [(command.probability, left), (1 - command.probability, right)]
+        dweights = [(command.probability, dleft), (1 - command.probability, dright)]
+        return (PotentialAnnotation.weighted_sum(weights),
+                PotentialAnnotation.weighted_sum(dweights))
+
+    def _ext_if(self, command, post, dpost):
+        context = self._context_before(command)
+        then_ctx = context.add_facts(facts_from_condition(command.condition))
+        else_ctx = context.add_facts(negated_facts_from_condition(command.condition))
+        then_pre, dthen = self.extend_command(command.then_branch, post, dpost)
+        else_pre, delse = self.extend_command(command.else_branch, post, dpost)
+        monomials = template_monomials_for_join(then_pre.monomials(),
+                                                else_pre.monomials())
+        joined, djoined = self.extend_template(monomials)
+        self.extend_weaken(then_ctx, joined, djoined, then_pre, dthen,
+                           origin=f"if-then@{command.node_id}")
+        self.extend_weaken(else_ctx, joined, djoined, else_pre, delse,
+                           origin=f"if-else@{command.node_id}")
+        return joined, djoined
+
+    def _ext_nondetchoice(self, command, post, dpost):
+        context = self._context_before(command)
+        left_pre, dleft = self.extend_command(command.left, post, dpost)
+        right_pre, dright = self.extend_command(command.right, post, dpost)
+        monomials = template_monomials_for_join(left_pre.monomials(),
+                                                right_pre.monomials())
+        joined, djoined = self.extend_template(monomials)
+        self.extend_weaken(context, joined, djoined, left_pre, dleft,
+                           origin=f"nondet-left@{command.node_id}")
+        self.extend_weaken(context, joined, djoined, right_pre, dright,
+                           origin=f"nondet-right@{command.node_id}")
+        return joined, djoined
+
+    def _ext_seq(self, command, post, dpost):
+        current, dcurrent = post, dpost
+        for sub in reversed(command.commands):
+            current, dcurrent = self.extend_command(sub, current, dcurrent)
+        return current, dcurrent
+
+    def _ext_while(self, command, post, dpost):
+        invariant_ctx = self._context_before(command)
+        monomials = template_monomials_for_loop(command, invariant_ctx,
+                                                post.monomials(),
+                                                self.basegen_config)
+        invariant, dinvariant = self.extend_template(monomials)
+        exit_ctx = invariant_ctx.add_facts(
+            negated_facts_from_condition(command.condition))
+        body_ctx = invariant_ctx.add_facts(facts_from_condition(command.condition))
+        self.extend_weaken(exit_ctx, invariant, dinvariant, post, dpost,
+                           origin=f"loop-exit@{command.node_id}")
+        body_pre, dbody = self.extend_command(command.body, invariant, dinvariant)
+        self.extend_weaken(body_ctx, invariant, dinvariant, body_pre, dbody,
+                           origin=f"loop-head@{command.node_id}")
+        return invariant, dinvariant
+
+    def _ext_call(self, command, post, dpost):
+        spec = self.specs.lookup(command.procedure)
+        if spec is None:
+            raise AnalysisError(
+                f"no specification for procedure {command.procedure!r}; "
+                "non-recursive calls should have been inlined")
+        rows = self._next_row_event("call")
+        frame_terms: Dict[Monomial, AffExpr] = {}
+        frame_delta: Dict[Monomial, AffExpr] = {}
+        for monomial, coeff in dpost.terms.items():
+            if spec.frameable(monomial):
+                frame_delta[monomial] = coeff
+            else:
+                self._extend_rows(
+                    rows, monomial, coeff,
+                    origin=f"call-frame:{command.procedure}:{monomial}")
+        for monomial, coeff in post.terms.items():
+            if spec.frameable(monomial):
+                frame_terms[monomial] = coeff
+        dspec = self._spec_deltas.get(command.procedure,
+                                      PotentialAnnotation.zero())
+        return (spec.pre.plus(PotentialAnnotation(frame_terms)),
+                dspec.plus(PotentialAnnotation(frame_delta)))

@@ -152,22 +152,38 @@ def generate_rewrites(context: Context,
     return result
 
 
-def _generate_rewrites(context: Context,
-                       monomials: Iterable[Monomial],
-                       max_degree: int,
-                       max_pair_rewrites: int) -> List[RewriteFunction]:
-    pool = sorted(set(monomials), key=lambda m: m.sort_key())
-    atoms = _atoms_of(pool)
-    rewrites: List[RewriteFunction] = []
+#: Memo for the atom-level rewrites (categories 2 and 3 below).  They depend
+#: only on the context and the atom pool -- *not* on the monomial pool or the
+#: degree -- and the atom pool is essentially stable across degree escalation
+#: (degree-``d+1`` monomials are products of existing atoms).  Caching them
+#: lets the extension walk of :mod:`repro.core.derivation` skip the entire
+#: pairwise-transfer generation when escalating, and lets a staged cold run
+#: reuse the degree-1 work at degree 2.
+_ATOM_REWRITE_CACHE: Dict[Tuple, Tuple[List[RewriteFunction],
+                                       List[Tuple[Polynomial, object,
+                                                  IntervalAtom]]]] = {}
+_ATOM_REWRITE_CACHE_LIMIT = 4096
+
+
+def _atom_rewrites(context: Context, atoms: Tuple[IntervalAtom, ...],
+                   max_pair_rewrites: int
+                   ) -> Tuple[List[RewriteFunction],
+                              List[Tuple[Polynomial, object, IntervalAtom]]]:
+    """Constant-extraction and pair-transfer rewrites over an atom pool.
+
+    Returns ``(rewrites, degree_one)`` where ``degree_one`` additionally
+    records ``(polynomial, reason, primary atom)`` for the degree-lifting
+    products of :func:`_generate_rewrites`.  The returned lists are shared
+    memo entries: callers must not mutate them.
+    """
+    cache_key = (context, atoms, max_pair_rewrites)
+    cached = _ATOM_REWRITE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     unit = Monomial.one()
     atom_monomials: Dict[IntervalAtom, Monomial] = {
         atom: Monomial.of_atom(atom) for atom in atoms}
-
-    # 1. every base function may be discarded.
-    for monomial in pool:
-        rewrites.append(RewriteFunction(
-            Polynomial.of_monomial(monomial),
-            reason=lambda m=monomial: f"{m} >= 0"))
+    rewrites: List[RewriteFunction] = []
 
     # 2. constant extraction from single atoms (cache the lower bounds; they
     #    are reused by the pair rewrites below).
@@ -214,6 +230,30 @@ def _generate_rewrites(context: Context,
         rewrites.append(RewriteFunction(poly, reason))
         degree_one.append((poly, reason, a))
         pair_count += 1
+    if len(_ATOM_REWRITE_CACHE) >= _ATOM_REWRITE_CACHE_LIMIT:
+        _ATOM_REWRITE_CACHE.clear()
+    _ATOM_REWRITE_CACHE[cache_key] = (rewrites, degree_one)
+    return rewrites, degree_one
+
+
+def _generate_rewrites(context: Context,
+                       monomials: Iterable[Monomial],
+                       max_degree: int,
+                       max_pair_rewrites: int) -> List[RewriteFunction]:
+    pool = sorted(set(monomials), key=lambda m: m.sort_key())
+    atoms = _atoms_of(pool)
+    rewrites: List[RewriteFunction] = []
+
+    # 1. every base function may be discarded.
+    for monomial in pool:
+        rewrites.append(RewriteFunction(
+            Polynomial.of_monomial(monomial),
+            reason=lambda m=monomial: f"{m} >= 0"))
+
+    # 2.+3. the atom-level rewrites (memoised across degrees/weakenings).
+    shared, degree_one = _atom_rewrites(context, tuple(atoms),
+                                        max_pair_rewrites)
+    rewrites.extend(shared)
 
     # 4. lift degree-1 rewrites to higher degrees by multiplying with base
     #    monomials (both factors are non-negative).  Only atoms that actually

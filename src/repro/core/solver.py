@@ -22,7 +22,8 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix, csr_matrix, vstack
 
-from repro.core.constraints import AffExpr, Constraint, ConstraintSystem, LPVar
+from repro.core.constraints import (AffExpr, Constraint, ConstraintSystem,
+                                    LPVar, SystemExtension)
 from repro.utils.rationals import snap_fraction
 
 
@@ -70,20 +71,47 @@ def _rows_to_csr(rows: Sequence[AffExpr], num_vars: int,
                       shape=(len(rows), num_vars)).tocsr()
 
 
+def _triplets_to_coo(triplets: Sequence[Tuple[int, int, float]],
+                     num_rows: int, num_cols: int) -> coo_matrix:
+    """A COO matrix from explicit (row, col, value) triplets."""
+    count = len(triplets)
+    row_idx = np.fromiter((t[0] for t in triplets), dtype=np.intp, count=count)
+    col_idx = np.fromiter((t[1] for t in triplets), dtype=np.intp, count=count)
+    values = np.fromiter((t[2] for t in triplets), dtype=np.float64, count=count)
+    return coo_matrix((values, (row_idx, col_idx)), shape=(num_rows, num_cols))
+
+
 class AssembledSystem:
     """A :class:`ConstraintSystem` translated once into ``linprog`` arrays.
 
-    The base equality/inequality matrices are immutable; per-stage ``extra``
-    upper-bound rows from the iterative objective scheme are assembled
-    separately and stacked with ``scipy.sparse.vstack``, so repeated solves
-    over the same system never rebuild the base matrices.
+    The base equality/inequality matrices are immutable per degree; per-stage
+    ``extra`` upper-bound rows from the iterative objective scheme are
+    assembled separately and stacked with ``scipy.sparse.vstack``, so
+    repeated solves over the same system never rebuild the base matrices.
+
+    Degree escalation grows the assembly *in place* through :meth:`extend`:
+    existing rows keep their CSR data verbatim (extension deltas only touch
+    freshly created columns), the matrices gain new columns for the new
+    template variables / multipliers, and the new constraints are stacked
+    below as additional rows.
     """
 
     def __init__(self, system: ConstraintSystem) -> None:
         self.system = system
         self.num_vars = system.num_variables
+        self.num_constraints = system.num_constraints
         eq_rows = [c.expr for c in system.constraints if c.kind == "eq"]
         ge_rows = [c.expr for c in system.constraints if c.kind == "ge"]
+        #: Constraint index -> (kind, row position within that kind's block).
+        self._row_pos: Dict[int, Tuple[str, int]] = {}
+        eq_pos = ge_pos = 0
+        for index, constraint in enumerate(system.constraints):
+            if constraint.kind == "eq":
+                self._row_pos[index] = ("eq", eq_pos)
+                eq_pos += 1
+            else:
+                self._row_pos[index] = ("ge", ge_pos)
+                ge_pos += 1
         self.a_eq = _rows_to_csr(eq_rows, self.num_vars)
         self.b_eq = (np.fromiter((-float(e.const) for e in eq_rows),
                                  dtype=np.float64, count=len(eq_rows))
@@ -95,6 +123,82 @@ class AssembledSystem:
                           if ge_rows else None)
         self.bounds = [(0.0, None) if var.nonneg else (None, None)
                        for var in system.variables]
+
+    # -- incremental growth (degree escalation) ------------------------------
+
+    def extend(self, extension: SystemExtension) -> None:
+        """Grow the assembly to match the system after an extension round.
+
+        The journal guarantees extended rows only gained entries in columns
+        created during the round, so the previously assembled blocks are
+        kept verbatim: columns are widened in place, the (row, new-column)
+        delta entries are added sparsely, and the round's new constraints
+        are stacked underneath.  The result is bit-identical to a fresh
+        ``AssembledSystem(system)`` (see ``tests/test_pipeline_incremental``).
+        """
+        system = self.system
+        if extension.base_variables != self.num_vars \
+                or extension.base_constraints != self.num_constraints:
+            raise ValueError(
+                "extension journal does not start at this assembly's state "
+                f"(vars {extension.base_variables} != {self.num_vars} or "
+                f"rows {extension.base_constraints} != {self.num_constraints})")
+        new_num_vars = system.num_variables
+        # 1. widen the existing blocks (pure column growth, data untouched).
+        if self.a_eq is not None:
+            self.a_eq.resize((self.a_eq.shape[0], new_num_vars))
+        if self.a_ub_base is not None:
+            self.a_ub_base.resize((self.a_ub_base.shape[0], new_num_vars))
+        # 2. sparse-add the delta entries of extended rows (new columns only;
+        #    the b vectors are untouched because deltas are constant-free).
+        deltas: Dict[str, List[Tuple[int, int, float]]] = {"eq": [], "ge": []}
+        for index, delta in extension.extended.items():
+            kind, pos = self._row_pos[index]
+            sign = 1.0 if kind == "eq" else -1.0
+            deltas[kind].extend((pos, var.index, sign * float(coeff))
+                                for var, coeff in delta.term_items())
+        if deltas["eq"]:
+            self.a_eq = (self.a_eq + _triplets_to_coo(
+                deltas["eq"], self.a_eq.shape[0], new_num_vars)).tocsr()
+        if deltas["ge"]:
+            self.a_ub_base = (self.a_ub_base + _triplets_to_coo(
+                deltas["ge"], self.a_ub_base.shape[0], new_num_vars)).tocsr()
+        # 3. stack the round's new constraints as additional rows.
+        new_eq: List[AffExpr] = []
+        new_ge: List[AffExpr] = []
+        eq_pos = self.a_eq.shape[0] if self.a_eq is not None else 0
+        ge_pos = self.a_ub_base.shape[0] if self.a_ub_base is not None else 0
+        for index in range(extension.base_constraints, system.num_constraints):
+            constraint = system.constraints[index]
+            if constraint.kind == "eq":
+                self._row_pos[index] = ("eq", eq_pos)
+                eq_pos += 1
+                new_eq.append(constraint.expr)
+            else:
+                self._row_pos[index] = ("ge", ge_pos)
+                ge_pos += 1
+                new_ge.append(constraint.expr)
+        if new_eq:
+            block = _rows_to_csr(new_eq, new_num_vars)
+            values = np.fromiter((-float(e.const) for e in new_eq),
+                                 dtype=np.float64, count=len(new_eq))
+            self.a_eq = block if self.a_eq is None \
+                else vstack([self.a_eq, block], format="csr")
+            self.b_eq = values if self.b_eq is None \
+                else np.concatenate([self.b_eq, values])
+        if new_ge:
+            block = _rows_to_csr(new_ge, new_num_vars, sign=-1.0)
+            values = np.fromiter((float(e.const) for e in new_ge),
+                                 dtype=np.float64, count=len(new_ge))
+            self.a_ub_base = block if self.a_ub_base is None \
+                else vstack([self.a_ub_base, block], format="csr")
+            self.b_ub_base = values if self.b_ub_base is None \
+                else np.concatenate([self.b_ub_base, values])
+        # 4. bounds for the new variables; bookkeeping.
+        self.bounds.extend((0.0, None) if var.nonneg else (None, None)
+                           for var in system.variables[self.num_vars:])
+        self.num_vars = new_num_vars
+        self.num_constraints = system.num_constraints
 
     def matrices(self, extra: Sequence[Tuple[AffExpr, float]] = ()):
         """The ``(A_ub, b_ub, A_eq, b_eq, bounds)`` tuple for ``linprog``."""
@@ -148,8 +252,20 @@ class IterativeMinimizer:
         self.system = system
         self.tolerance = tolerance
 
-    def solve(self, objectives: Sequence[AffExpr]) -> Optional[LPSolution]:
-        assembled = AssembledSystem(self.system)
+    def solve(self, objectives: Sequence[AffExpr],
+              assembled: Optional[AssembledSystem] = None) -> Optional[LPSolution]:
+        """Solve the staged objectives; ``assembled`` reuses a prior assembly.
+
+        The incremental pipeline passes the :class:`AssembledSystem` it has
+        been growing across degree escalations; it must be up to date with
+        the constraint system (same variable/constraint counts).
+        """
+        if assembled is None:
+            assembled = AssembledSystem(self.system)
+        elif assembled.num_vars != self.system.num_variables \
+                or assembled.num_constraints != self.system.num_constraints:
+            raise ValueError("assembled system is stale with respect to the "
+                             "constraint system; apply the extension first")
         extra: List[Tuple[AffExpr, float]] = []
         values: Optional[np.ndarray] = None
         achieved: List[float] = []

@@ -162,6 +162,16 @@ class Parser:
             self._expect("symbol", ";")
             if isinstance(amount, ast.Const):
                 return ast.Tick(amount.value)
+            # ``tick(1/2)`` denotes the exact rational 1/2 (the paper's
+            # ``q`` is a rational constant), not the floor division the
+            # ``/`` operator means in expressions.  Folding the literal
+            # here keeps the printer's ``tick(n/d)`` output a
+            # bound-preserving round trip.
+            if (isinstance(amount, ast.BinOp) and amount.op == "div"
+                    and isinstance(amount.left, ast.Const)
+                    and isinstance(amount.right, ast.Const)
+                    and amount.right.value != 0):
+                return ast.Tick(amount.left.value / amount.right.value)
             return ast.Tick(amount)
         if self._accept("keyword", "call"):
             name = self._expect("ident").value

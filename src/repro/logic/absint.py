@@ -40,6 +40,11 @@ class AbstractInterpreter:
         self.program = program
         self.contexts: ContextMap = {}
         self.post_contexts: ContextMap = {}
+        #: Procedures whose fixpoints are already recorded.  The contexts a
+        #: run computes are degree independent, so the incremental pipeline
+        #: (:mod:`repro.core.pipeline`) keeps one interpreter alive across
+        #: degree escalations and re-entry is a no-op.
+        self._analyzed: Dict[str, Context] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -48,7 +53,21 @@ class AbstractInterpreter:
         """Run the AI over a procedure body; return the exit context."""
         proc = self.program.procedures[name]
         start = entry if entry is not None else Context.top()
-        return self.analyze_command(proc.body, start)
+        exit_context = self.analyze_command(proc.body, start)
+        if entry is None:
+            self._analyzed[name] = exit_context
+        return exit_context
+
+    def ensure_procedure(self, name: str) -> Context:
+        """Analyze ``name`` from the top entry context exactly once.
+
+        Repeated calls (degree retries, staged pipelines) return the
+        recorded exit context without re-running the fixpoint iteration.
+        """
+        cached = self._analyzed.get(name)
+        if cached is not None:
+            return cached
+        return self.analyze_procedure(name)
 
     def analyze_command(self, command: ast.Command, ctx: Context) -> Context:
         """Record pre-contexts for every node of ``command``; return the post."""

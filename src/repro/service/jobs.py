@@ -39,7 +39,9 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 
 #: Bump when the JobResult/record layout changes: old store records become
 #: cache misses instead of being misread.
-SCHEMA_VERSION = 1
+#: v2: per-stage pipeline statistics (attempted degrees, escalation reuse)
+#: and the per-attempt/total timing split.
+SCHEMA_VERSION = 2
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
@@ -208,6 +210,10 @@ class JobResult:
     certificate: Optional[Dict[str, object]] = None
     engine: Dict[str, int] = field(default_factory=dict)
     worker_pid: int = 0
+    #: Per-stage pipeline breakdown (attempted degrees, per-degree build/solve
+    #: walls, escalation reuse ratio) -- see
+    #: :meth:`repro.core.pipeline.PipelineStats.to_dict`.
+    pipeline: Dict[str, object] = field(default_factory=dict)
 
     @property
     def success(self) -> bool:
@@ -235,7 +241,7 @@ class JobResult:
         fields = {name: record[name] for name in (
             "name", "job_hash", "status", "wall_seconds", "degree", "bound",
             "lp_variables", "lp_constraints", "message", "certificate",
-            "engine", "worker_pid")}
+            "engine", "worker_pid", "pipeline")}
         return cls(**fields)
 
 
@@ -260,6 +266,7 @@ def result_from_analysis(job: AnalysisJob, analysis: AnalysisResult,
                      if analysis.certificate else None),
         engine=dict(engine_delta or {}),
         worker_pid=os.getpid(),
+        pipeline=analysis.stats.to_dict() if analysis.stats else {},
     )
 
 

@@ -34,13 +34,19 @@ from repro.service.scheduler import SchedulerConfig, run_batch
 from repro.service.store import ResultStore
 
 
-def _job_from_request(payload: Dict[str, object], index: int = 0) -> AnalysisJob:
+def _job_from_request(payload: Dict[str, object], index: int = 0,
+                      defaults: Optional[Dict[str, object]] = None) -> AnalysisJob:
     source = payload.get("source")
     if not isinstance(source, str) or not source.strip():
         raise ValueError("request needs a non-empty 'source' string")
     options = payload.get("options") or {}
     if not isinstance(options, dict):
         raise ValueError("'options' must be an object")
+    if defaults:
+        # Server-level defaults (e.g. ``--degree-limit``) apply underneath
+        # the request's own options; merged options take part in the job
+        # hash, so cached results never alias across different defaults.
+        options = {**defaults, **options}
     name = payload.get("name")
     return AnalysisJob.create(str(name) if name else f"request-{index}",
                               source, options)
@@ -50,9 +56,11 @@ class AnalysisServer:
     """Stateful request loop over a store and (for batches) a worker pool."""
 
     def __init__(self, store: Optional[ResultStore] = None,
-                 workers: int = 0) -> None:
+                 workers: int = 0,
+                 default_options: Optional[Dict[str, object]] = None) -> None:
         self.store = store
         self.workers = workers
+        self.default_options = dict(default_options or {})
         self.requests_served = 0
 
     # -- request handlers --------------------------------------------------
@@ -70,7 +78,8 @@ class AnalysisServer:
         return {"error": f"unknown op {op!r}"}
 
     def _handle_analyze(self, payload: Dict[str, object]) -> Dict[str, object]:
-        job = _job_from_request(payload, self.requests_served)
+        job = _job_from_request(payload, self.requests_served,
+                                self.default_options)
         report = run_batch([job], SchedulerConfig(workers=0, store=self.store))
         outcome = report.outcomes[0]
         return {"op": "analyze", "status": outcome.result.status,
@@ -80,7 +89,7 @@ class AnalysisServer:
         raw_jobs = payload.get("jobs")
         if not isinstance(raw_jobs, list) or not raw_jobs:
             raise ValueError("'batch' needs a non-empty 'jobs' array")
-        jobs = [_job_from_request(raw, index)
+        jobs = [_job_from_request(raw, index, self.default_options)
                 for index, raw in enumerate(raw_jobs)]
         workers = payload.get("workers", self.workers)
         timeout = payload.get("timeout")
@@ -143,8 +152,10 @@ class AnalysisServer:
         output_stream.flush()
 
 
-def serve_stdio(store: Optional[ResultStore] = None, workers: int = 0) -> int:
+def serve_stdio(store: Optional[ResultStore] = None, workers: int = 0,
+                default_options: Optional[Dict[str, object]] = None) -> int:
     """Entry point for ``repro serve``: loop over stdin/stdout."""
-    server = AnalysisServer(store=store, workers=workers)
+    server = AnalysisServer(store=store, workers=workers,
+                            default_options=default_options)
     server.serve(sys.stdin, sys.stdout)
     return 0

@@ -25,6 +25,17 @@ proc main(n) {
 """
 
 
+NESTED_SOURCE = """
+proc main(n) {
+    while (n > 0) {
+        n = n - 1;
+        m = n;
+        while (m > 0) { m = m - 1; tick(1); }
+    }
+}
+"""
+
+
 @pytest.fixture
 def rdwalk_file(tmp_path):
     path = tmp_path / "rdwalk.imp"
@@ -79,6 +90,24 @@ class TestAnalyzeCommand:
         exit_code = main(["analyze", str(path)])
         assert exit_code == EXIT_PARSE_ERROR
         assert "parse error" in capsys.readouterr().err
+
+    def test_analyze_degree_limit_allows_escalation(self, tmp_path, capsys):
+        path = tmp_path / "nested.imp"
+        path.write_text(NESTED_SOURCE)
+        exit_code = main(["analyze", str(path), "--degree", "1",
+                          "--degree-limit", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "degree: 2 (attempted [1, 2])" in output
+        assert "escalation reused" in output
+
+    def test_analyze_degree_limit_caps_escalation(self, tmp_path, capsys):
+        path = tmp_path / "nested.imp"
+        path.write_text(NESTED_SOURCE)
+        exit_code = main(["analyze", str(path), "--degree", "1",
+                          "--degree-limit", "1"])
+        assert exit_code == EXIT_NO_BOUND
+        assert "no bound" in capsys.readouterr().out
 
     def test_exit_codes_are_distinct(self):
         codes = {EXIT_PARSE_ERROR, EXIT_NO_BOUND, EXIT_ANALYSIS_ERROR}

@@ -192,3 +192,22 @@ class TestPrinterRoundTrip:
         command = parse_command(snippet)
         printed = command_to_source(command)
         assert command_to_source(parse_command(printed)) == printed
+
+    def test_fractional_tick_round_trips_exactly(self):
+        """``tick(1/2)`` is the exact rational 1/2, not floor division.
+
+        Regression test: the printer renders fractional tick amounts as
+        ``tick(n/d)``; the parser must fold that literal back into a
+        constant tick (``/`` means floor division in general expressions),
+        otherwise benchmarks with fractional costs stop analysing after a
+        print/parse round trip through the service layer.
+        """
+        from fractions import Fraction
+
+        command = parse_command("tick(1/2);")
+        assert command.is_constant
+        assert command.amount == Fraction(1, 2)
+        printed = command_to_source(command)
+        assert printed.strip() == "tick(1/2);"
+        reparsed = parse_command(printed)
+        assert reparsed.is_constant and reparsed.amount == Fraction(1, 2)

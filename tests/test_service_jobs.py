@@ -5,9 +5,9 @@ from fractions import Fraction
 import pytest
 
 from repro.bench.registry import get_benchmark
-from repro.service.jobs import (AnalysisJob, JobResult, bound_from_payload,
-                                canonical_source, job_from_benchmark,
-                                job_from_file, run_job)
+from repro.service.jobs import (SCHEMA_VERSION, AnalysisJob, JobResult,
+                                bound_from_payload, canonical_source,
+                                job_from_benchmark, job_from_file, run_job)
 
 RDWALK = """
 proc main(x, n) {
@@ -81,7 +81,7 @@ class TestRunJob:
     def test_record_round_trip(self):
         result = run_job(AnalysisJob.create("rdwalk", RDWALK))
         record = result.to_record()
-        assert record["schema"] == 1
+        assert record["schema"] == SCHEMA_VERSION
         restored = JobResult.from_record(record)
         assert restored == result
 
