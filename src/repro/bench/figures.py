@@ -14,6 +14,15 @@ they can be inspected in tests, dumped to disk, or plotted with any tool.
   (Figures 10-48): bound versus measured candlesticks over an input sweep.
 * :func:`appendix_f_series` -- the sweep series for every benchmark in the
   registry.
+
+All entry points take an ``engine`` argument (``scalar`` / ``vec`` /
+``auto``, see :mod:`repro.semantics.sampler`): the scalar interpreter is the
+oracle, the vectorised batch executor makes paper-scale run counts (10k+
+per sweep point) feasible.  Sampling always executes the *simulation*
+variant of each benchmark (``build_for_simulation``), whose tick count
+measures the same resource the analysed bound talks about; per-point seeds
+are spawned from one ``SeedSequence`` so sweep points get independent,
+collision-free streams.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.semantics.sampler import (
     SampleStatistics,
     estimate_expected_cost,
     histogram_of_costs,
+    spawn_seeds,
 )
 
 
@@ -63,17 +73,23 @@ class SweepSeries:
         return all(point.bound_value + slack * max(1.0, abs(point.measured.mean))
                    >= point.measured.mean for point in self.points)
 
+    def unfinished_runs(self) -> int:
+        """Total number of sampled runs that hit the step budget."""
+        return sum(point.measured.unfinished_runs for point in self.points)
+
     def to_csv(self) -> str:
         headers = (self.swept_variable, "measured_mean", "measured_min", "q1", "q3",
-                   "measured_max", "bound")
+                   "measured_max", "bound", "unfinished_runs")
         rows = [(p.swept_value, p.measured.mean, p.measured.minimum,
                  p.measured.first_quartile, p.measured.third_quartile,
-                 p.measured.maximum, p.bound_value) for p in self.points]
+                 p.measured.maximum, p.bound_value,
+                 p.measured.unfinished_runs) for p in self.points]
         return rows_to_csv(headers, rows)
 
 
 def sweep_series(benchmark: BenchmarkProgram, runs: Optional[int] = None,
-                 values: Optional[Sequence[int]] = None, seed: int = 0) -> SweepSeries:
+                 values: Optional[Sequence[int]] = None, seed: int = 0,
+                 engine: str = "scalar") -> SweepSeries:
     """Compute one candlestick series (bound vs. sampled cost over a sweep)."""
     program = benchmark.build()
     result = analyze_program(program, **benchmark.analyzer_options)
@@ -85,22 +101,25 @@ def sweep_series(benchmark: BenchmarkProgram, runs: Optional[int] = None,
     if plan is None:
         return series
     sweep_values = tuple(values) if values is not None else plan.sweep_values
-    for index, value in enumerate(sweep_values):
+    seeds = spawn_seeds(seed, len(sweep_values))
+    for value, run_seed in zip(sweep_values, seeds):
         state = dict(plan.fixed_state)
         state[plan.swept_variable] = int(value)
         stats = estimate_expected_cost(
             simulated, state, runs=runs if runs is not None else plan.runs,
-            seed=seed + index, max_steps=plan.max_steps)
+            seed=run_seed, max_steps=plan.max_steps, engine=engine)
         bound_value = float(result.bound.evaluate(state)) if result.success else float("nan")
         series.points.append(SweepPoint(state, int(value), stats, bound_value))
     return series
 
 
 def appendix_f_series(names: Optional[Sequence[str]] = None,
-                      runs: Optional[int] = None, seed: int = 0) -> List[SweepSeries]:
+                      runs: Optional[int] = None, seed: int = 0,
+                      engine: str = "scalar") -> List[SweepSeries]:
     """The candlestick series of every benchmark (Appendix F, Figures 10-48)."""
     benchmarks = [get_benchmark(name) for name in names] if names else all_benchmarks()
-    return [sweep_series(benchmark, runs=runs, seed=seed) for benchmark in benchmarks]
+    return [sweep_series(benchmark, runs=runs, seed=seed, engine=engine)
+            for benchmark in benchmarks]
 
 
 # ---------------------------------------------------------------------------
@@ -117,18 +136,36 @@ class HistogramFigure:
     edges: np.ndarray
     measured_mean: float
     bound_value: float
+    runs: int = 0
+    unfinished_runs: int = 0
 
 
-def figure8_histogram(runs: int = 10_000, n: int = 100, seed: int = 0) -> HistogramFigure:
-    """The rdwalk histogram of Figure 8 (left)."""
-    benchmark = get_benchmark("rdwalk")
-    program = benchmark.build()
-    result = analyze_program(program, **benchmark.analyzer_options)
-    state = {"x": 0, "n": n}
-    counts, edges, mean = histogram_of_costs(program, state, runs=runs, seed=seed)
+def figure8_histogram(runs: int = 10_000, n: int = 100, seed: int = 0,
+                      engine: str = "scalar",
+                      benchmark: str = "rdwalk",
+                      state: Optional[Dict[str, int]] = None) -> HistogramFigure:
+    """The rdwalk histogram of Figure 8 (left).
+
+    The histogram samples the benchmark's *simulation* variant
+    (``build_for_simulation``) -- for resource-counter benchmarks the
+    analysis variant counts no ticks at all, so sampling it would measure
+    the wrong program.
+    """
+    bench = get_benchmark(benchmark)
+    program = bench.build()
+    result = analyze_program(program, **bench.analyzer_options)
+    simulated = bench.build_for_simulation()
+    if state is None:
+        state = {"x": 0, "n": n}
+    histogram = histogram_of_costs(simulated, state, runs=runs, seed=seed,
+                                   engine=engine)
     bound_value = float(result.bound.evaluate(state)) if result.success else float("nan")
-    return HistogramFigure(benchmark="rdwalk", state=state, counts=counts,
-                           edges=edges, measured_mean=mean, bound_value=bound_value)
+    return HistogramFigure(benchmark=bench.name, state=dict(state),
+                           counts=histogram.counts, edges=histogram.edges,
+                           measured_mean=histogram.mean,
+                           bound_value=bound_value,
+                           runs=histogram.runs,
+                           unfinished_runs=histogram.unfinished_runs)
 
 
 @dataclass
@@ -141,31 +178,33 @@ class SurfacePoint:
 
 def figure8_trader_surface(s_values: Sequence[int] = (120, 160, 200, 240),
                            smin_values: Sequence[int] = (50, 100, 150),
-                           runs: int = 200, seed: int = 0) -> List[SurfacePoint]:
+                           runs: int = 200, seed: int = 0,
+                           engine: str = "scalar") -> List[SurfacePoint]:
     """Figure 8 (centre): trader bound vs. measurements over an (s, smin) grid."""
     benchmark = get_benchmark("trader")
     program = benchmark.build()
     result = analyze_program(program, **benchmark.analyzer_options)
     simulated = benchmark.build_for_simulation()
+    grid = [(int(s), int(smin)) for smin in smin_values for s in s_values
+            if s > smin]
+    seeds = spawn_seeds(seed, len(grid))
     points: List[SurfacePoint] = []
-    index = 0
-    for smin in smin_values:
-        for s in s_values:
-            if s <= smin:
-                continue
-            state = {"s": int(s), "smin": int(smin)}
-            stats = estimate_expected_cost(simulated, state, runs=runs, seed=seed + index)
-            bound_value = float(result.bound.evaluate(state)) if result.success \
-                else float("nan")
-            points.append(SurfacePoint(int(s), int(smin), stats.mean, bound_value))
-            index += 1
+    for (s, smin), run_seed in zip(grid, seeds):
+        state = {"s": s, "smin": smin}
+        stats = estimate_expected_cost(simulated, state, runs=runs,
+                                       seed=run_seed, engine=engine)
+        bound_value = float(result.bound.evaluate(state)) if result.success \
+            else float("nan")
+        points.append(SurfacePoint(s, smin, stats.mean, bound_value))
     return points
 
 
 def figure8_pol04_series(runs: int = 200, seed: int = 0,
-                         values: Sequence[int] = (20, 40, 60, 100)) -> SweepSeries:
+                         values: Sequence[int] = (20, 40, 60, 100),
+                         engine: str = "scalar") -> SweepSeries:
     """Figure 8 (right): pol04 candlesticks."""
-    return sweep_series(get_benchmark("pol04"), runs=runs, values=values, seed=seed)
+    return sweep_series(get_benchmark("pol04"), runs=runs, values=values,
+                        seed=seed, engine=engine)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -175,22 +214,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--figure", choices=("8", "appendix"), default="8")
     parser.add_argument("--names", nargs="*", default=None)
     parser.add_argument("--runs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", choices=("scalar", "vec", "auto"),
+                        default="auto",
+                        help="sampler engine (default: auto = vectorised "
+                             "batch executor with scalar fallback)")
     args = parser.parse_args(argv)
 
     if args.figure == "8":
-        histogram = figure8_histogram(runs=args.runs or 2000)
+        histogram = figure8_histogram(runs=args.runs or 2000, seed=args.seed,
+                                      engine=args.engine)
+        unfinished = (f", {histogram.unfinished_runs} unfinished"
+                      if histogram.unfinished_runs else "")
         print(f"Figure 8 (left): rdwalk n=100; measured mean = "
-              f"{histogram.measured_mean:.2f}, inferred bound = {histogram.bound_value:.2f}")
-        surface = figure8_trader_surface(runs=args.runs or 100)
+              f"{histogram.measured_mean:.2f}, inferred bound = "
+              f"{histogram.bound_value:.2f} "
+              f"({histogram.runs} runs{unfinished})")
+        surface = figure8_trader_surface(runs=args.runs or 100, seed=args.seed,
+                                         engine=args.engine)
         print("Figure 8 (centre): trader")
         for point in surface:
             print(f"  s={point.s:4d} smin={point.smin:4d} measured={point.measured_mean:12.1f} "
                   f"bound={point.bound_value:12.1f}")
-        series = figure8_pol04_series(runs=args.runs or 100)
+        series = figure8_pol04_series(runs=args.runs or 100, seed=args.seed,
+                                      engine=args.engine)
         print("Figure 8 (right): pol04")
         print(series.to_csv())
     else:
-        for series in appendix_f_series(args.names, runs=args.runs or 100):
+        for series in appendix_f_series(args.names, runs=args.runs or 100,
+                                        seed=args.seed, engine=args.engine):
             print(f"# {series.benchmark} (bound: {series.bound})")
             print(series.to_csv())
     return 0

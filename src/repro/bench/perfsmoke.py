@@ -11,6 +11,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --programs 'C4B_*' rdwalk
     python -m repro.bench.perfsmoke --workers 4          # + parallel pass
     python -m repro.bench.perfsmoke --group all --escalation   # degree reuse
+    python -m repro.bench.perfsmoke --sampler          # sampler throughput
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -23,6 +24,13 @@ sequential ``total_wall_seconds``, giving the speedup in one file.
 ``--check <baseline.json>`` exits non-zero when any program regressed by
 more than 25% wall time (and more than an absolute noise floor) against
 the baseline, which makes the runner usable as a CI gate.
+
+``--sampler`` adds a sampler-throughput section: the rdwalk n=100 cost
+histogram (Figure 8 left, paper-scale run count) is sampled through both
+the scalar closure interpreter and the vectorised batch executor
+(:mod:`repro.semantics.vexec`); the pass asserts both engines agree within
+sampling error and fails when the vectorised speedup drops below
+``--sampler-min-speedup`` (default 5x).
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -49,6 +57,14 @@ REGRESSION_THRESHOLD = 0.25
 #: ...but only when the absolute slowdown also clears this noise floor.
 REGRESSION_FLOOR_SECONDS = 0.05
 
+#: Sampler throughput gate: the vectorised executor must beat the scalar
+#: closure interpreter by at least this factor on the Figure 8 histogram
+#: workload (rdwalk, n=100).  Measured ~20x on the CI container; 5x keeps
+#: the gate meaningful without flaking on slow runners.
+SAMPLER_MIN_SPEEDUP = 5.0
+#: The Figure 8 histogram run count (paper scale).
+SAMPLER_RUNS = 10_000
+
 _GROUPS = ("all", "linear", "polynomial")
 
 
@@ -64,7 +80,9 @@ def run_suite(group: str = "linear",
               limit: Optional[int] = None,
               programs: Optional[Sequence[str]] = None,
               workers: int = 1,
-              escalation: bool = False) -> Dict[str, object]:
+              escalation: bool = False,
+              sampler: bool = False,
+              sampler_runs: int = SAMPLER_RUNS) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
@@ -128,6 +146,10 @@ def run_suite(group: str = "linear",
     if escalation:
         escalation_summary = _escalation_pass(benchmarks, rows)
 
+    sampler_summary: Optional[Dict[str, object]] = None
+    if sampler:
+        sampler_summary = _sampler_pass(runs=sampler_runs)
+
     return {
         "suite": f"table1-{group}" if not programs \
             else f"table1-custom({','.join(programs)})",
@@ -140,6 +162,7 @@ def run_suite(group: str = "linear",
         "suite_wall_parallel": suite_wall_parallel,
         "parallel_speedup": parallel_speedup,
         "escalation": escalation_summary,
+        "sampler": sampler_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -243,6 +266,61 @@ def _escalation_pass(benchmarks, rows: List[Dict[str, object]]
     return summary
 
 
+def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
+    """Measure scalar vs vectorised sampler throughput on the Figure 8 workload.
+
+    Runs the rdwalk n=100 cost histogram (the paper's Figure 8 left panel)
+    at paper-scale run counts through both engines, asserts they agree
+    within sampling error (the scalar interpreter is the oracle -- a
+    disagreement is a correctness bug, not a perf regression) and records
+    the throughputs plus their ratio.
+    """
+    from repro.bench.registry import get_benchmark
+    from repro.semantics.sampler import sample_costs, summarise_costs
+
+    benchmark = get_benchmark("rdwalk")
+    program = benchmark.build_for_simulation()
+    state = {"x": 0, "n": 100}
+
+    start = time.perf_counter()
+    scalar_costs, scalar_unfinished, _ = sample_costs(
+        program, state, runs=runs, seed=0, engine="scalar")
+    wall_scalar = time.perf_counter() - start
+    start = time.perf_counter()
+    vec_costs, vec_unfinished, _ = sample_costs(
+        program, state, runs=runs, seed=0, engine="vec")
+    wall_vec = time.perf_counter() - start
+
+    scalar_stats = summarise_costs(scalar_costs, scalar_unfinished)
+    vec_stats = summarise_costs(vec_costs, vec_unfinished)
+    tolerance = 5.0 * (scalar_stats.standard_error() ** 2
+                       + vec_stats.standard_error() ** 2) ** 0.5
+    if abs(scalar_stats.mean - vec_stats.mean) > tolerance:
+        # The engines sample the same distribution from different streams;
+        # any disagreement beyond sampling error is a vectoriser bug.
+        raise AssertionError(
+            f"sampler engines disagree on rdwalk: scalar mean "
+            f"{scalar_stats.mean:.3f} vs vec {vec_stats.mean:.3f} "
+            f"(tolerance {tolerance:.3f})")
+
+    return {
+        "benchmark": "rdwalk",
+        "state": state,
+        "runs": runs,
+        "wall_scalar": round(wall_scalar, 3),
+        "wall_vec": round(wall_vec, 3),
+        "runs_per_second_scalar": round(runs / wall_scalar, 1)
+                                  if wall_scalar > 0 else None,
+        "runs_per_second_vec": round(runs / wall_vec, 1)
+                               if wall_vec > 0 else None,
+        "speedup": round(wall_scalar / wall_vec, 2) if wall_vec > 0 else None,
+        "mean_scalar": round(scalar_stats.mean, 3),
+        "mean_vec": round(vec_stats.mean, 3),
+        "unfinished_scalar": scalar_unfinished,
+        "unfinished_vec": vec_unfinished,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Baseline comparison (--check)
 # ---------------------------------------------------------------------------
@@ -309,6 +387,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "every degree->=2 benchmark in escalating "
                              "mode, incremental vs rebuild-per-degree, "
                              "and assert bound identity with the cold run")
+    parser.add_argument("--sampler", action="store_true",
+                        help="also measure sampler throughput (scalar vs "
+                             "vectorised engine on the rdwalk n=100 "
+                             "histogram), assert the engines agree within "
+                             "sampling error, and gate the speedup")
+    parser.add_argument("--sampler-runs", type=int, default=SAMPLER_RUNS,
+                        help="run count for the sampler throughput pass "
+                             f"(default: {SAMPLER_RUNS})")
+    parser.add_argument("--sampler-min-speedup", type=float,
+                        default=SAMPLER_MIN_SPEEDUP,
+                        help="fail when the vectorised engine's speedup "
+                             "over the scalar interpreter drops below this "
+                             f"factor (default: {SAMPLER_MIN_SPEEDUP})")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -349,7 +440,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     report = run_suite(args.group, args.limit, programs=args.programs,
-                       workers=args.workers, escalation=args.escalation)
+                       workers=args.workers, escalation=args.escalation,
+                       sampler=args.sampler, sampler_runs=args.sampler_runs)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -374,12 +466,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(speedup {escalation['speedup']:.2f}x, mean reuse "
                   f"{escalation['mean_reuse_ratio']:.1%}, "
                   f"{escalation['identity_checked']} bound identities checked)")
+        sampler_report = report.get("sampler")
+        if sampler_report:
+            print(f"sampler ({sampler_report['benchmark']} "
+                  f"{sampler_report['runs']} runs): scalar "
+                  f"{sampler_report['wall_scalar']:.2f}s vs vec "
+                  f"{sampler_report['wall_vec']:.2f}s "
+                  f"(speedup {sampler_report['speedup']:.1f}x, means "
+                  f"{sampler_report['mean_scalar']:.1f}/"
+                  f"{sampler_report['mean_vec']:.1f})")
         print(f"wrote {args.output}")
 
     failures = [p["name"] for p in report["programs"] if not p["success"]]
     if failures:
         print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
         return 1
+
+    sampler_report = report.get("sampler")
+    if sampler_report is not None:
+        speedup = sampler_report["speedup"]
+        if speedup is None or speedup < args.sampler_min_speedup:
+            print(f"sampler throughput gate FAILED: vec speedup "
+                  f"{speedup} < required {args.sampler_min_speedup}x",
+                  file=sys.stderr)
+            return 1
 
     if baseline is not None:
         regressions = find_regressions(report, baseline,

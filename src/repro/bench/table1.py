@@ -44,7 +44,8 @@ from repro.bench.registry import (
 )
 from repro.bench.reporting import format_float, format_percentage, render_table, rows_to_csv
 from repro.core.analyzer import analyze_program
-from repro.semantics.sampler import estimate_expected_cost, relative_error
+from repro.semantics.sampler import (estimate_expected_cost, relative_error,
+                                     spawn_seeds)
 
 
 @dataclass
@@ -102,10 +103,12 @@ def _measure_error(benchmark: BenchmarkProgram, bound,
     plan = benchmark.simulation
     measurements: List[Tuple[Dict[str, int], float, float]] = []
     pairs = []
-    for index, state in enumerate(plan.states()):
+    states = plan.states()
+    seeds = spawn_seeds(seed, len(states))
+    for state, run_seed in zip(states, seeds):
         stats = estimate_expected_cost(
             simulated, state, runs=runs if runs is not None else plan.runs,
-            seed=seed + index, max_steps=plan.max_steps)
+            seed=run_seed, max_steps=plan.max_steps)
         bound_value = float(bound.evaluate(state))
         measurements.append((state, stats.mean, bound_value))
         pairs.append((bound_value, stats.mean))

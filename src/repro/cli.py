@@ -4,6 +4,8 @@ Usage::
 
     absynth-py analyze program.imp [--degree 2] [--counter cost] [--certificate]
     absynth-py simulate program.imp --input x=100 n=500 [--runs 1000]
+    absynth-py sample program.imp|benchmark --input x=100 [--engine vec] [--runs 10000]
+    absynth-py figures [--figure 8|appendix] [--engine vec] [--runs N]
     absynth-py bench [--group linear|polynomial|all] [--quick] [--workers N]
     absynth-py batch DIR|FILE|@group|name... [--workers N] [--cache-dir DIR]
     absynth-py serve [--workers N] [--cache-dir DIR]
@@ -11,8 +13,11 @@ Usage::
 
 ``analyze`` parses a program in the concrete syntax (see
 :mod:`repro.lang.parser`), runs the expected-cost analysis and prints the
-bound; ``simulate`` estimates the expected cost by sampling; ``bench``
-regenerates Table 1; ``batch`` fans a set of programs out over the
+bound; ``simulate`` estimates the expected cost by sampling; ``sample`` is
+the batch-scale sampling surface (scalar or vectorised engine, registry
+benchmarks accepted by name, unfinished-run accounting); ``figures``
+regenerates the Figure 8 / Appendix F data series; ``bench`` regenerates
+Table 1; ``batch`` fans a set of programs out over the
 :mod:`repro.service` scheduler with the persistent result cache; ``serve``
 runs the line-oriented JSON analysis service on stdin/stdout.
 
@@ -102,11 +107,82 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"parse error: {exc}", file=sys.stderr)
         return EXIT_PARSE_ERROR
     state = _parse_assignments(args.input or [])
-    stats = estimate_expected_cost(program, state, runs=args.runs, seed=args.seed)
+    from repro.semantics.vexec import VectorisationError, VexecRangeError
+
+    try:
+        stats = estimate_expected_cost(
+            program, state, runs=args.runs, seed=args.seed,
+            engine=getattr(args, "engine", "scalar"))
+    except (VectorisationError, VexecRangeError) as exc:
+        print(f"vectorised engine cannot run {args.program}: {exc} "
+              f"(use --engine scalar or auto)", file=sys.stderr)
+        return EXIT_FAILURE
+    _print_statistics(stats)
+    return EXIT_OK
+
+
+def _print_statistics(stats) -> None:
     print(f"runs: {stats.runs}   mean cost: {stats.mean:.3f}   std: {stats.std:.3f}")
     print(f"min/q1/median/q3/max: {stats.minimum:.1f} / {stats.first_quartile:.1f} / "
           f"{stats.median:.1f} / {stats.third_quartile:.1f} / {stats.maximum:.1f}")
+    if stats.unfinished_runs:
+        print(f"unfinished runs (step budget exceeded): {stats.unfinished_runs}")
+
+
+def _resolve_sample_target(target: str):
+    """A program path or a registry benchmark name -> (program, label).
+
+    Benchmarks resolve to their *simulation* variant, whose tick count
+    measures the analysed resource.
+    """
+    if os.path.isfile(target):
+        return _load_program(target), target
+    from repro.bench.registry import get_benchmark
+
+    try:
+        benchmark = get_benchmark(target)
+    except KeyError:
+        raise SystemExit(
+            f"{target!r} is neither a program file nor a known benchmark "
+            f"(see 'absynth-py list')")
+    return benchmark.build_for_simulation(), benchmark.name
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.semantics.vexec import VectorisationError, VexecRangeError
+
+    try:
+        program, label = _resolve_sample_target(args.program)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    state = _parse_assignments(args.input or [])
+    try:
+        stats = estimate_expected_cost(
+            program, state, runs=args.runs, seed=args.seed,
+            max_steps=args.max_steps, engine=args.engine,
+            batch_size=args.batch_size)
+    except (VectorisationError, VexecRangeError) as exc:
+        print(f"vectorised engine cannot run {label}: {exc} "
+              f"(use --engine scalar or auto)", file=sys.stderr)
+        return EXIT_FAILURE
+    fallback = " (fallback from auto)" \
+        if args.engine == "auto" and stats.engine == "scalar" else ""
+    print(f"{label}: engine={stats.engine}{fallback}")
+    _print_statistics(stats)
     return EXIT_OK
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+
+    forwarded: List[str] = ["--figure", args.figure, "--engine", args.engine,
+                            "--seed", str(args.seed)]
+    if args.runs is not None:
+        forwarded.extend(["--runs", str(args.runs)])
+    if args.names:
+        forwarded.extend(["--names", *args.names])
+    return figures.main(forwarded)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -270,7 +346,44 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--input", nargs="*", default=[], help="initial values, e.g. x=10 n=100")
     simulate.add_argument("--runs", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--engine", choices=("scalar", "vec", "auto"),
+                          default="scalar",
+                          help="sampler engine (default: scalar oracle)")
     simulate.set_defaults(func=_cmd_simulate)
+
+    sample = subparsers.add_parser(
+        "sample", help="batch-scale sampling (vectorised engine, benchmarks "
+                       "by name, unfinished-run accounting)")
+    sample.add_argument("program",
+                        help="path to a program file, or the name of a "
+                             "registry benchmark (sampled in its simulation "
+                             "variant)")
+    sample.add_argument("--input", nargs="*", default=[],
+                        help="initial values, e.g. x=10 n=100")
+    sample.add_argument("--runs", type=int, default=10_000)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--max-steps", type=int, default=1_000_000,
+                        help="per-run step budget")
+    sample.add_argument("--batch-size", type=int, default=None,
+                        help="lanes executed at once by the vectorised "
+                             "engine (bounds peak memory; results are "
+                             "identical for every split)")
+    sample.add_argument("--engine", choices=("scalar", "vec", "auto"),
+                        default="auto",
+                        help="sampler engine (default: auto = vectorised "
+                             "with scalar fallback)")
+    sample.set_defaults(func=_cmd_sample)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the Figure 8 / Appendix F data series")
+    figures.add_argument("--figure", choices=("8", "appendix"), default="8")
+    figures.add_argument("--names", nargs="*", default=None)
+    figures.add_argument("--runs", type=int, default=None)
+    figures.add_argument("--seed", type=int, default=0)
+    figures.add_argument("--engine", choices=("scalar", "vec", "auto"),
+                         default="auto",
+                         help="sampler engine (default: auto)")
+    figures.set_defaults(func=_cmd_figures)
 
     bench = subparsers.add_parser("bench", help="regenerate Table 1")
     bench.add_argument("--group", choices=("all", "linear", "polynomial"), default="all")

@@ -5,8 +5,11 @@ This package provides the three semantic substrates the paper relies on:
 * :mod:`repro.semantics.interp` -- a cost-counting operational interpreter
   with pluggable schedulers for non-determinism (the runtime used by the
   simulation-based evaluation, replacing the paper's C++/GSL harness),
+* :mod:`repro.semantics.vexec` -- a NumPy batch executor advancing whole
+  batches of runs in lockstep (the fast path behind the Figure 8 sweeps),
 * :mod:`repro.semantics.sampler` -- Monte-Carlo estimation of expected cost
-  and the candlestick statistics shown in Figure 8 / Appendix F,
+  and the candlestick statistics shown in Figure 8 / Appendix F, fronted by
+  a scalar/vec engine selection,
 * :mod:`repro.semantics.ert` -- the expected-cost transformer ``ert[c]``
   (Appendix B) evaluated by bounded unrolling,
 * :mod:`repro.semantics.mdp` -- explicit-state (pushdown-free) MDP semantics
@@ -22,14 +25,28 @@ from repro.semantics.interp import (
     Scheduler,
     run_program,
 )
-from repro.semantics.sampler import SampleStatistics, estimate_expected_cost, sweep_expected_cost
+from repro.semantics.sampler import (
+    SAMPLER_ENGINES,
+    CostHistogram,
+    SampleStatistics,
+    estimate_expected_cost,
+    histogram_of_costs,
+    sample_costs,
+    spawn_seeds,
+    sweep_expected_cost,
+)
+from repro.semantics.vexec import (BatchResult, VecInterpreter,
+                                   VectorisationError, VexecRangeError)
 from repro.semantics.ert import expected_cost_ert, ert_transformer
 from repro.semantics.mdp import MDPSemantics, expected_cost_mdp
 
 __all__ = [
     "AngelicScheduler", "DemonicScheduler", "ExecutionResult", "Interpreter",
     "RandomScheduler", "Scheduler", "run_program",
-    "SampleStatistics", "estimate_expected_cost", "sweep_expected_cost",
+    "SAMPLER_ENGINES", "CostHistogram", "SampleStatistics",
+    "estimate_expected_cost", "histogram_of_costs", "sample_costs",
+    "spawn_seeds", "sweep_expected_cost",
+    "BatchResult", "VecInterpreter", "VectorisationError", "VexecRangeError",
     "expected_cost_ert", "ert_transformer",
     "MDPSemantics", "expected_cost_mdp",
 ]

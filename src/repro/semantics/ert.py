@@ -40,11 +40,20 @@ def _zero(_state: State) -> Fraction:
     return Fraction(0)
 
 
-def _eval_expr(expr: ast.Expr, state: State) -> int:
+def _eval_expr(expr: ast.Expr, state: State):
     if isinstance(expr, ast.Const):
-        return int(expr.value)
+        # Exact evaluation, as in the interpreter: integral constants
+        # become ints, non-integral ones stay exact Fractions (guards such
+        # as ``x < 5/2`` must not silently truncate to ``x < 2``).
+        value = expr.value
+        return int(value) if value.denominator == 1 else value
     if isinstance(expr, ast.Var):
-        return int(state.get(expr.name, 0))
+        value = state.get(expr.name, 0)
+        # State values are ints except when an Assign stored an exact
+        # non-integral Fraction; read those back exactly too.
+        if isinstance(value, Fraction) and value.denominator != 1:
+            return value
+        return int(value)
     if isinstance(expr, ast.Not):
         return 0 if _eval_expr(expr.operand, state) != 0 else 1
     if isinstance(expr, ast.BinOp):

@@ -138,12 +138,15 @@ class Interpreter:
 
     # -- expression evaluation ------------------------------------------------------
 
-    def eval_expr(self, expr: ast.Expr, state: State) -> int:
+    def eval_expr(self, expr: ast.Expr, state: State) -> Union[int, Fraction]:
         if isinstance(expr, ast.Const):
             value = expr.value
             if value.denominator == 1:
                 return int(value)
-            return int(value)  # truncate non-integral constants
+            # Evaluate non-integral constants exactly: guards such as
+            # ``x < 5/2`` must not silently truncate to ``x < 2``.
+            # Fraction arithmetic/comparisons compose with int state values.
+            return value
         if isinstance(expr, ast.Var):
             return state.get(expr.name, 0)
         if isinstance(expr, ast.Star):
@@ -286,7 +289,9 @@ class Interpreter:
 
     def _compile_expr(self, expr: ast.Expr):
         if isinstance(expr, ast.Const):
-            value = int(expr.value)  # truncate non-integral constants
+            # Exact evaluation, as in eval_expr: integral constants become
+            # ints, non-integral ones stay exact Fractions.
+            value = int(expr.value) if expr.value.denominator == 1 else expr.value
             return lambda state: value
         if isinstance(expr, ast.Var):
             name = expr.name

@@ -10,20 +10,45 @@ module is the Python replacement for the C++/GSL simulation harness:
 * :func:`sweep_expected_cost` repeats the estimation over a range of inputs
   for one swept variable while the others stay fixed -- exactly the set-up of
   the Appendix F candlestick plots,
+* :func:`histogram_of_costs` builds the Figure 8 tick histogram,
 * :func:`relative_error` computes the "Error (%)" column of Table 1.
+
+Two sampler engines are available (the ``engine`` argument):
+
+* ``"scalar"`` -- the closure-compiled scalar interpreter
+  (:mod:`repro.semantics.interp`), one run at a time.  This is the oracle:
+  exact operational semantics, arbitrary schedulers, exact rational state.
+* ``"vec"`` -- the NumPy batch executor (:mod:`repro.semantics.vexec`),
+  which advances all runs in lockstep over integer state arrays with
+  per-lane ``SeedSequence``-spawned streams.  Results are reproducible
+  independent of batch size and agree with the scalar engine exactly on
+  deterministic programs and in distribution on probabilistic ones.
+* ``"auto"`` -- use ``vec`` whenever the program/scheduler can be
+  vectorised, silently falling back to ``scalar`` otherwise.
+
+Seeds for sweeps are derived with ``np.random.SeedSequence(seed).spawn``
+(see :func:`spawn_seeds`), so every sweep point gets an independent,
+collision-free stream -- unlike naive ``seed + index`` derivations whose
+streams are correlated across neighbouring points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.lang import ast
 from repro.semantics.interp import Interpreter, Scheduler
+from repro.semantics.vexec import (VecInterpreter, VectorisationError,
+                                   VexecRangeError, fresh_seedseq)
 
 State = Dict[str, int]
+Seed = Union[None, int, np.random.SeedSequence]
+
+#: The selectable sampler engines.
+SAMPLER_ENGINES = ("scalar", "vec", "auto")
 
 
 @dataclass
@@ -39,6 +64,9 @@ class SampleStatistics:
     third_quartile: float
     runs: int
     unfinished_runs: int = 0
+    #: The engine that actually produced the samples ("scalar" or "vec") --
+    #: 'auto' resolution and runtime fallback are reported through this.
+    engine: str = "scalar"
 
     def candlestick(self) -> Tuple[float, float, float, float]:
         """(low, q1, q3, high) -- the candlestick of the Appendix F plots."""
@@ -50,13 +78,119 @@ class SampleStatistics:
         return self.std / (self.runs ** 0.5)
 
 
-def estimate_expected_cost(program: ast.Program,
-                           initial_state: Optional[State] = None,
-                           runs: int = 1000,
-                           seed: Optional[int] = 0,
-                           scheduler: Optional[Scheduler] = None,
-                           max_steps: int = 1_000_000) -> SampleStatistics:
-    """Sample ``runs`` executions and summarise the observed costs."""
+@dataclass
+class CostHistogram:
+    """Sampled cost histogram (Figure 8 left).
+
+    Unlike a bare ``(counts, edges, mean)`` tuple this also reports how many
+    runs did *not* terminate within the step budget -- silently dropping
+    them would bias the histogram (and its mean) toward cheap runs.
+    """
+
+    counts: np.ndarray
+    edges: np.ndarray
+    mean: float
+    runs: int
+    unfinished_runs: int
+    engine: str = "scalar"
+
+
+def spawn_seeds(seed: Seed, count: int) -> List[Seed]:
+    """``count`` independent child seeds derived from ``seed``.
+
+    Children are ``SeedSequence`` objects spawned from ``seed`` -- distinct,
+    collision-free streams, unlike ``seed + index`` arithmetic where
+    neighbouring points share almost their entire stream state.  ``None``
+    (fresh OS entropy per point) is passed through unchanged.
+    """
+    if seed is None:
+        return [None] * count
+    # fresh_seedseq rebuilds caller-provided SeedSequences so spawning
+    # neither mutates the caller's object nor varies across repeated calls.
+    return list(fresh_seedseq(seed).spawn(count))
+
+
+#: Compiled-executor cache: sweeps call ``estimate_expected_cost`` once per
+#: point on the same program; recompiling the identical tree per point is
+#: pure waste.  Keyed on ``id(program)`` with an identity re-check (so a
+#: recycled id can never alias a different program) and bounded FIFO.
+_VEC_EXECUTOR_CACHE: Dict[Tuple[int, int], VecInterpreter] = {}
+_VEC_EXECUTOR_CACHE_SIZE = 8
+
+
+def _vec_executor(program: ast.Program, scheduler: Optional[Scheduler],
+                  max_steps: int) -> VecInterpreter:
+    if scheduler is not None:
+        # Scheduler instances may carry state; don't share them via a cache.
+        return VecInterpreter(program, scheduler=scheduler,
+                              max_steps=max_steps)
+    key = (id(program), max_steps)
+    cached = _VEC_EXECUTOR_CACHE.get(key)
+    if cached is not None and cached.program is program:
+        return cached
+    executor = VecInterpreter(program, max_steps=max_steps)
+    while len(_VEC_EXECUTOR_CACHE) >= _VEC_EXECUTOR_CACHE_SIZE:
+        _VEC_EXECUTOR_CACHE.pop(next(iter(_VEC_EXECUTOR_CACHE)))
+    _VEC_EXECUTOR_CACHE[key] = executor
+    return executor
+
+
+def resolve_engine(engine: str, program: ast.Program,
+                   scheduler: Optional[Scheduler] = None,
+                   max_steps: int = 1_000_000
+                   ) -> Tuple[str, Optional[VecInterpreter]]:
+    """Resolve an engine name to ``("scalar", None)`` or ``("vec", executor)``.
+
+    ``"vec"`` raises :class:`VectorisationError` when the program or
+    scheduler cannot be vectorised; ``"auto"`` falls back to the scalar
+    interpreter instead.
+    """
+    if engine not in SAMPLER_ENGINES:
+        raise ValueError(f"unknown sampler engine {engine!r}; "
+                         f"choose one of {SAMPLER_ENGINES}")
+    if engine == "scalar":
+        return "scalar", None
+    try:
+        executor = _vec_executor(program, scheduler, max_steps)
+    except VectorisationError:
+        if engine == "vec":
+            raise
+        return "scalar", None
+    return "vec", executor
+
+
+def sample_costs(program: ast.Program,
+                 initial_state: Optional[State] = None,
+                 runs: int = 1000,
+                 seed: Seed = 0,
+                 scheduler: Optional[Scheduler] = None,
+                 max_steps: int = 1_000_000,
+                 engine: str = "scalar",
+                 batch_size: Optional[int] = None
+                 ) -> Tuple[np.ndarray, int, str]:
+    """Sample ``runs`` executions.
+
+    Returns ``(costs of terminated runs, #unfinished, engine used)``.  The
+    cost array contains one float per run that terminated within the step
+    budget (assertion-failed runs count as terminated, with the cost
+    accumulated up to the failing assertion, exactly as in the scalar
+    semantics).  The returned engine name is what actually ran --
+    ``"auto"`` resolution and the runtime overflow fallback both surface
+    here.
+    """
+    chosen, executor = resolve_engine(engine, program, scheduler, max_steps)
+    if chosen == "vec":
+        try:
+            batch = executor.run_batch(initial_state, runs=runs, seed=seed,
+                                       batch_size=batch_size)
+        except VexecRangeError:
+            # Values left the int64-safe range at runtime.  Under 'auto'
+            # that is the executor's limitation, not the program's error:
+            # retry on the scalar interpreter (exact Python ints).
+            if engine == "vec":
+                raise
+        else:
+            return batch.finished_costs(), batch.unfinished_runs, "vec"
     interpreter = Interpreter(program, scheduler=scheduler, max_steps=max_steps)
     rng = np.random.default_rng(seed)
     costs: List[float] = []
@@ -67,9 +201,16 @@ def estimate_expected_cost(program: ast.Program,
             unfinished += 1
             continue
         costs.append(float(result.cost))
-    if not costs:
+    return np.asarray(costs, dtype=float), unfinished, "scalar"
+
+
+def summarise_costs(costs: np.ndarray, unfinished: int,
+                    engine: str = "scalar") -> SampleStatistics:
+    """Fold a sampled cost array into :class:`SampleStatistics`."""
+    if len(costs) == 0:
         nan = float("nan")
-        return SampleStatistics(nan, nan, nan, nan, nan, nan, nan, 0, unfinished)
+        return SampleStatistics(nan, nan, nan, nan, nan, nan, nan, 0,
+                                unfinished, engine)
     data = np.asarray(costs, dtype=float)
     q1, median, q3 = np.percentile(data, [25, 50, 75])
     return SampleStatistics(
@@ -82,7 +223,24 @@ def estimate_expected_cost(program: ast.Program,
         third_quartile=float(q3),
         runs=len(data),
         unfinished_runs=unfinished,
+        engine=engine,
     )
+
+
+def estimate_expected_cost(program: ast.Program,
+                           initial_state: Optional[State] = None,
+                           runs: int = 1000,
+                           seed: Seed = 0,
+                           scheduler: Optional[Scheduler] = None,
+                           max_steps: int = 1_000_000,
+                           engine: str = "scalar",
+                           batch_size: Optional[int] = None) -> SampleStatistics:
+    """Sample ``runs`` executions and summarise the observed costs."""
+    costs, unfinished, used = sample_costs(program, initial_state, runs=runs,
+                                           seed=seed, scheduler=scheduler,
+                                           max_steps=max_steps, engine=engine,
+                                           batch_size=batch_size)
+    return summarise_costs(costs, unfinished, used)
 
 
 def sweep_expected_cost(program: ast.Program,
@@ -90,19 +248,21 @@ def sweep_expected_cost(program: ast.Program,
                         values: Sequence[int],
                         fixed_state: Optional[State] = None,
                         runs: int = 500,
-                        seed: Optional[int] = 0,
+                        seed: Seed = 0,
                         scheduler: Optional[Scheduler] = None,
-                        max_steps: int = 1_000_000
+                        max_steps: int = 1_000_000,
+                        engine: str = "scalar"
                         ) -> List[Tuple[int, SampleStatistics]]:
     """Estimate expected cost for each value of the swept input variable."""
     series: List[Tuple[int, SampleStatistics]] = []
     base = dict(fixed_state or {})
-    for index, value in enumerate(values):
+    seeds = spawn_seeds(seed, len(values))
+    for value, run_seed in zip(values, seeds):
         state = dict(base)
         state[swept_variable] = int(value)
-        run_seed = None if seed is None else seed + index
         stats = estimate_expected_cost(program, state, runs=runs, seed=run_seed,
-                                       scheduler=scheduler, max_steps=max_steps)
+                                       scheduler=scheduler, max_steps=max_steps,
+                                       engine=engine)
         series.append((int(value), stats))
     return series
 
@@ -132,17 +292,18 @@ def histogram_of_costs(program: ast.Program,
                        initial_state: Optional[State] = None,
                        runs: int = 10_000,
                        bins: int = 40,
-                       seed: Optional[int] = 0,
-                       max_steps: int = 1_000_000
-                       ) -> Tuple[np.ndarray, np.ndarray, float]:
-    """Sampled cost histogram (Figure 8 left). Returns (counts, edges, mean)."""
-    interpreter = Interpreter(program, max_steps=max_steps)
-    rng = np.random.default_rng(seed)
-    costs = []
-    for _ in range(runs):
-        result = interpreter.run(initial_state, rng=rng)
-        if result.terminated:
-            costs.append(float(result.cost))
+                       seed: Seed = 0,
+                       max_steps: int = 1_000_000,
+                       engine: str = "scalar",
+                       batch_size: Optional[int] = None) -> CostHistogram:
+    """Sampled cost histogram (Figure 8 left), with unfinished-run accounting."""
+    costs, unfinished, used = sample_costs(program, initial_state, runs=runs,
+                                           seed=seed, max_steps=max_steps,
+                                           engine=engine,
+                                           batch_size=batch_size)
     data = np.asarray(costs, dtype=float)
     counts, edges = np.histogram(data, bins=bins)
-    return counts, edges, float(data.mean()) if len(data) else float("nan")
+    mean = float(data.mean()) if len(data) else float("nan")
+    return CostHistogram(counts=counts, edges=edges, mean=mean,
+                         runs=len(data), unfinished_runs=unfinished,
+                         engine=used)

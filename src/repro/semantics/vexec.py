@@ -1,0 +1,756 @@
+"""Vectorised batch-of-runs executor for the Monte-Carlo evaluation.
+
+The scalar closure interpreter (:mod:`repro.semantics.interp`) executes one
+run at a time; the Figure 8 / Appendix F sweeps need tens of thousands of
+runs per input point, which makes the per-node Python dispatch the dominant
+cost of the evaluation harness.  This module executes a whole *batch* of
+runs in lockstep over NumPy integer state arrays instead:
+
+* the command tree is compiled once (structured compilation, mirroring the
+  scalar closure compiler) into functions over ``(batch,)``-shaped ``int64``
+  state arrays,
+* ``if`` / ``while`` / probabilistic / non-deterministic branches are
+  executed with *per-lane active masks* -- every lane follows exactly the
+  control path it would follow under the scalar semantics, lanes that
+  diverge are simply masked out of the other branch,
+* distribution sampling is batched: every finite-support distribution is
+  sampled by inverse-CDF lookup (``searchsorted``) over per-lane uniform
+  draws,
+* each lane owns a step budget and a cost accumulator; constant ``tick``
+  amounts are scaled by the least common denominator so costs stay *exact*
+  rationals (``cost_numerators / cost_denominator``),
+* randomness comes from ``np.random.SeedSequence(seed).spawn(runs)``:
+  lane ``i`` always consumes stream ``i`` regardless of ``batch_size``, so
+  results are bit-reproducible independent of how the batch is split.
+
+The scalar interpreter remains the oracle: deterministic programs produce
+byte-identical results on both paths, probabilistic programs agree in
+distribution (per-lane streams necessarily differ from the scalar
+interpreter's single shared stream); see ``tests/test_vexec_equivalence.py``.
+
+Programs the vectoriser cannot express -- non-integral constants inside
+expressions, or a custom :class:`~repro.semantics.interp.Scheduler` that is
+neither random, demonic nor angelic -- raise :class:`VectorisationError` at
+compile time, and the ``auto`` sampler engine falls back to the scalar path.
+
+Lane state is ``int64`` where the scalar oracle uses arbitrary-precision
+Python ints.  Silent wrap-around is guarded against: every value written to
+state or the cost accumulator is range-checked against 2^61,
+multiplications are pre-checked, and constant ticks are bounded at compile
+time via the step budget -- out-of-range programs raise
+:class:`~repro.lang.errors.EvaluationError` (or are rejected at compile
+time) instead of producing wrong numbers.  Deeply chained additions of
+values near the 2^61 ceiling inside one expression could still wrap before
+the post-write check; values that large are far outside the benchmark
+domain, and the scalar engine remains available for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.lang import ast
+from repro.lang.distributions import Distribution
+from repro.lang.errors import EvaluationError
+from repro.semantics.interp import (
+    AngelicScheduler,
+    DemonicScheduler,
+    ExecutionResult,
+    RandomScheduler,
+    Scheduler,
+)
+
+__all__ = ["BatchResult", "VecInterpreter", "VectorisationError",
+           "VexecRangeError", "fresh_seedseq"]
+
+#: How many uniforms each lane buffers per refill of its private stream.
+_STREAM_CHUNK = 256
+
+#: Default ceiling on lanes executed at once (bounds peak memory).
+_DEFAULT_MAX_BATCH = 65_536
+
+#: Magnitude ceiling for lane values.  The scalar oracle computes with
+#: arbitrary-precision Python ints; int64 lanes would wrap *silently*, so
+#: every value written to state/cost is checked against this bound (and
+#: multiplications are pre-checked), turning would-be overflow into a loud
+#: ``EvaluationError`` instead of confidently wrong results.  2**61 leaves
+#: headroom so a single add/subtract of two in-range values cannot wrap
+#: before the post-write check sees it.
+_VALUE_LIMIT = 1 << 61
+
+
+def _check_range(values) -> None:
+    arr = np.asarray(values)
+    if arr.size and int(np.abs(arr).max()) > _VALUE_LIMIT:
+        raise VexecRangeError(
+            "value magnitude exceeds the vectorised executor's integer "
+            "range (2^61); use the scalar engine for this program")
+
+
+def _masked_abs_bound(values, mask) -> float:
+    """Largest magnitude among the *active* lanes (masked-out lanes may
+    hold values this expression would never see under scalar semantics)."""
+    if np.ndim(values) == 0:
+        return abs(float(values))
+    active = np.asarray(values)[mask]
+    return float(np.abs(active).max()) if active.size else 0.0
+
+
+def _check_product(bound_left: float, bound_right: float) -> None:
+    """Pre-check for multiplications: products can blow far past int64 in
+    one step, so a post-hoc range check would miss the wrap."""
+    if bound_left * bound_right > float(_VALUE_LIMIT):
+        raise VexecRangeError(
+            "multiplication may exceed the vectorised executor's integer "
+            "range (2^61); use the scalar engine for this program")
+
+
+class VectorisationError(Exception):
+    """The program (or scheduler) cannot be compiled to the batch executor."""
+
+
+class VexecRangeError(EvaluationError):
+    """A lane value left the executor's int64-safe range at *runtime*.
+
+    Subclasses :class:`EvaluationError` (the run genuinely cannot proceed
+    on this engine) but is distinguishable so the ``auto`` sampler engine
+    can retry on the scalar interpreter, whose exact Python ints have no
+    such limit.  Genuine program errors (division by zero, call-depth)
+    stay plain ``EvaluationError`` -- the scalar engine would raise those
+    too, so retrying would be wasted work.
+    """
+
+
+def fresh_seedseq(seed: Union[None, int, np.random.SeedSequence]
+                  ) -> np.random.SeedSequence:
+    """A SeedSequence for ``seed`` that is safe to ``spawn`` from.
+
+    ``SeedSequence.spawn`` advances the parent's ``n_children_spawned``
+    counter, so spawning from a caller-provided object would both mutate the
+    caller's state and make repeated calls non-reproducible.  Rebuild an
+    identical sequence (same entropy and spawn key, zero children spawned)
+    instead.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(entropy=seed.entropy,
+                                      spawn_key=seed.spawn_key,
+                                      pool_size=seed.pool_size)
+    return np.random.SeedSequence(seed)
+
+
+# ---------------------------------------------------------------------------
+# Per-lane random streams
+# ---------------------------------------------------------------------------
+
+
+class _LaneStreams:
+    """Buffered per-lane uniform streams.
+
+    Each lane draws from its own ``Generator`` (seeded from its own
+    ``SeedSequence`` child), so a lane's draw sequence depends only on its
+    global run index and its own control path -- never on the other lanes
+    or on the batch split.  Draws are buffered ``_STREAM_CHUNK`` at a time
+    so the per-lane Python cost is paid once per chunk, not once per draw.
+    """
+
+    def __init__(self, seed_seqs: Sequence[np.random.SeedSequence],
+                 chunk: int = _STREAM_CHUNK) -> None:
+        self._gens = [np.random.default_rng(seq) for seq in seed_seqs]
+        width = len(self._gens)
+        self._chunk = chunk
+        self._buffer = np.empty((width, chunk), dtype=np.float64)
+        self._position = np.full(width, chunk, dtype=np.int64)
+
+    def uniform(self, mask: np.ndarray) -> np.ndarray:
+        """One uniform in [0, 1) per active lane (full-width array)."""
+        lanes = np.nonzero(mask)[0]
+        position = self._position
+        exhausted = lanes[position[lanes] >= self._chunk]
+        if exhausted.size:
+            buffer, gens, chunk = self._buffer, self._gens, self._chunk
+            for lane in exhausted.tolist():
+                buffer[lane] = gens[lane].random(chunk)
+                position[lane] = 0
+        out = np.zeros(len(position), dtype=np.float64)
+        taken = position[lanes]
+        out[lanes] = self._buffer[lanes, taken]
+        position[lanes] = taken + 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Batch state
+# ---------------------------------------------------------------------------
+
+
+class _Ctx:
+    """Mutable per-batch execution state (one lane per run)."""
+
+    __slots__ = ("state", "cost", "steps", "stopped", "exhausted",
+                 "streams", "max_steps", "width")
+
+    def __init__(self, width: int, variables: Sequence[str],
+                 init: Dict[str, int], streams: _LaneStreams,
+                 max_steps: int) -> None:
+        self.width = width
+        self.state = {var: np.full(width, init.get(var, 0), dtype=np.int64)
+                      for var in variables}
+        self.cost = np.zeros(width, dtype=np.int64)
+        self.steps = np.zeros(width, dtype=np.int64)
+        self.stopped = np.zeros(width, dtype=bool)      # assert/assume/abort
+        self.exhausted = np.zeros(width, dtype=bool)    # step budget
+        self.streams = streams
+        self.max_steps = max_steps
+
+
+def _charge(ctx: _Ctx, mask: np.ndarray) -> np.ndarray:
+    """Charge one step to every active lane; retire budget-exhausted lanes."""
+    ctx.steps += mask
+    over = ctx.steps > ctx.max_steps
+    over &= mask
+    if over.any():
+        ctx.exhausted |= over
+        mask = mask & ~over
+    return mask
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched execution (`runs` lanes).
+
+    Costs are exact: lane ``i`` consumed
+    ``Fraction(cost_numerators[i], cost_denominator)`` resource units.
+    """
+
+    runs: int
+    cost_numerators: np.ndarray
+    cost_denominator: int
+    steps: np.ndarray
+    terminated: np.ndarray
+    assertion_failed: np.ndarray
+    state: Dict[str, np.ndarray]
+
+    def costs(self) -> np.ndarray:
+        """Per-lane costs as float64 (num / den)."""
+        return self.cost_numerators / float(self.cost_denominator)
+
+    def cost_fractions(self) -> List[Fraction]:
+        den = self.cost_denominator
+        return [Fraction(int(num), den) for num in self.cost_numerators]
+
+    def finished_costs(self) -> np.ndarray:
+        """Float costs of the lanes that terminated within budget."""
+        return self.costs()[self.terminated]
+
+    @property
+    def unfinished_runs(self) -> int:
+        return int(self.runs - np.count_nonzero(self.terminated))
+
+    def result_at(self, lane: int) -> ExecutionResult:
+        """Lane ``lane`` repackaged as a scalar :class:`ExecutionResult`."""
+        state = {var: int(values[lane]) for var, values in self.state.items()}
+        return ExecutionResult(
+            state=state,
+            cost=Fraction(int(self.cost_numerators[lane]),
+                          self.cost_denominator),
+            steps=int(self.steps[lane]),
+            terminated=bool(self.terminated[lane]),
+            assertion_failed=bool(self.assertion_failed[lane]))
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class VecInterpreter:
+    """Executes a program over a whole batch of runs in lockstep.
+
+    Compilation happens eagerly in the constructor so unsupported programs
+    raise :class:`VectorisationError` before any work is done (the ``auto``
+    sampler engine relies on this to fall back to the scalar interpreter).
+    """
+
+    def __init__(self, program: ast.Program,
+                 scheduler: Optional[Scheduler] = None,
+                 max_steps: int = 1_000_000,
+                 max_call_depth: int = 512) -> None:
+        self.program = program
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self._choice_mode = self._resolve_choice_mode(self.scheduler)
+        self.cost_denominator = self._cost_scale(program)
+        self._variables = sorted(program.variables())
+        self._uses_randomness = self._needs_streams(program, self._choice_mode)
+        self._proc_fns: Dict[str, object] = {}
+        for name, proc in program.procedures.items():
+            self._proc_fns[name] = self._compile_command(proc.body)
+        self._main_fn = self._proc_fns[program.main]
+
+    # -- public API ---------------------------------------------------------
+
+    def run_batch(self,
+                  initial_state: Optional[Dict[str, Union[int, Fraction]]] = None,
+                  runs: int = 1000,
+                  seed: Union[None, int, np.random.SeedSequence] = 0,
+                  batch_size: Optional[int] = None) -> BatchResult:
+        """Execute ``runs`` lanes from ``initial_state``.
+
+        ``seed`` may be an int, ``None`` (fresh OS entropy) or a
+        ``SeedSequence``.  ``batch_size`` only bounds peak memory: lane
+        ``i`` always consumes the ``i``-th spawned stream, so results are
+        identical for every split.
+        """
+        runs = int(runs)
+        init: Dict[str, int] = {}
+        if initial_state:
+            for var, value in initial_state.items():
+                init[str(var)] = int(value)
+            _check_range(list(init.values()))
+        # Keep initial-state variables the program never mentions: the
+        # scalar interpreter carries them through to the final state.
+        variables = sorted(set(self._variables) | set(init))
+        children: Sequence[Optional[np.random.SeedSequence]]
+        if self._uses_randomness and runs:
+            children = fresh_seedseq(seed).spawn(runs)
+        else:
+            children = [None] * runs
+        if batch_size is None:
+            batch_size = min(runs, _DEFAULT_MAX_BATCH)
+        batch_size = max(1, int(batch_size))
+
+        pieces: List[_Ctx] = []
+        for low in range(0, runs, batch_size):
+            width = min(batch_size, runs - low)
+            streams = _LaneStreams(children[low:low + width]) \
+                if self._uses_randomness else None
+            ctx = _Ctx(width, variables, init, streams, self.max_steps)
+            self._main_fn(ctx, np.ones(width, dtype=bool), 0)
+            pieces.append(ctx)
+
+        def gather(select) -> np.ndarray:
+            if not pieces:
+                return np.zeros(0, dtype=np.int64)
+            return np.concatenate([select(ctx) for ctx in pieces])
+
+        state = {var: gather(lambda ctx, v=var: ctx.state[v])
+                 for var in variables}
+        return BatchResult(
+            runs=runs,
+            cost_numerators=gather(lambda ctx: ctx.cost),
+            cost_denominator=self.cost_denominator,
+            steps=gather(lambda ctx: ctx.steps),
+            terminated=~gather(lambda ctx: ctx.exhausted).astype(bool)
+            if pieces else np.zeros(0, dtype=bool),
+            assertion_failed=gather(lambda ctx: ctx.stopped).astype(bool)
+            if pieces else np.zeros(0, dtype=bool),
+            state=state)
+
+    # -- compilation helpers ------------------------------------------------
+
+    @staticmethod
+    def _resolve_choice_mode(scheduler: Scheduler) -> Optional[str]:
+        # Exact type checks: a subclass may override ``choose`` with
+        # state-dependent behaviour the vectoriser cannot reproduce.
+        if type(scheduler) is RandomScheduler:
+            return "random"
+        if type(scheduler) is DemonicScheduler:
+            return "left"
+        if type(scheduler) is AngelicScheduler:
+            return "right"
+        return None
+
+    @staticmethod
+    def _needs_streams(program: ast.Program, choice_mode: Optional[str]) -> bool:
+        """Whether any lane will ever draw a uniform (streams can be skipped
+        entirely for deterministic programs and deterministic schedulers)."""
+        def has_star(expr: ast.Expr) -> bool:
+            if isinstance(expr, ast.Star):
+                return True
+            return any(has_star(child) for child in expr.children())
+
+        for node in program.iter_nodes():
+            if isinstance(node, (ast.Sample, ast.ProbChoice)):
+                return True
+            if choice_mode == "random":
+                if isinstance(node, ast.NonDetChoice):
+                    return True
+                if isinstance(node, (ast.Assert, ast.Assume, ast.If, ast.While)) \
+                        and has_star(node.condition):
+                    return True
+        return False
+
+    @staticmethod
+    def _cost_scale(program: ast.Program) -> int:
+        """LCM of the constant tick denominators (keeps costs integral)."""
+        scale = 1
+        for node in program.iter_nodes():
+            if isinstance(node, ast.Tick) and node.is_constant:
+                scale = math.lcm(scale, node.amount.denominator)
+        return scale
+
+    def _choose(self, ctx: _Ctx, mask: np.ndarray) -> np.ndarray:
+        """Per-lane scheduler decision: True = take the left/then branch."""
+        if self._choice_mode == "random":
+            return mask & (ctx.streams.uniform(mask) < 0.5)
+        if self._choice_mode == "left":
+            return mask.copy()
+        return np.zeros_like(mask)
+
+    def _require_choice_mode(self, what: str) -> None:
+        if self._choice_mode is None:
+            raise VectorisationError(
+                f"scheduler {type(self.scheduler).__name__} cannot resolve "
+                f"{what} lane-wise; use the scalar interpreter")
+
+    # -- expressions --------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr):
+        if isinstance(expr, ast.Const):
+            value = expr.value
+            if value.denominator != 1:
+                raise VectorisationError(
+                    f"non-integral constant {value} in an expression cannot "
+                    f"be executed over integer state arrays")
+            constant = int(value)
+            if abs(constant) > _VALUE_LIMIT:
+                # Reject at compile time so engine='auto' can fall back to
+                # the scalar interpreter (which computes with exact ints).
+                raise VectorisationError(
+                    f"constant {constant} exceeds the vectorised executor's "
+                    f"integer range (2^61)")
+            return lambda ctx, mask: constant
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            return lambda ctx, mask: ctx.state[name]
+        if isinstance(expr, ast.Star):
+            def star(ctx, mask):
+                raise EvaluationError("'*' may only appear as a branching guard")
+            return star
+        if isinstance(expr, ast.Not):
+            operand = self._compile_expr(expr.operand)
+
+            def negate(ctx, mask):
+                value = operand(ctx, mask)
+                return (np.asarray(value) == 0).astype(np.int64)
+            return negate
+        if isinstance(expr, ast.BinOp):
+            return self._compile_binop(expr)
+        raise VectorisationError(f"cannot vectorise expression {expr!r}")
+
+    def _compile_binop(self, expr: ast.BinOp):
+        op = expr.op
+        if op in ("and", "or"):
+            left_bool = self._compile_bool(expr.left)
+            right_bool = self._compile_bool(expr.right)
+            # int64 results for the same reason as the comparisons below.
+            if op == "and":
+                # Lane-wise short-circuit: the right operand only runs on
+                # lanes where the left side held (matching the scalar
+                # interpreter's guard behaviour for e.g. division guards).
+                def conjunction(ctx, mask):
+                    taken = mask & np.asarray(left_bool(ctx, mask))
+                    return (taken & np.asarray(right_bool(ctx, taken))
+                            ).astype(np.int64)
+                return conjunction
+
+            def disjunction(ctx, mask):
+                left = mask & np.asarray(left_bool(ctx, mask))
+                remaining = mask & ~left
+                return (left | (remaining
+                                & np.asarray(right_bool(ctx, remaining)))
+                        ).astype(np.int64)
+            return disjunction
+
+        left = self._compile_expr(expr.left)
+        right = self._compile_expr(expr.right)
+        if op == "+":
+            return lambda ctx, mask: left(ctx, mask) + right(ctx, mask)
+        if op == "-":
+            return lambda ctx, mask: left(ctx, mask) - right(ctx, mask)
+        if op == "*":
+            def multiply(ctx, mask):
+                lhs = left(ctx, mask)
+                rhs = right(ctx, mask)
+                _check_product(_masked_abs_bound(lhs, mask),
+                               _masked_abs_bound(rhs, mask))
+                return lhs * rhs
+            return multiply
+        if op in ("div", "mod"):
+            def divide(ctx, mask):
+                numerator = left(ctx, mask)
+                denominator = np.asarray(right(ctx, mask))
+                zero = denominator == 0
+                if denominator.ndim == 0:
+                    if zero and mask.any():
+                        raise EvaluationError(
+                            "division by zero" if op == "div" else "modulo by zero")
+                    safe = denominator
+                else:
+                    if np.any(zero & mask):
+                        raise EvaluationError(
+                            "division by zero" if op == "div" else "modulo by zero")
+                    safe = np.where(zero, 1, denominator)
+                # NumPy's integer // and % use floor semantics, matching
+                # Python's operators on negative operands.
+                return numerator // safe if op == "div" else numerator % safe
+            return divide
+        # Comparisons yield int64 0/1, like the scalar oracle's int(l < r):
+        # numpy bool arrays behave like logical values under +/- (True+True
+        # is True), which would diverge in arithmetic contexts.
+        if op == "==":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) == right(ctx, mask)).astype(np.int64)
+        if op == "!=":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) != right(ctx, mask)).astype(np.int64)
+        if op == "<":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) < right(ctx, mask)).astype(np.int64)
+        if op == "<=":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) <= right(ctx, mask)).astype(np.int64)
+        if op == ">":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) > right(ctx, mask)).astype(np.int64)
+        if op == ">=":
+            return lambda ctx, mask: np.asarray(
+                left(ctx, mask) >= right(ctx, mask)).astype(np.int64)
+        raise VectorisationError(f"unknown operator {op!r}")
+
+    def _compile_bool(self, expr: ast.Expr):
+        if isinstance(expr, ast.Star):
+            self._require_choice_mode("a '*' guard")
+            return lambda ctx, mask: self._choose(ctx, mask)
+        inner = self._compile_expr(expr)
+        return lambda ctx, mask: np.asarray(inner(ctx, mask)) != 0
+
+    # -- distributions ------------------------------------------------------
+
+    @staticmethod
+    def _compile_distribution(distribution: Distribution):
+        support = distribution.support()
+        values = np.array([value for value, _ in support], dtype=np.int64)
+        cumulative = np.cumsum([float(prob) for _, prob in support])
+        top = len(values) - 1
+
+        def draw(ctx, mask):
+            u = ctx.streams.uniform(mask)
+            # Inverse CDF: first index whose cumulative mass exceeds u --
+            # exactly the scalar Distribution.sample walk, vectorised.
+            index = np.searchsorted(cumulative, u, side="right")
+            return values[np.minimum(index, top)]
+        return draw
+
+    # -- commands -----------------------------------------------------------
+
+    def _compile_command(self, command: ast.Command):
+        if isinstance(command, ast.Skip):
+            return lambda ctx, mask, depth: _charge(ctx, mask)
+        if isinstance(command, ast.Abort):
+            def run_abort(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                ctx.stopped |= mask
+                return np.zeros_like(mask)
+            return run_abort
+        if isinstance(command, (ast.Assert, ast.Assume)):
+            condition = self._compile_bool(command.condition)
+
+            def run_assert(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                holds = np.asarray(condition(ctx, mask))
+                failed = mask & ~holds
+                if failed.any():
+                    ctx.stopped |= failed
+                    mask = mask & holds
+                return mask
+            return run_assert
+        if isinstance(command, ast.Tick):
+            return self._compile_tick(command)
+        if isinstance(command, ast.Assign):
+            target = command.target
+            value = self._compile_expr(command.expr)
+
+            def run_assign(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if mask.any():
+                    result = np.asarray(value(ctx, mask), dtype=np.int64)
+                    _check_range(result[mask] if result.ndim else result)
+                    np.copyto(ctx.state[target], result, where=mask)
+                return mask
+            return run_assign
+        if isinstance(command, ast.Sample):
+            return self._compile_sample(command)
+        if isinstance(command, ast.Seq):
+            subs = [self._compile_command(sub) for sub in command.commands]
+
+            def run_seq(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                for sub in subs:
+                    if not mask.any():
+                        return mask
+                    mask = sub(ctx, mask, depth)
+                return mask
+            return run_seq
+        if isinstance(command, ast.If):
+            condition = self._compile_bool(command.condition)
+            then_branch = self._compile_command(command.then_branch)
+            else_branch = self._compile_command(command.else_branch)
+
+            def run_if(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                holds = np.asarray(condition(ctx, mask))
+                taken = mask & holds
+                other = mask & ~holds
+                if taken.any():
+                    taken = then_branch(ctx, taken, depth)
+                if other.any():
+                    other = else_branch(ctx, other, depth)
+                return taken | other
+            return run_if
+        if isinstance(command, ast.NonDetChoice):
+            self._require_choice_mode("'if *'")
+            left = self._compile_command(command.left)
+            right = self._compile_command(command.right)
+
+            def run_nondet(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                taken = self._choose(ctx, mask)
+                other = mask & ~taken
+                if taken.any():
+                    taken = left(ctx, taken, depth)
+                if other.any():
+                    other = right(ctx, other, depth)
+                return taken | other
+            return run_nondet
+        if isinstance(command, ast.ProbChoice):
+            probability = float(command.probability)
+            left = self._compile_command(command.left)
+            right = self._compile_command(command.right)
+
+            def run_prob(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                u = ctx.streams.uniform(mask)
+                taken = mask & (u < probability)
+                other = mask & ~taken
+                if taken.any():
+                    taken = left(ctx, taken, depth)
+                if other.any():
+                    other = right(ctx, other, depth)
+                return taken | other
+            return run_prob
+        if isinstance(command, ast.While):
+            condition = self._compile_bool(command.condition)
+            body = self._compile_command(command.body)
+
+            def run_while(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                holds = np.asarray(condition(ctx, mask))
+                live = mask & holds
+                done = mask & ~holds
+                while live.any():
+                    live = body(ctx, live, depth)
+                    live = _charge(ctx, live)
+                    if not live.any():
+                        break
+                    holds = np.asarray(condition(ctx, live))
+                    done |= live & ~holds
+                    live = live & holds
+                return done
+            return run_while
+        if isinstance(command, ast.Call):
+            name = command.procedure
+            proc_fns = self._proc_fns
+            limit = self.max_call_depth
+
+            def run_call(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if not mask.any():
+                    return mask
+                if depth >= limit:
+                    raise EvaluationError(f"call depth limit {limit} exceeded")
+                callee = proc_fns.get(name)
+                if callee is None:
+                    raise EvaluationError(f"undefined procedure {name!r}")
+                return callee(ctx, mask, depth + 1)
+            return run_call
+        raise VectorisationError(f"cannot vectorise command {command!r}")
+
+    def _compile_tick(self, command: ast.Tick):
+        scale = self.cost_denominator
+        if command.is_constant:
+            amount = command.amount * scale
+            assert amount.denominator == 1  # scale is the LCM by construction
+            numerator = int(amount)
+            # The step budget bounds how often this tick can fire, so the
+            # accumulator range can be proven at compile time -- no per-hit
+            # runtime check needed on this hot path.
+            if abs(numerator) * (self.max_steps + 1) > _VALUE_LIMIT:
+                raise VectorisationError(
+                    f"constant tick amount {command.amount} could overflow "
+                    f"the vectorised cost accumulator within the step "
+                    f"budget; use the scalar engine")
+
+            def run_tick(ctx, mask, depth):
+                mask = _charge(ctx, mask)
+                if mask.any():
+                    np.add(ctx.cost, numerator, out=ctx.cost, where=mask)
+                return mask
+            return run_tick
+        amount_fn = self._compile_expr(command.amount)
+
+        def run_tick_expr(ctx, mask, depth):
+            mask = _charge(ctx, mask)
+            if mask.any():
+                amount = np.asarray(amount_fn(ctx, mask), dtype=np.int64)
+                _check_product(_masked_abs_bound(amount, mask), float(scale))
+                np.add(ctx.cost, amount * scale, out=ctx.cost, where=mask)
+                _check_range(ctx.cost)
+            return mask
+        return run_tick_expr
+
+    def _compile_sample(self, command: ast.Sample):
+        target = command.target
+        base_fn = self._compile_expr(command.expr)
+        draw = self._compile_distribution(command.distribution)
+        op = command.op
+        # The distribution's support is finite and known at compile time,
+        # so the multiplicative overflow pre-check only needs the base's
+        # runtime bound.
+        drawn_bound = float(max(abs(command.distribution.min_value()),
+                                abs(command.distribution.max_value())))
+
+        def run_sample(ctx, mask, depth):
+            mask = _charge(ctx, mask)
+            if not mask.any():
+                return mask
+            base = base_fn(ctx, mask)
+            drawn = draw(ctx, mask)
+            if op == "+":
+                result = base + drawn
+            elif op == "-":
+                result = base - drawn
+            else:
+                _check_product(_masked_abs_bound(base, mask), drawn_bound)
+                result = base * drawn
+            result = np.asarray(result, dtype=np.int64)
+            _check_range(result[mask] if result.ndim else result)
+            np.copyto(ctx.state[target], result, where=mask)
+            return mask
+        return run_sample

@@ -131,9 +131,107 @@ class TestSimulateCommand:
         assert exit_code == 0
         assert "mean cost" in output
 
+    def test_simulate_vec_engine(self, rdwalk_file, capsys):
+        exit_code = main(["simulate", rdwalk_file, "--input", "x=0", "n=20",
+                          "--runs", "50", "--seed", "1", "--engine", "vec"])
+        assert exit_code == 0
+        assert "mean cost" in capsys.readouterr().out
+
     def test_bad_input_assignment(self, rdwalk_file):
         with pytest.raises(SystemExit):
             main(["simulate", rdwalk_file, "--input", "x"])
+
+    def test_simulate_vec_on_unvectorisable_program_fails_cleanly(
+            self, tmp_path, capsys):
+        path = tmp_path / "huge.imp"
+        path.write_text(f"proc main() {{ tick({2 ** 60}); }}")
+        exit_code = main(["simulate", str(path), "--runs", "2",
+                          "--engine", "vec"])
+        assert exit_code == 1
+        assert "vectorised engine cannot run" in capsys.readouterr().err
+
+
+class TestSampleCommand:
+    def test_sample_program_file(self, rdwalk_file, capsys):
+        exit_code = main(["sample", rdwalk_file, "--input", "x=0", "n=20",
+                          "--runs", "200", "--engine", "vec"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=vec" in output
+        assert "mean cost" in output
+
+    def test_sample_registry_benchmark(self, capsys):
+        exit_code = main(["sample", "rdwalk", "--input", "x=0", "n=10",
+                          "--runs", "100"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rdwalk" in output
+
+    def test_sample_batch_size_stability(self, capsys):
+        main(["sample", "rdwalk", "--input", "x=0", "n=10",
+              "--runs", "64", "--engine", "vec"])
+        whole = capsys.readouterr().out.splitlines()[1]
+        main(["sample", "rdwalk", "--input", "x=0", "n=10",
+              "--runs", "64", "--engine", "vec", "--batch-size", "7"])
+        split = capsys.readouterr().out.splitlines()[1]
+        assert whole == split
+
+    def test_sample_reports_unfinished_runs(self, tmp_path, capsys):
+        path = tmp_path / "spin.imp"
+        path.write_text("proc main() { x = 1; while (x > 0) { tick(1); } }")
+        exit_code = main(["sample", str(path), "--runs", "3",
+                          "--max-steps", "500"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "unfinished runs" in output and "3" in output
+
+    def test_sample_auto_reports_scalar_fallback(self, tmp_path, capsys):
+        path = tmp_path / "huge.imp"
+        path.write_text(f"proc main() {{ tick({2 ** 60}); }}")
+        exit_code = main(["sample", str(path), "--runs", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=scalar (fallback from auto)" in output
+
+    def test_sample_auto_falls_back_on_runtime_overflow(self, tmp_path, capsys):
+        path = tmp_path / "double.imp"
+        path.write_text(
+            "proc main() { x = 1; n = 70; "
+            "while (n > 0) { x = x + x; n = n - 1; } tick(1); }")
+        exit_code = main(["sample", str(path), "--runs", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=scalar (fallback from auto)" in output
+
+    def test_sample_vec_runtime_overflow_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "double.imp"
+        path.write_text(
+            "proc main() { x = 1; n = 70; "
+            "while (n > 0) { x = x + x; n = n - 1; } tick(1); }")
+        exit_code = main(["sample", str(path), "--runs", "2",
+                          "--engine", "vec"])
+        assert exit_code == 1
+        assert "vectorised engine cannot run" in capsys.readouterr().err
+
+    def test_sample_unknown_target(self):
+        with pytest.raises(SystemExit, match="neither a program file"):
+            main(["sample", "no-such-thing"])
+
+    def test_sample_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.imp"
+        bad.write_text("proc main( {")
+        assert main(["sample", str(bad)]) == EXIT_PARSE_ERROR
+
+
+class TestFiguresCommand:
+    def test_figures_appendix_subset(self, capsys):
+        exit_code = main(["figures", "--figure", "appendix",
+                          "--names", "ber", "--runs", "20",
+                          "--engine", "vec"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "# ber" in output
+        assert "measured_mean" in output
 
 
 class TestListAndBench:

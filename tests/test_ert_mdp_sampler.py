@@ -14,11 +14,14 @@ from repro.lang import builder as B
 from repro.lang.distributions import Uniform
 from repro.semantics.ert import expected_cost_ert, ert_transformer
 from repro.semantics.mdp import MDPSemantics, expected_cost_mdp
+import numpy as np
+
 from repro.semantics.sampler import (
     estimate_expected_cost,
     histogram_of_costs,
     mean_relative_error,
     relative_error,
+    spawn_seeds,
     sweep_expected_cost,
 )
 
@@ -61,6 +64,18 @@ class TestErtLoopFree:
         command = B.tick(1)
         transformer = ert_transformer(command, continuation=lambda state: Fraction(10))
         assert transformer({}) == 11
+
+    def test_fractional_guard_constant_is_exact(self):
+        # The truncation bug fixed in the interpreter also lived in the
+        # shared _eval_expr here: 5/2 must not become 2.
+        from repro.lang import ast
+
+        guard = ast.BinOp("<", ast.Var("x"), ast.Const(Fraction(5, 2)))
+        program = B.program(B.proc("main", ["x"],
+            B.if_(guard, B.tick(1), B.tick(9))))
+        assert expected_cost_ert(program, {"x": 2}) == 1
+        assert expected_cost_ert(program, {"x": 3}) == 9
+        assert expected_cost_mdp(program, {"x": 2}) == pytest.approx(1.0)
 
     def test_composition_matches_paper_example(self):
         # Paper Appendix B: ert of the rdwalk body with post-expectation 2x is 2x.
@@ -143,11 +158,35 @@ class TestSampler:
         assert value == pytest.approx(10.0)
 
     def test_histogram(self, simple_random_walk):
-        counts, edges, mean = histogram_of_costs(simple_random_walk, {"x": 5},
-                                                 runs=300, bins=10, seed=2)
-        assert counts.sum() == 300
-        assert len(edges) == 11
-        assert mean == pytest.approx(10.0, rel=0.25)
+        histogram = histogram_of_costs(simple_random_walk, {"x": 5},
+                                       runs=300, bins=10, seed=2)
+        assert histogram.counts.sum() == 300
+        assert histogram.runs == 300
+        assert histogram.unfinished_runs == 0
+        assert len(histogram.edges) == 11
+        assert histogram.mean == pytest.approx(10.0, rel=0.25)
+
+    def test_histogram_reports_unfinished_runs(self):
+        # Before PR 4 non-terminated runs were silently dropped: the counts
+        # shrank and the mean was computed over survivors only, with no
+        # trace in the output.
+        program = B.program(B.proc("main", ["x"],
+            B.if_("x > 1",
+                  B.seq(B.assign("go", "1"), B.while_("go > 0", B.tick(1))),
+                  B.tick(7))))
+        histogram = histogram_of_costs(program, {"x": 2}, runs=5, seed=0,
+                                       max_steps=200)
+        assert histogram.unfinished_runs == 5
+        assert histogram.runs == 0
+        assert histogram.mean != histogram.mean      # NaN, not a biased mean
+
+    def test_histogram_engines_agree(self, simple_random_walk):
+        scalar = histogram_of_costs(simple_random_walk, {"x": 8},
+                                    runs=800, seed=3, engine="scalar")
+        vec = histogram_of_costs(simple_random_walk, {"x": 8},
+                                 runs=800, seed=3, engine="vec")
+        assert vec.runs == 800
+        assert vec.mean == pytest.approx(scalar.mean, rel=0.15)
 
     def test_unfinished_runs_counted(self):
         program = B.program(B.proc("main", [],
@@ -155,3 +194,45 @@ class TestSampler:
         stats = estimate_expected_cost(program, runs=3, seed=0, max_steps=500)
         assert stats.unfinished_runs == 3
         assert stats.runs == 0
+
+    def test_unfinished_runs_counted_vec(self):
+        program = B.program(B.proc("main", [],
+            B.assign("x", "1"), B.while_("x > 0", B.tick(1))))
+        stats = estimate_expected_cost(program, runs=3, seed=0, max_steps=500,
+                                       engine="vec")
+        assert stats.unfinished_runs == 3
+        assert stats.runs == 0
+        assert stats.engine == "vec"
+
+
+class TestSweepSeeds:
+    def test_spawn_seeds_are_independent_sequences(self):
+        seeds = spawn_seeds(0, 4)
+        assert len(seeds) == 4
+        assert all(isinstance(seed, np.random.SeedSequence) for seed in seeds)
+        keys = {tuple(seed.generate_state(2)) for seed in seeds}
+        assert len(keys) == 4                      # collision-free
+        # ...and deterministic: the same base seed spawns the same children.
+        again = spawn_seeds(0, 4)
+        for first, second in zip(seeds, again):
+            assert tuple(first.generate_state(2)) \
+                == tuple(second.generate_state(2))
+
+    def test_spawn_seeds_none_passthrough(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_spawned_streams_differ_from_seed_plus_index(self):
+        # The old derivation reused `seed + index`: point i's stream was
+        # exactly point (i+1)'s stream shifted by one base seed, so sweep
+        # points shared stream state.  Spawned children never equal a
+        # plain integer-seeded stream.
+        child = spawn_seeds(0, 2)[1]
+        child_draws = np.random.default_rng(child).random(4)
+        naive_draws = np.random.default_rng(0 + 1).random(4)
+        assert not np.allclose(child_draws, naive_draws)
+
+    def test_sweep_is_reproducible(self, deterministic_countdown):
+        first = sweep_expected_cost(deterministic_countdown, "x", (3, 6), runs=5)
+        second = sweep_expected_cost(deterministic_countdown, "x", (3, 6), runs=5)
+        assert [(v, s.mean) for v, s in first] \
+            == [(v, s.mean) for v, s in second]

@@ -68,6 +68,50 @@ class TestDeterministicExecution:
         assert run_program(program, {"x": -1}, seed=0).assertion_failed
 
 
+class TestFractionalConstants:
+    """Non-integral constants evaluate exactly (they used to truncate)."""
+
+    def _guard_program(self):
+        from repro.lang import ast
+        # if (x < 5/2) tick(1) else tick(9): for x == 2 the guard holds
+        # exactly (2 < 2.5); truncating 5/2 to 2 flipped it to 2 < 2.
+        guard = ast.BinOp("<", ast.Var("x"), ast.Const(Fraction(5, 2)))
+        return B.program(B.proc("main", ["x"],
+            B.if_(guard, B.tick(1), B.tick(9))))
+
+    def test_fractional_guard_closure_path(self):
+        program = self._guard_program()
+        assert run_program(program, {"x": 2}, seed=0).cost == 1
+        assert run_program(program, {"x": 3}, seed=0).cost == 9
+
+    def test_fractional_guard_tree_walker_path(self):
+        program = self._guard_program()
+        interpreter = Interpreter(program)
+        import numpy as np
+        state = {"x": 2}
+        interpreter._rng = np.random.default_rng(0)
+        assert interpreter.eval_bool(
+            program.main_procedure.body.condition, state)
+
+    def test_fractional_arithmetic_is_exact(self):
+        from repro.lang import ast
+        # y = x * 1/2, then tick(y): exact halving, not truncation-to-zero
+        # of the 1/2 literal.
+        half = ast.Const(Fraction(1, 2))
+        program = B.program(B.proc("main", ["x"],
+            B.assign("y", ast.BinOp("*", ast.Var("x"), half)),
+            B.tick(B.expr("y"))))
+        result = run_program(program, {"x": 6}, seed=0)
+        assert result.cost == 3
+        assert result.state["y"] == 3
+
+    def test_integral_constants_stay_ints(self):
+        program = B.program(B.proc("main", [], B.assign("y", "7"), B.tick(B.expr("y"))))
+        result = run_program(program, seed=0)
+        assert result.state["y"] == 7
+        assert isinstance(result.state["y"], int)
+
+
 class TestProbabilisticExecution:
     def test_prob_choice_statistics(self):
         program = B.program(B.proc("main", [],

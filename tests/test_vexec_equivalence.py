@@ -1,0 +1,470 @@
+"""Equivalence suite: the vectorised batch executor vs the scalar oracle.
+
+The scalar closure interpreter (:mod:`repro.semantics.interp`) defines the
+operational semantics; :mod:`repro.semantics.vexec` must agree with it
+
+* **exactly** on deterministic programs (cost, final state, step count,
+  termination/assertion flags, for every lane),
+* **in distribution** on probabilistic programs (means within a few
+  standard errors; the per-lane streams necessarily differ from the
+  scalar interpreter's single shared stream),
+
+and its results must be bit-reproducible independent of the batch split.
+Both properties are checked over the whole benchmark registry, which is
+how the Figure 8 / Appendix F data can be regenerated on the fast path
+without changing what the figures claim.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.bench.registry import all_benchmarks
+from repro.lang import ast
+from repro.lang import builder as B
+from repro.lang.distributions import Bernoulli, Binomial, Finite, Uniform
+from repro.lang.errors import EvaluationError
+from repro.semantics.interp import (
+    AngelicScheduler,
+    DemonicScheduler,
+    Interpreter,
+    RandomScheduler,
+    Scheduler,
+    run_program,
+)
+from repro.semantics.sampler import estimate_expected_cost, sample_costs
+from repro.semantics.vexec import BatchResult, VecInterpreter, VectorisationError
+
+
+def assert_lanes_match_scalar(program, initial_state=None, runs=4,
+                              scheduler=None, max_steps=1_000_000):
+    """Every vec lane must byte-equal the scalar run (deterministic programs)."""
+    batch = VecInterpreter(program, scheduler=scheduler,
+                           max_steps=max_steps).run_batch(
+        initial_state, runs=runs, seed=0)
+    scalar = run_program(program, initial_state, seed=0, scheduler=scheduler,
+                         max_steps=max_steps)
+    for lane in range(runs):
+        result = batch.result_at(lane)
+        assert result.cost == scalar.cost
+        assert result.steps == scalar.steps
+        assert result.terminated == scalar.terminated
+        assert result.assertion_failed == scalar.assertion_failed
+        assert result.state == scalar.state
+    return batch, scalar
+
+
+class TestDeterministicExactEquality:
+    def test_countdown(self, deterministic_countdown):
+        for x in (-3, 0, 1, 9):
+            assert_lanes_match_scalar(deterministic_countdown, {"x": x})
+
+    def test_arithmetic_div_mod_negatives(self):
+        program = B.program(B.proc("main", ["a"],
+            B.assign("b", "a / 2"),
+            B.assign("c", "a % 3"),
+            B.assign("d", "(a * a) - (b + c)"),
+            B.tick(B.expr("b + c"))))
+        for a in (7, -7, 0, 13):
+            assert_lanes_match_scalar(program, {"a": a})
+
+    def test_division_by_zero_raises_like_scalar(self):
+        program = B.program(B.proc("main", [], B.assign("a", "1 / 0")))
+        with pytest.raises(EvaluationError):
+            VecInterpreter(program).run_batch(runs=2, seed=0)
+
+    def test_comparisons_are_ints_in_arithmetic(self):
+        # Scalar comparisons yield int 0/1; numpy bool arrays would turn
+        # '+' into logical OR and make '-' raise.  (Built as raw AST: the
+        # concrete syntax does not nest comparisons inside arithmetic.)
+        a = ast.Var("a")
+        lt3 = ast.BinOp("<", a, ast.Const(3))
+        lt5 = ast.BinOp("<", a, ast.Const(5))
+        in_range = ast.BinOp("and", ast.BinOp(">", a, ast.Const(0)),
+                             ast.BinOp("<", a, ast.Const(9)))
+        program = B.program(B.proc("main", ["a"],
+            B.assign("c", ast.BinOp("+", lt3, lt5)),
+            B.assign("d", ast.BinOp("-", lt5, lt3)),
+            B.assign("e", ast.BinOp("*",
+                ast.BinOp("+", in_range, ast.BinOp("==", a, ast.Const(1))),
+                ast.Const(3))),
+            B.tick(B.expr("c + d + e"))))
+        for value in (0, 1, 4, 9):
+            assert_lanes_match_scalar(program, {"a": value})
+
+    def test_guard_short_circuit_protects_division(self):
+        # The scalar interpreter short-circuits `&&`; the vectorised one
+        # must narrow the right operand's lane mask the same way, or the
+        # guarded division would fault on lanes where y == 0.
+        program = B.program(B.proc("main", ["y"],
+            B.if_("y != 0 && (10 / y) > 1", B.tick(1), B.tick(5))))
+        for y in (0, 1, 9):
+            assert_lanes_match_scalar(program, {"y": y})
+
+    def test_nested_loops_and_if(self):
+        program = B.program(B.proc("main", ["n"],
+            B.while_("n > 0",
+                B.assign("n", "n - 1"),
+                B.assign("m", "n"),
+                B.while_("m > 0",
+                    B.assign("m", "m - 1"),
+                    B.if_("m % 2 == 0", B.tick(2), B.tick(1))))))
+        for n in (0, 1, 5):
+            assert_lanes_match_scalar(program, {"n": n})
+
+    def test_procedure_calls(self):
+        program = B.program(
+            B.proc("main", ["n"], B.while_("n > 0", B.call("dec"))),
+            B.proc("dec", [], B.assign("n", "n - 1"), B.tick(2)))
+        assert_lanes_match_scalar(program, {"n": 6})
+
+    def test_fractional_ticks_stay_exact(self):
+        program = B.program(B.proc("main", ["n"],
+            B.while_("n > 0",
+                B.tick(Fraction(1, 3)), B.tick(Fraction(1, 2)),
+                B.assign("n", "n - 1"))))
+        batch, scalar = assert_lanes_match_scalar(program, {"n": 6})
+        assert scalar.cost == 5
+        assert batch.cost_denominator == 6
+        assert batch.cost_fractions()[0] == Fraction(5)
+
+    def test_assert_and_assume_stop_lanes(self):
+        program = B.program(B.proc("main", ["x"],
+            B.tick(1), B.assert_("x > 3"), B.tick(5)))
+        for x in (0, 4):
+            assert_lanes_match_scalar(program, {"x": x})
+
+    def test_abort_counts_cost_so_far(self):
+        program = B.program(B.proc("main", [], B.tick(2), B.abort(), B.tick(9)))
+        batch, scalar = assert_lanes_match_scalar(program)
+        assert scalar.cost == 2 and scalar.assertion_failed
+
+    def test_step_budget_per_lane(self):
+        program = B.program(B.proc("main", [],
+            B.assign("x", "1"), B.while_("x > 0", B.tick(1))))
+        batch, scalar = assert_lanes_match_scalar(program, max_steps=777)
+        assert not scalar.terminated
+        assert batch.unfinished_runs == 4
+
+    def test_demonic_and_angelic_schedulers(self):
+        program = B.program(B.proc("main", [], B.nondet(B.tick(10), B.tick(1))))
+        assert_lanes_match_scalar(program, scheduler=DemonicScheduler())
+        assert_lanes_match_scalar(program, scheduler=AngelicScheduler())
+
+    def test_star_guard_with_demonic_scheduler(self):
+        program = B.program(B.proc("main", ["y"],
+            B.while_(B.expr("y >= 100 && *"),
+                B.assign("y", "y - 100"), B.tick(1))))
+        batch, scalar = assert_lanes_match_scalar(
+            program, {"y": 350}, scheduler=DemonicScheduler())
+        assert scalar.cost == 3
+
+
+class TestProbabilisticDistributionalAgreement:
+    def _means_agree(self, program, state, runs=2000, max_steps=1_000_000):
+        scalar = estimate_expected_cost(program, state, runs=runs, seed=11,
+                                        max_steps=max_steps, engine="scalar")
+        vec = estimate_expected_cost(program, state, runs=runs, seed=23,
+                                     max_steps=max_steps, engine="vec")
+        tolerance = 6.0 * (scalar.standard_error() ** 2
+                           + vec.standard_error() ** 2) ** 0.5
+        assert abs(scalar.mean - vec.mean) <= max(tolerance, 1e-9), \
+            (scalar.mean, vec.mean, tolerance)
+        return scalar, vec
+
+    def test_geometric(self, geometric_program):
+        scalar, vec = self._means_agree(geometric_program, None)
+        assert vec.mean == pytest.approx(2.0, rel=0.15)
+
+    def test_random_walk(self, simple_random_walk):
+        scalar, vec = self._means_agree(simple_random_walk, {"x": 15})
+        assert vec.mean == pytest.approx(30.0, rel=0.15)
+
+    def test_distributions_match_exact_means(self):
+        for distribution, mean in (
+                (Uniform(0, 10), 5.0),
+                (Bernoulli(Fraction(1, 4)), 0.25),
+                (Binomial(8, Fraction(1, 2)), 4.0),
+                (Finite({1: Fraction(1, 3), 4: Fraction(2, 3)}), 3.0)):
+            program = B.program(B.proc("main", [],
+                B.sample("k", distribution), B.tick(B.expr("k"))))
+            batch = VecInterpreter(program).run_batch(runs=4000, seed=5)
+            assert batch.costs().mean() == pytest.approx(mean, abs=0.15), \
+                distribution
+
+    def test_random_star_guard_is_fair(self):
+        program = B.program(B.proc("main", [],
+            B.nondet(B.tick(1), B.tick(0))))
+        batch = VecInterpreter(program,
+                               scheduler=RandomScheduler()).run_batch(
+            runs=4000, seed=9)
+        assert batch.costs().mean() == pytest.approx(0.5, abs=0.05)
+
+
+class TestSeedStability:
+    def test_results_independent_of_batch_size(self, simple_random_walk):
+        executor = VecInterpreter(simple_random_walk)
+        reference = executor.run_batch({"x": 12}, runs=96, seed=42,
+                                       batch_size=96)
+        for batch_size in (1, 7, 32, 96, 200):
+            other = executor.run_batch({"x": 12}, runs=96, seed=42,
+                                       batch_size=batch_size)
+            assert np.array_equal(reference.cost_numerators,
+                                  other.cost_numerators)
+            assert np.array_equal(reference.steps, other.steps)
+
+    def test_same_seed_same_results_across_executors(self, geometric_program):
+        first = VecInterpreter(geometric_program).run_batch(runs=50, seed=3)
+        second = VecInterpreter(geometric_program).run_batch(runs=50, seed=3)
+        assert np.array_equal(first.cost_numerators, second.cost_numerators)
+
+    def test_prefix_stability_when_extending_runs(self, geometric_program):
+        # Lane i draws only from its own spawned stream, so the first 32
+        # lanes of a 64-run batch are exactly the 32-run batch.
+        executor = VecInterpreter(geometric_program)
+        small = executor.run_batch(runs=32, seed=8)
+        large = executor.run_batch(runs=64, seed=8)
+        assert np.array_equal(small.cost_numerators,
+                              large.cost_numerators[:32])
+
+
+class TestVectorisationFallback:
+    def test_fractional_constant_in_expression_is_rejected(self):
+        guard = ast.BinOp("<", ast.Var("x"), ast.Const(Fraction(5, 2)))
+        program = B.program(B.proc("main", ["x"],
+            B.if_(guard, B.tick(1), B.tick(9))))
+        with pytest.raises(VectorisationError):
+            VecInterpreter(program)
+        with pytest.raises(VectorisationError):
+            sample_costs(program, {"x": 2}, runs=5, engine="vec")
+
+    def test_auto_engine_falls_back_to_scalar(self):
+        guard = ast.BinOp("<", ast.Var("x"), ast.Const(Fraction(5, 2)))
+        program = B.program(B.proc("main", ["x"],
+            B.if_(guard, B.tick(1), B.tick(9))))
+        stats = estimate_expected_cost(program, {"x": 2}, runs=5, seed=0,
+                                       engine="auto")
+        assert stats.mean == 1.0      # 2 < 5/2: exact, not truncated
+        assert stats.engine == "scalar"
+
+    def test_custom_scheduler_rejected_only_when_needed(self):
+        class EveryOther(Scheduler):
+            def __init__(self):
+                self.flag = False
+
+            def choose(self, command, state, rng):
+                self.flag = not self.flag
+                return self.flag
+
+        nondet = B.program(B.proc("main", [], B.nondet(B.tick(1), B.tick(2))))
+        with pytest.raises(VectorisationError):
+            VecInterpreter(nondet, scheduler=EveryOther())
+        deterministic = B.program(B.proc("main", [], B.tick(1)))
+        VecInterpreter(deterministic, scheduler=EveryOther())  # fine
+
+    def test_unknown_engine_name(self, deterministic_countdown):
+        with pytest.raises(ValueError):
+            estimate_expected_cost(deterministic_countdown, {"x": 1},
+                                   runs=1, engine="turbo")
+
+
+class TestRegistryWideEquivalence:
+    """Every Table 1 benchmark: vec equals (or statistically matches) scalar."""
+
+    @staticmethod
+    def _is_deterministic(program) -> bool:
+        def expr_has_star(expr):
+            if isinstance(expr, ast.Star):
+                return True
+            return any(expr_has_star(child) for child in expr.children())
+
+        for node in program.iter_nodes():
+            if isinstance(node, (ast.Sample, ast.ProbChoice, ast.NonDetChoice)):
+                return False
+            if isinstance(node, (ast.Assert, ast.Assume, ast.If, ast.While)) \
+                    and expr_has_star(node.condition):
+                return False
+        return True
+
+    # ("benchmark" as a parameter name would collide with the
+    # pytest-benchmark plugin's fixture of the same name.)
+    @pytest.mark.parametrize("bench",
+                             all_benchmarks(),
+                             ids=lambda b: b.name)
+    def test_benchmark_equivalence(self, bench):
+        program = bench.build_for_simulation()
+        plan = bench.simulation
+        if plan is None:
+            pytest.skip("no simulation plan")
+        state = plan.states()[0]
+        max_steps = plan.max_steps
+        if self._is_deterministic(program):
+            assert_lanes_match_scalar(program, state, runs=3,
+                                      max_steps=max_steps)
+            return
+        runs = 300
+        scalar = estimate_expected_cost(program, state, runs=runs, seed=17,
+                                        max_steps=max_steps, engine="scalar")
+        vec = estimate_expected_cost(program, state, runs=runs, seed=29,
+                                     max_steps=max_steps, engine="vec")
+        assert vec.runs + vec.unfinished_runs == runs
+        if scalar.runs == 0:
+            assert vec.runs == 0
+            return
+        tolerance = 6.0 * (scalar.standard_error() ** 2
+                           + vec.standard_error() ** 2) ** 0.5
+        slack = max(tolerance, 0.02 * max(1.0, abs(scalar.mean)))
+        assert abs(scalar.mean - vec.mean) <= slack, \
+            (bench.name, scalar.mean, vec.mean, slack)
+
+
+class TestOverflowGuards:
+    """int64 lanes must fail loudly where the scalar oracle's Python ints
+    would keep going -- silent wrapping would produce confidently wrong
+    means."""
+
+    def test_repeated_squaring_raises_instead_of_wrapping(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("n > 0",
+                B.assign("x", "x * x"),
+                B.assign("n", "n - 1"),
+                B.tick(B.expr("x")))))
+        scalar = run_program(program, {"x": 2, "n": 7}, seed=0)
+        assert scalar.cost > 2 ** 63          # oracle: exact big ints
+        with pytest.raises(EvaluationError, match="integer range"):
+            VecInterpreter(program).run_batch({"x": 2, "n": 7}, runs=2, seed=0)
+
+    def test_repeated_doubling_raises_instead_of_wrapping(self):
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("n > 0",
+                B.assign("x", "x + x"),
+                B.assign("n", "n - 1"))))
+        with pytest.raises(EvaluationError, match="integer range"):
+            VecInterpreter(program).run_batch({"x": 1, "n": 70}, runs=2, seed=0)
+
+    def test_huge_constant_tick_rejected_at_compile_time(self):
+        program = B.program(B.proc("main", [], B.tick(2 ** 60)))
+        with pytest.raises(VectorisationError, match="overflow"):
+            VecInterpreter(program)
+
+    def test_out_of_range_initial_state_rejected(self, deterministic_countdown):
+        with pytest.raises(EvaluationError, match="integer range"):
+            VecInterpreter(deterministic_countdown).run_batch(
+                {"x": 2 ** 63}, runs=1, seed=0)
+
+    def test_in_range_values_unaffected(self):
+        program = B.program(B.proc("main", ["x"],
+            B.assign("y", "x * x"), B.tick(B.expr("y"))))
+        assert_lanes_match_scalar(program, {"x": 10 ** 6})
+
+    def test_multiply_guard_ignores_masked_out_lanes(self):
+        # Lanes that took the other branch may hold large values; the
+        # overflow pre-check must only consider the lanes actually
+        # executing the multiplication.
+        program = B.program(B.proc("main", [],
+            B.prob("1/2",
+                   B.assign("big", str(2 ** 60)),
+                   B.seq(B.assign("x", "3"), B.assign("y", "x * x"),
+                         B.tick(B.expr("y"))))))
+        batch = VecInterpreter(program).run_batch(runs=64, seed=0)
+        assert batch.unfinished_runs == 0
+        assert set(batch.costs()) <= {0.0, 9.0}
+
+    def test_sample_multiplication_guarded(self):
+        program = B.program(B.proc("main", ["x"],
+            B.sample("x", Uniform(32, 32), base="x", op="*")))
+        with pytest.raises(EvaluationError, match="integer range"):
+            VecInterpreter(program).run_batch({"x": 2 ** 59}, runs=2, seed=0)
+        # In-range products still match the oracle exactly.
+        assert_lanes_match_scalar(program, {"x": 5})
+
+    def test_tick_expression_times_scale_guarded(self):
+        program = B.program(B.proc("main", ["x"],
+            B.tick(Fraction(1, 4)),          # cost scale becomes 4
+            B.tick(B.expr("x"))))            # x * 4 must be pre-checked
+        with pytest.raises(EvaluationError, match="integer range"):
+            VecInterpreter(program).run_batch({"x": 2 ** 60}, runs=2, seed=0)
+        assert_lanes_match_scalar(program, {"x": 10})
+
+    def test_auto_engine_retries_on_scalar_after_runtime_overflow(self):
+        # The range guards are the *executor's* limitation, not the
+        # program's error: engine='auto' must deliver the scalar result.
+        program = B.program(B.proc("main", ["x", "n"],
+            B.while_("n > 0",
+                B.assign("x", "x * x"),
+                B.assign("n", "n - 1")),
+            B.tick(1)))
+        stats = estimate_expected_cost(program, {"x": 2, "n": 7}, runs=3,
+                                       seed=0, engine="auto")
+        assert stats.runs == 3 and stats.mean == 1.0
+        assert stats.engine == "scalar"     # runtime fallback is reported
+        with pytest.raises(EvaluationError, match="integer range"):
+            estimate_expected_cost(program, {"x": 2, "n": 7}, runs=3,
+                                   seed=0, engine="vec")
+
+    def test_overlarge_integral_constant_rejected_at_compile_time(self):
+        program = B.program(B.proc("main", [], B.assign("x", str(10 ** 19))))
+        with pytest.raises(VectorisationError, match="integer range"):
+            VecInterpreter(program)
+        # ...which lets engine='auto' fall back to the exact scalar path.
+        stats = estimate_expected_cost(program, runs=2, seed=0, engine="auto")
+        assert stats.runs == 2
+
+
+class TestSeedSequenceInputs:
+    def test_caller_seedsequence_is_not_mutated(self, geometric_program):
+        base = np.random.SeedSequence(7)
+        executor = VecInterpreter(geometric_program)
+        first = executor.run_batch(runs=20, seed=base)
+        second = executor.run_batch(runs=20, seed=base)
+        assert base.n_children_spawned == 0
+        assert np.array_equal(first.cost_numerators, second.cost_numerators)
+
+    def test_spawn_seeds_repeatable_for_seedsequence_input(self):
+        from repro.semantics.sampler import spawn_seeds
+
+        base = np.random.SeedSequence(5)
+        first = spawn_seeds(base, 3)
+        second = spawn_seeds(base, 3)
+        for a, b in zip(first, second):
+            assert tuple(a.generate_state(2)) == tuple(b.generate_state(2))
+
+    def test_extra_initial_state_variables_survive(self):
+        program = B.program(B.proc("main", ["x"],
+            B.while_("x > 0", B.assign("x", "x - 1"), B.tick(1))))
+        batch = VecInterpreter(program).run_batch(
+            {"x": 2, "extra": 9}, runs=2, seed=0)
+        scalar = run_program(program, {"x": 2, "extra": 9}, seed=0)
+        assert batch.result_at(0).state == scalar.state
+        assert batch.result_at(0).state["extra"] == 9
+
+
+class TestBatchResultShape:
+    def test_empty_batch(self, deterministic_countdown):
+        batch = VecInterpreter(deterministic_countdown).run_batch(
+            {"x": 1}, runs=0, seed=0)
+        assert isinstance(batch, BatchResult)
+        assert batch.runs == 0
+        assert batch.costs().shape == (0,)
+        assert batch.unfinished_runs == 0
+
+    def test_result_at_round_trip(self, deterministic_countdown):
+        batch = VecInterpreter(deterministic_countdown).run_batch(
+            {"x": 4}, runs=2, seed=0)
+        result = batch.result_at(1)
+        assert result.cost == Fraction(4)
+        assert result.state["x"] == 0
+
+    def test_finished_costs_excludes_budget_hits(self):
+        program = B.program(B.proc("main", ["x"],
+            B.if_("x > 0",
+                  B.seq(B.assign("go", "1"), B.while_("go > 0", B.tick(1))),
+                  B.tick(3))))
+        executor = VecInterpreter(program, max_steps=100)
+        finished = executor.run_batch({"x": 0}, runs=4, seed=0)
+        assert finished.unfinished_runs == 0
+        assert list(finished.finished_costs()) == [3.0] * 4
+        stuck = executor.run_batch({"x": 1}, runs=4, seed=0)
+        assert stuck.unfinished_runs == 4
+        assert stuck.finished_costs().shape == (0,)
