@@ -12,6 +12,8 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --workers 4          # + parallel pass
     python -m repro.bench.perfsmoke --group all --escalation   # degree reuse
     python -m repro.bench.perfsmoke --sampler          # sampler throughput
+    python -m repro.bench.perfsmoke --domain polyhedra   # other backend
+    python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -47,7 +49,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.registry import select_benchmarks
 from repro.bench.reporting import render_table
 from repro.core.analyzer import analyze_program
-from repro.logic.entailment import get_engine
+from repro.logic.entailment import available_domains, get_engine, resolve_domain
 
 #: Default output path (repo root when invoked from a checkout).
 DEFAULT_OUTPUT = "BENCH_entailment.json"
@@ -82,7 +84,9 @@ def run_suite(group: str = "linear",
               workers: int = 1,
               escalation: bool = False,
               sampler: bool = False,
-              sampler_runs: int = SAMPLER_RUNS) -> Dict[str, object]:
+              sampler_runs: int = SAMPLER_RUNS,
+              domain: Optional[str] = None,
+              compare_domains: bool = False) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
@@ -93,8 +97,15 @@ def run_suite(group: str = "linear",
     through the incremental pipeline and once rebuilding each attempt from
     scratch, which quantifies the reuse win and asserts that escalated
     bounds are identical to the cold run's.
+
+    ``domain`` selects the abstract-domain backend timed by the main pass
+    (recorded as the report's ``domain`` field); ``compare_domains=True``
+    re-times the suite's entailment load once per registered backend and
+    records the per-domain walls and engine counters under ``domains``,
+    asserting bound identity across backends along the way.
     """
-    engine = get_engine()
+    domain = resolve_domain(domain)
+    engine = get_engine(domain)
     benchmarks = _select(group, programs, limit)
     rows: List[Dict[str, object]] = []
     suite_before = engine.stats.snapshot()
@@ -104,7 +115,8 @@ def run_suite(group: str = "linear",
         program = bench.build()
         before = engine.stats.snapshot()
         start = time.perf_counter()
-        result = analyze_program(program, **bench.analyzer_options)
+        result = analyze_program(program, **{**bench.analyzer_options,
+                                             "domain": domain})
         wall = time.perf_counter() - start
         delta = engine.stats.delta(before)
         answered = delta["memo_hits"] + delta["fast_hits"]
@@ -138,17 +150,21 @@ def run_suite(group: str = "linear",
     suite_wall_parallel: Optional[float] = None
     parallel_speedup: Optional[float] = None
     if workers > 1:
-        suite_wall_parallel = _parallel_pass(benchmarks, rows, workers)
+        suite_wall_parallel = _parallel_pass(benchmarks, rows, workers, domain)
         if suite_wall_parallel > 0:
             parallel_speedup = round(total_wall / suite_wall_parallel, 2)
 
     escalation_summary: Optional[Dict[str, object]] = None
     if escalation:
-        escalation_summary = _escalation_pass(benchmarks, rows)
+        escalation_summary = _escalation_pass(benchmarks, rows, domain)
 
     sampler_summary: Optional[Dict[str, object]] = None
     if sampler:
         sampler_summary = _sampler_pass(runs=sampler_runs)
+
+    domain_summary: Optional[Dict[str, object]] = None
+    if compare_domains:
+        domain_summary = _domain_comparison_pass(benchmarks)
 
     return {
         "suite": f"table1-{group}" if not programs \
@@ -157,12 +173,14 @@ def run_suite(group: str = "linear",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "domain": domain,
         "workers": workers,
         "total_wall_seconds": round(total_wall, 3),
         "suite_wall_parallel": suite_wall_parallel,
         "parallel_speedup": parallel_speedup,
         "escalation": escalation_summary,
         "sampler": sampler_summary,
+        "domains": domain_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -170,12 +188,12 @@ def run_suite(group: str = "linear",
 
 
 def _parallel_pass(benchmarks, rows: List[Dict[str, object]],
-                   workers: int) -> float:
+                   workers: int, domain: str) -> float:
     """Re-run the suite through the scheduler; annotate rows, return wall."""
     from repro.service.jobs import job_from_benchmark
     from repro.service.scheduler import run_jobs
 
-    jobs = [job_from_benchmark(bench) for bench in benchmarks]
+    jobs = [job_from_benchmark(bench, domain=domain) for bench in benchmarks]
     start = time.perf_counter()
     results = run_jobs(jobs, workers=workers)
     wall = round(time.perf_counter() - start, 3)
@@ -190,8 +208,8 @@ def _parallel_pass(benchmarks, rows: List[Dict[str, object]],
     return wall
 
 
-def _escalation_pass(benchmarks, rows: List[Dict[str, object]]
-                     ) -> Dict[str, object]:
+def _escalation_pass(benchmarks, rows: List[Dict[str, object]],
+                     domain: str) -> Dict[str, object]:
     """Measure incremental vs rebuild degree escalation per benchmark.
 
     For every benchmark whose target degree is >= 2 the program is analyzed
@@ -214,7 +232,7 @@ def _escalation_pass(benchmarks, rows: List[Dict[str, object]]
                "identity_checked": 0}
     reuse_ratios: List[float] = []
     for bench, row in zip(benchmarks, rows):
-        options = dict(bench.analyzer_options)
+        options = {**bench.analyzer_options, "domain": domain}
         target = int(options.get("max_degree", 1))
         if target < 2:
             continue
@@ -264,6 +282,66 @@ def _escalation_pass(benchmarks, rows: List[Dict[str, object]]
         summary["mean_reuse_ratio"] = round(
             sum(reuse_ratios) / len(reuse_ratios), 4)
     return summary
+
+
+def _domain_comparison_pass(benchmarks) -> Dict[str, object]:
+    """Time the suite's entailment load once per abstract-domain backend.
+
+    For every registered domain the selected benchmarks are analyzed with
+    that backend active; per-domain wall clock and entailment-engine
+    counters (queries, eliminations, cache hit rate) land in the report so
+    the committed baseline documents how the backends compare.  Bounds are
+    asserted identical across domains -- both backends are exact, so any
+    divergence is a soundness bug worth failing the run for.
+
+    Every leg starts *cold*: a fresh engine and cleared rewrite memos, so
+    the comparison measures each backend doing the full query load rather
+    than coasting on answers the main pass (or the other leg) cached.
+    """
+    from repro.core.rewrite import clear_rewrite_caches
+    from repro.logic.entailment import reset_engine
+
+    comparison: Dict[str, object] = {}
+    reference_bounds: Dict[str, Optional[str]] = {}
+    for domain in available_domains():
+        engine = reset_engine(domain)
+        clear_rewrite_caches()
+        before = engine.stats.snapshot()
+        program_rows: List[Dict[str, object]] = []
+        start = time.perf_counter()
+        for bench in benchmarks:
+            program = bench.build()
+            job_before = engine.stats.snapshot()
+            job_start = time.perf_counter()
+            result = analyze_program(program, **{**bench.analyzer_options,
+                                                 "domain": domain})
+            wall = time.perf_counter() - job_start
+            delta = engine.stats.delta(job_before)
+            bound = result.bound.pretty() if result.bound else None
+            if bench.name in reference_bounds \
+                    and reference_bounds[bench.name] != bound:
+                raise AssertionError(
+                    f"domain bound mismatch for {bench.name}: {domain} found "
+                    f"{bound!r} vs {reference_bounds[bench.name]!r}")
+            reference_bounds.setdefault(bench.name, bound)
+            program_rows.append({
+                "name": bench.name,
+                "wall_seconds": round(wall, 4),
+                "queries": delta["queries"],
+                "eliminations": delta["eliminations"],
+            })
+        total_wall = time.perf_counter() - start
+        suite_delta = engine.stats.delta(before)
+        answered = suite_delta["memo_hits"] + suite_delta["fast_hits"]
+        comparison[domain] = {
+            "total_wall_seconds": round(total_wall, 3),
+            "queries": suite_delta["queries"],
+            "eliminations": suite_delta["eliminations"],
+            "hit_rate": (round(answered / suite_delta["queries"], 4)
+                         if suite_delta["queries"] else None),
+            "programs": program_rows,
+        }
+    return comparison
 
 
 def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
@@ -366,7 +444,9 @@ def _summary_table(report: Dict[str, object]) -> str:
                     else f"{p['cache_hit_rate']:.2f}",
                     "ok" if p["success"] else "FAIL"])
         rows.append(tuple(row))
-    return render_table(headers, rows, title=f"perf smoke: {report['suite']}")
+    domain = report.get("domain", "fm")
+    return render_table(headers, rows,
+                        title=f"perf smoke: {report['suite']} [{domain}]")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -400,6 +480,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail when the vectorised engine's speedup "
                              "over the scalar interpreter drops below this "
                              f"factor (default: {SAMPLER_MIN_SPEEDUP})")
+    parser.add_argument("--domain", choices=available_domains(), default=None,
+                        help="abstract-domain backend timed by the main "
+                             "pass (default: $REPRO_DOMAIN or fm)")
+    parser.add_argument("--compare-domains", action="store_true",
+                        help="also time the suite once per registered "
+                             "backend (fm vs polyhedra), record per-domain "
+                             "entailment counters and assert bound identity")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -441,7 +528,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_suite(args.group, args.limit, programs=args.programs,
                        workers=args.workers, escalation=args.escalation,
-                       sampler=args.sampler, sampler_runs=args.sampler_runs)
+                       sampler=args.sampler, sampler_runs=args.sampler_runs,
+                       domain=args.domain,
+                       compare_domains=args.compare_domains)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -466,6 +555,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(speedup {escalation['speedup']:.2f}x, mean reuse "
                   f"{escalation['mean_reuse_ratio']:.1%}, "
                   f"{escalation['identity_checked']} bound identities checked)")
+        domain_report = report.get("domains")
+        if domain_report:
+            for name, summary in domain_report.items():
+                print(f"domain {name}: {summary['total_wall_seconds']:.2f}s, "
+                      f"{summary['queries']} queries, "
+                      f"{summary['eliminations']} eliminations"
+                      + (f", hit rate {summary['hit_rate']:.1%}"
+                         if summary["hit_rate"] is not None else ""))
         sampler_report = report.get("sampler")
         if sampler_report:
             print(f"sampler ({sampler_report['benchmark']} "
@@ -492,6 +589,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
 
     if baseline is not None:
+        baseline_domain = baseline.get("domain", "fm")
+        if report["domain"] != baseline_domain:
+            # Cross-domain wall-time comparisons are meaningless: a slower
+            # backend would fail CI as a spurious "regression" and a faster
+            # one would mask a real one.  Regenerate the baseline under the
+            # same --domain instead.
+            print(f"cannot --check: report timed under domain "
+                  f"{report['domain']!r} but baseline {args.check!r} was "
+                  f"timed under {baseline_domain!r}", file=sys.stderr)
+            return 2
         regressions = find_regressions(report, baseline,
                                        threshold=args.threshold)
         if regressions:

@@ -44,6 +44,12 @@ class AnalyzerConfig:
 
     #: Maximal degree of the inferred polynomial bound.
     max_degree: int = 1
+    #: Abstract-domain backend answering entailment queries: ``"fm"``
+    #: (Fourier-Motzkin, the default), ``"polyhedra"`` (generator
+    #: representation / Chernikova), or ``None`` for the process default
+    #: (``$REPRO_DOMAIN`` or ``fm``).  Part of the service job hash, so the
+    #: result store never serves one domain's results to the other.
+    domain: Optional[str] = None
     #: Retry with higher degrees (up to ``degree_limit``) when no bound is found.
     auto_degree: bool = True
     degree_limit: int = 2

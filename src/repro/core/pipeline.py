@@ -329,7 +329,26 @@ class AnalysisPipeline:
     # -- the driver ----------------------------------------------------------
 
     def run(self) -> "AnalysisResult":
-        """Run the analysis over the configured degree-retry schedule."""
+        """Run the analysis over the configured degree-retry schedule.
+
+        The whole run executes with the configured abstract domain active
+        (:func:`repro.logic.entailment.use_domain`), so every ``Context``
+        operation -- from abstract interpretation to the rewrite-side
+        entailment checks -- is answered by the selected backend.
+        """
+        from repro.core.analyzer import AnalysisResult
+        from repro.logic.entailment import resolve_domain, use_domain
+
+        try:
+            domain = resolve_domain(self.config.domain)
+        except ValueError as exc:
+            return AnalysisResult(
+                False, None, self.config.max_degree, 0.0, 0, 0, None,
+                str(exc), failure_kind="analysis-error", stats=self.stats)
+        with use_domain(domain):
+            return self._run_attempts()
+
+    def _run_attempts(self) -> "AnalysisResult":
         from dataclasses import replace
 
         from repro.core.analyzer import AnalysisResult

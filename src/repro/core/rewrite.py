@@ -35,6 +35,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.contexts import Context
+from repro.logic.entailment import active_domain
 from repro.utils.linear import LinExpr
 from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 
@@ -127,6 +128,17 @@ _REWRITE_CACHE: Dict[Tuple, List[RewriteFunction]] = {}
 _REWRITE_CACHE_LIMIT = 4096
 
 
+def clear_rewrite_caches() -> None:
+    """Drop the process-wide rewrite memos.
+
+    Used between cold-timing passes (``perfsmoke --compare-domains``): the
+    memos embed entailment-derived bounds, so a warm memo would let one
+    domain's timing leg coast on another's query answers.
+    """
+    _REWRITE_CACHE.clear()
+    _ATOM_REWRITE_CACHE.clear()
+
+
 def generate_rewrites(context: Context,
                       monomials: Iterable[Monomial],
                       max_degree: int,
@@ -140,7 +152,12 @@ def generate_rewrites(context: Context,
     shared, so callers must not mutate it.
     """
     monomials = frozenset(monomials)
-    cache_key = (context, monomials, max_degree, max_pair_rewrites)
+    # Keyed by the active abstract domain: both backends are exact (so the
+    # entries would agree), but sharing them would let one domain's run
+    # silently serve another's queries, defeating per-domain isolation,
+    # statistics and timing comparisons.
+    cache_key = (active_domain(), context, monomials, max_degree,
+                 max_pair_rewrites)
     cached = _REWRITE_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -176,7 +193,7 @@ def _atom_rewrites(context: Context, atoms: Tuple[IntervalAtom, ...],
     products of :func:`_generate_rewrites`.  The returned lists are shared
     memo entries: callers must not mutate them.
     """
-    cache_key = (context, atoms, max_pair_rewrites)
+    cache_key = (active_domain(), context, atoms, max_pair_rewrites)
     cached = _ATOM_REWRITE_CACHE.get(cache_key)
     if cached is not None:
         return cached

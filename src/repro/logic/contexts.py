@@ -163,23 +163,17 @@ class Context:
     def assign(self, var: str, rhs: LinExpr) -> "Context":
         """Strongest postcondition of the assignment ``var := rhs``.
 
-        Implemented by renaming the old value of ``var`` to a fresh symbol,
-        adding the defining equality for the new value and projecting the
-        fresh symbol away with Fourier-Motzkin elimination.  Exact for linear
-        right-hand sides.
+        Delegated to :meth:`EntailmentEngine.assign
+        <repro.logic.entailment.EntailmentEngine.assign>`: the old value of
+        ``var`` is renamed to a fresh symbol, the defining equality for the
+        new value is added and the fresh symbol is projected away through
+        the active abstract-domain backend.  Exact for linear right-hand
+        sides.
         """
         if self._unreachable:
             return self
-        old = f"__old_{var}__"
-        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in self._facts]
-        rhs_old = rhs.substitute(var, LinExpr.var(old))
-        new_var = LinExpr.var(var)
-        renamed.append(new_var - rhs_old)
-        renamed.append(rhs_old - new_var)
         try:
-            projected = get_engine().project(
-                renamed, frozenset(v for fact in renamed
-                                   for v in fact.variables() if v != old))
+            projected = get_engine().assign(self._facts, var, rhs)
         except fm.Infeasible:
             return Context.unreachable_context()
         except MemoryError:
@@ -196,16 +190,10 @@ class Context:
         """
         if self._unreachable:
             return self
-        old = f"__old_{var}__"
-        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in self._facts]
-        rhs_old = rhs.substitute(var, LinExpr.var(old))
-        new_var = LinExpr.var(var)
-        renamed.append(new_var - rhs_old - LinExpr.const(to_fraction(low_shift)))
-        renamed.append(rhs_old + LinExpr.const(to_fraction(high_shift)) - new_var)
         try:
-            projected = get_engine().project(
-                renamed, frozenset(v for fact in renamed
-                                   for v in fact.variables() if v != old))
+            projected = get_engine().assign(self._facts, var, rhs,
+                                            to_fraction(low_shift),
+                                            to_fraction(high_shift))
         except fm.Infeasible:
             return Context.unreachable_context()
         except MemoryError:
@@ -225,13 +213,8 @@ class Context:
             return other
         if other._unreachable:
             return self
-        kept = [fact for fact, ok in zip(self._facts, other.entails_many(self._facts))
-                if ok]
-        seen = set(kept)
-        candidates = [fact for fact in other._facts if fact not in seen]
-        kept.extend(fact for fact, ok in zip(candidates, self.entails_many(candidates))
-                    if ok)
-        return Context(kept)
+        return Context(get_engine().join(self._facts, other._facts,
+                                         self._fact_set, other._fact_set))
 
     def widen(self, newer: "Context") -> "Context":
         """Standard widening: keep only the facts of ``self`` still valid in ``newer``."""
@@ -239,8 +222,8 @@ class Context:
             return newer
         if newer._unreachable:
             return self
-        return Context(fact for fact, ok in
-                       zip(self._facts, newer.entails_many(self._facts)) if ok)
+        return Context(get_engine().widen(self._facts, newer._facts,
+                                          newer._fact_set))
 
     # -- miscellaneous --------------------------------------------------------------------
 

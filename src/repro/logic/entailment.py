@@ -1,4 +1,4 @@
-"""Cached entailment engine fronting every Fourier-Motzkin query.
+"""Cached entailment engines fronting the exact abstract-domain backends.
 
 The abstract interpreter and the rewrite generator ask the same small family
 of questions over and over: ``Gamma |= e >= 0`` (entailment), the greatest
@@ -28,20 +28,47 @@ are exact for rational Fourier-Motzkin, and the memo never crosses contexts.
 propagates so callers (e.g. :meth:`Context.assign <repro.logic.contexts.Context.assign>`)
 keep their fallback behaviour.
 
-Use :func:`get_engine` for the process-wide instance; ``Context`` routes all
-its logical operations through it.
+**Abstract-domain backends.**  The cold layer underneath the caches is
+pluggable: a :class:`DomainBackend` supplies exact projection, feasibility
+and minimisation.  Two registered backends exist:
+
+* ``fm`` (default) -- the hand-rolled Fourier-Motzkin eliminator of
+  :mod:`repro.logic.fourier_motzkin`;
+* ``polyhedra`` -- the generator-representation polyhedral domain of
+  :mod:`repro.logic.polyhedra` (double description / Chernikova).
+
+Both are exact over the rationals, so they must agree on every decision
+query -- ``tests/test_domain_differential.py`` asserts it.  One engine
+exists per domain (:func:`get_engine` with a ``domain`` argument); the
+*active* domain -- what a bare ``get_engine()`` and therefore every
+``Context`` operation uses -- defaults to ``$REPRO_DOMAIN`` or ``fm`` and is
+switched per analysis via :func:`use_domain` (the analyzer pipeline does
+this from ``AnalyzerConfig.domain``).
+
+The engine also hosts the lattice/transfer operations (:meth:`EntailmentEngine.join`,
+:meth:`~EntailmentEngine.widen`, :meth:`~EntailmentEngine.assign`), so
+``Context`` never touches a solver module directly and every backend serves
+the full logical-context surface.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from fractions import Fraction
-from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
-                    Tuple)
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple)
 
 from repro.logic import fourier_motzkin as fm
 from repro.utils.linear import LinExpr
 
 FactKey = FrozenSet[LinExpr]
+
+#: Environment variable selecting the process-default domain.
+DOMAIN_ENV = "REPRO_DOMAIN"
+
+#: The built-in default backend.
+FM_DOMAIN = "fm"
 
 #: Sentinel stored in the projection cache for infeasible contexts.
 _INFEASIBLE = object()
@@ -88,15 +115,85 @@ class EntailmentStats:
                 f"misses={self.misses}, eliminations={self.eliminations})")
 
 
+class DomainBackend:
+    """Interface of an exact abstract-domain backend under the engine.
+
+    Every method must be *exact* over the rationals: different backends are
+    interchangeable precisely because they can never disagree on a decision
+    query.  Representation-producing operations (:meth:`project`) feed
+    context reconstruction, so their byte-level output is part of the
+    reproducibility contract (see ``tests/test_domain_identity.py``).
+    """
+
+    name = "abstract"
+    #: Whether :meth:`EntailmentEngine.entails_many` should pre-project the
+    #: context onto the union of the query variables (worth it when queries
+    #: re-run an eliminator; pointless when the backend caches a generator
+    #: representation per context).
+    batch_by_projection = True
+
+    def attach(self, engine: "EntailmentEngine") -> None:
+        self.engine = engine
+
+    def is_feasible(self, facts: Sequence[LinExpr], key: FactKey) -> bool:
+        raise NotImplementedError
+
+    def minimize(self, objective: LinExpr, facts: Sequence[LinExpr],
+                 key: FactKey) -> Fraction:
+        """``inf { objective | facts }``; raises ``Infeasible``/``Unbounded``."""
+        raise NotImplementedError
+
+    def project(self, facts: Sequence[LinExpr],
+                keep: FrozenSet[str]) -> Tuple[LinExpr, ...]:
+        """Exact projection onto ``keep``; raises ``Infeasible``."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop any backend-private caches (engine.clear() calls this)."""
+
+
+class FourierMotzkinBackend(DomainBackend):
+    """The default backend: cached Fourier-Motzkin elimination.
+
+    Minimisation projects the context onto the objective's variables first
+    (through the engine's shared projection cache, so repeated queries over
+    the same variables reuse one elimination) and then minimises over the
+    much smaller projected system.
+    """
+
+    name = FM_DOMAIN
+    batch_by_projection = True
+
+    def is_feasible(self, facts: Sequence[LinExpr], key: FactKey) -> bool:
+        try:
+            self.engine.project(facts, frozenset(), key)
+        except fm.Infeasible:
+            return False
+        return True
+
+    def minimize(self, objective: LinExpr, facts: Sequence[LinExpr],
+                 key: FactKey) -> Fraction:
+        projected = self.engine.project(
+            facts, frozenset(objective.variables()), key)
+        self.engine.stats.eliminations += 1
+        return fm.minimize(objective, projected)
+
+    def project(self, facts: Sequence[LinExpr],
+                keep: FrozenSet[str]) -> Tuple[LinExpr, ...]:
+        return tuple(fm.eliminate_all(facts, keep=sorted(keep)))
+
+
 class EntailmentEngine:
-    """Process-wide cache + fast paths for Fourier-Motzkin queries."""
+    """Per-domain cache + fast paths fronting an exact backend."""
 
     #: Clear a cache wholesale once it grows past this many entries; the
     #: contexts of one program are small, so in practice this only guards
     #: long-running multi-program processes.
     MAX_ENTRIES = 200_000
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[DomainBackend] = None) -> None:
+        self.backend = backend if backend is not None else FourierMotzkinBackend()
+        self.backend.attach(self)
         self.stats = EntailmentStats()
         self.evictions = 0
         self._entails_cache: Dict[Tuple[FactKey, LinExpr], bool] = {}
@@ -109,6 +206,11 @@ class EntailmentEngine:
 
     # -- maintenance ------------------------------------------------------
 
+    @property
+    def domain(self) -> str:
+        """Name of the abstract-domain backend answering cold queries."""
+        return self.backend.name
+
     def clear(self) -> None:
         """Drop every cached result (statistics are kept)."""
         self._entails_cache.clear()
@@ -116,6 +218,7 @@ class EntailmentEngine:
         self._feasible_cache.clear()
         self._projection_cache.clear()
         self._norm_index.clear()
+        self.backend.clear()
 
     def reset_stats(self) -> None:
         self.stats = EntailmentStats()
@@ -165,6 +268,14 @@ class EntailmentEngine:
             pending.append(index)
         if pending:
             self.stats.misses += len(pending)
+            if not self.backend.batch_by_projection:
+                # The backend answers point queries cheaply (e.g. from a
+                # cached generator representation): no shared projection.
+                for index in pending:
+                    results[index] = self._entails_impl(facts, key,
+                                                        queries[index],
+                                                        count=False)
+                return results  # type: ignore[return-value]
             union_vars = frozenset(var for index in pending
                                    for var in queries[index].variables())
             try:
@@ -201,11 +312,7 @@ class EntailmentEngine:
             self._feasible_cache[key] = True
             return True
         self.stats.misses += 1
-        try:
-            self.project(facts, frozenset(), key)
-            result = True
-        except fm.Infeasible:
-            result = False
+        result = self.backend.is_feasible(facts, key)
         self._guard(self._feasible_cache)
         self._feasible_cache[key] = result
         return result
@@ -260,7 +367,7 @@ class EntailmentEngine:
             return cached  # type: ignore[return-value]
         self.stats.eliminations += 1
         try:
-            projected = tuple(fm.eliminate_all(facts, keep=sorted(keep)))
+            projected = self.backend.project(facts, keep)
         except fm.Infeasible:
             self._guard(self._projection_cache)
             self._projection_cache[cache_key] = _INFEASIBLE
@@ -297,12 +404,7 @@ class EntailmentEngine:
     def _entails_cold(self, facts: Sequence[LinExpr], key: FactKey,
                       query: LinExpr) -> bool:
         try:
-            projected = self.project(facts, frozenset(query.variables()), key)
-        except fm.Infeasible:
-            return True
-        self.stats.eliminations += 1
-        try:
-            lowest = fm.minimize(query, projected)
+            lowest = self.backend.minimize(query, facts, key)
         except fm.Infeasible:
             return True
         except fm.Unbounded:
@@ -312,13 +414,7 @@ class EntailmentEngine:
     def _glb_cold(self, facts: Sequence[LinExpr], key: FactKey,
                   expression: LinExpr) -> Optional[Fraction]:
         try:
-            projected = self.project(facts, frozenset(expression.variables()),
-                                     key)
-        except fm.Infeasible:
-            return None
-        self.stats.eliminations += 1
-        try:
-            return fm.minimize(expression, projected)
+            return self.backend.minimize(expression, facts, key)
         except (fm.Infeasible, fm.Unbounded):
             return None
 
@@ -327,17 +423,61 @@ class EntailmentEngine:
         cached = self._feasible_cache.get(key)
         if cached is not None:
             return cached
-        if not facts:
-            result = True
-        else:
-            try:
-                self.project(facts, frozenset(), key)
-                result = True
-            except fm.Infeasible:
-                result = False
+        result = True if not facts else self.backend.is_feasible(facts, key)
         self._guard(self._feasible_cache)
         self._feasible_cache[key] = result
         return result
+
+    # -- lattice and transfer operations ------------------------------------
+
+    def join(self, facts: Sequence[LinExpr], other_facts: Sequence[LinExpr],
+             key: Optional[FactKey] = None,
+             other_key: Optional[FactKey] = None) -> List[LinExpr]:
+        """The "common facts" join: facts of each side entailed by the other.
+
+        Order is reproducible: ``facts`` first (in order), then the facts
+        unique to ``other_facts`` (in order) -- context construction relies
+        on this being independent of the backend.
+        """
+        kept = [fact for fact, ok
+                in zip(facts, self.entails_many(other_facts, facts, other_key))
+                if ok]
+        seen = set(kept)
+        candidates = [fact for fact in other_facts if fact not in seen]
+        kept.extend(fact for fact, ok
+                    in zip(candidates,
+                           self.entails_many(facts, candidates, key))
+                    if ok)
+        return kept
+
+    def widen(self, facts: Sequence[LinExpr], newer_facts: Sequence[LinExpr],
+              newer_key: Optional[FactKey] = None) -> List[LinExpr]:
+        """Standard widening: the facts of ``facts`` still valid in ``newer``."""
+        return [fact for fact, ok
+                in zip(facts, self.entails_many(newer_facts, facts, newer_key))
+                if ok]
+
+    def assign(self, facts: Sequence[LinExpr], var: str, rhs: LinExpr,
+               low_shift: Fraction = _ZERO,
+               high_shift: Fraction = _ZERO) -> Tuple[LinExpr, ...]:
+        """Strongest postcondition of ``var := rhs + [low_shift, high_shift]``.
+
+        The old value of ``var`` is renamed to a fresh symbol, the defining
+        (in)equalities for the new value are added, and the fresh symbol is
+        projected away through the backend.  Raises
+        :class:`~repro.logic.fourier_motzkin.Infeasible` for unreachable
+        results; ``MemoryError`` from the eliminator's constraint cap
+        propagates (callers fall back to ``havoc``).
+        """
+        old = f"__old_{var}__"
+        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in facts]
+        rhs_old = rhs.substitute(var, LinExpr.var(old))
+        new_var = LinExpr.var(var)
+        renamed.append(new_var - rhs_old - LinExpr.const(low_shift))
+        renamed.append(rhs_old + LinExpr.const(high_shift) - new_var)
+        keep = frozenset(v for fact in renamed
+                         for v in fact.variables() if v != old)
+        return self.project(renamed, keep)
 
     # -- syntactic fast paths ----------------------------------------------
 
@@ -452,67 +592,158 @@ class EntailmentEngine:
         return a, b
 
 
-#: The process-wide engine shared by every :class:`Context`.
-_ENGINE = EntailmentEngine()
+# ---------------------------------------------------------------------------
+# Backend registry and per-domain engines
+# ---------------------------------------------------------------------------
+
+def _polyhedra_backend() -> DomainBackend:
+    from repro.logic.polyhedra import PolyhedraBackend
+
+    return PolyhedraBackend()
 
 
-def get_engine() -> EntailmentEngine:
-    """The process-wide entailment engine."""
-    return _ENGINE
+#: Registered backend factories, keyed by domain name.
+_BACKEND_FACTORIES: Dict[str, Callable[[], DomainBackend]] = {
+    FM_DOMAIN: FourierMotzkinBackend,
+    "polyhedra": _polyhedra_backend,
+}
+
+#: One engine per domain, created lazily.
+_ENGINES: Dict[str, EntailmentEngine] = {}
+
+#: The domain a bare ``get_engine()`` resolves to; ``None`` = process default.
+_ACTIVE_DOMAIN: Optional[str] = None
 
 
-def clear_cache() -> None:
+def register_backend(name: str,
+                     factory: Callable[[], DomainBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def available_domains() -> Tuple[str, ...]:
+    """The selectable abstract-domain backends, default first."""
+    names = sorted(_BACKEND_FACTORIES)
+    names.remove(FM_DOMAIN)
+    return (FM_DOMAIN, *names)
+
+
+def default_domain() -> str:
+    """The process-default domain: ``$REPRO_DOMAIN`` or ``fm``."""
+    return os.environ.get(DOMAIN_ENV) or FM_DOMAIN
+
+
+def resolve_domain(domain: Optional[str]) -> str:
+    """Validate a domain name (``None`` = the active domain)."""
+    name = domain if domain is not None else active_domain()
+    if name not in _BACKEND_FACTORIES:
+        raise ValueError(
+            f"unknown abstract domain {name!r}; "
+            f"available: {', '.join(available_domains())}")
+    return name
+
+
+def active_domain() -> str:
+    """The domain bare ``get_engine()`` calls currently resolve to."""
+    return _ACTIVE_DOMAIN if _ACTIVE_DOMAIN is not None else default_domain()
+
+
+def set_active_domain(domain: Optional[str]) -> str:
+    """Switch the active domain; returns the previously active name."""
+    global _ACTIVE_DOMAIN
+    previous = active_domain()
+    _ACTIVE_DOMAIN = resolve_domain(domain) if domain is not None else None
+    return previous
+
+
+@contextmanager
+def use_domain(domain: Optional[str]) -> Iterator[EntailmentEngine]:
+    """Run a block with ``domain`` active (restored on exit).
+
+    The analyzer pipeline wraps each analysis in this, so a per-job
+    ``domain`` option cannot leak into the next job in the same process.
+    """
+    name = resolve_domain(domain)
+    global _ACTIVE_DOMAIN
+    saved = _ACTIVE_DOMAIN
+    _ACTIVE_DOMAIN = name
+    try:
+        yield get_engine(name)
+    finally:
+        _ACTIVE_DOMAIN = saved
+
+
+def get_engine(domain: Optional[str] = None) -> EntailmentEngine:
+    """The process-wide engine of ``domain`` (default: the active domain)."""
+    name = resolve_domain(domain)
+    engine = _ENGINES.get(name)
+    if engine is None:
+        engine = EntailmentEngine(_BACKEND_FACTORIES[name]())
+        _ENGINES[name] = engine
+    return engine
+
+
+def clear_cache(domain: Optional[str] = None) -> None:
     """Drop all cached entailment results (useful between experiments)."""
-    _ENGINE.clear()
+    get_engine(domain).clear()
 
 
-def reset_stats() -> None:
-    """Reset the hit/miss statistics of the process-wide engine."""
-    _ENGINE.reset_stats()
+def reset_stats(domain: Optional[str] = None) -> None:
+    """Reset the hit/miss statistics of one process-wide engine."""
+    get_engine(domain).reset_stats()
 
 
 # -- per-process lifecycle hooks (used by repro.service.scheduler) ----------
 
-def reset_engine() -> EntailmentEngine:
-    """Install a brand-new process-wide engine and return it.
+def reset_engine(domain: Optional[str] = None) -> EntailmentEngine:
+    """Install brand-new engine instances and return the active one.
 
     Worker processes call this from their initializer: a forked worker
-    inherits the parent's engine object, and a fresh instance both drops
-    that inherited state and guarantees that nothing the worker computes
+    inherits the parent's engine objects, and fresh instances both drop
+    that inherited state and guarantee that nothing the worker computes
     can leak back into (or appear to come from) the parent's caches.
+
+    With a ``domain`` only that backend's engine is replaced; without one
+    the whole registry is dropped (every backend starts cold), which is
+    what a worker that may serve jobs of either domain wants.
     """
-    global _ENGINE
-    _ENGINE = EntailmentEngine()
-    return _ENGINE
+    if domain is not None:
+        name = resolve_domain(domain)
+        _ENGINES[name] = EntailmentEngine(_BACKEND_FACTORIES[name]())
+        return _ENGINES[name]
+    _ENGINES.clear()
+    return get_engine()
 
 
-def engine_fingerprint() -> Dict[str, object]:
-    """Identity + cache occupancy of this process's engine (for isolation tests)."""
-    import os
-
+def engine_fingerprint(domain: Optional[str] = None) -> Dict[str, object]:
+    """Identity + cache occupancy of one engine (for isolation tests)."""
+    engine = get_engine(domain)
     return {
         "pid": os.getpid(),
-        "engine_id": id(_ENGINE),
-        "queries": _ENGINE.stats.queries,
-        "eliminations": _ENGINE.stats.eliminations,
-        "entails_entries": len(_ENGINE._entails_cache),
-        "projection_entries": len(_ENGINE._projection_cache),
+        "domain": engine.domain,
+        "engine_id": id(engine),
+        "queries": engine.stats.queries,
+        "eliminations": engine.stats.eliminations,
+        "entails_entries": len(engine._entails_cache),
+        "projection_entries": len(engine._projection_cache),
     }
 
 
-def warm_engine() -> EntailmentEngine:
+def warm_engine(domain: Optional[str] = None) -> EntailmentEngine:
     """Pay per-process one-time costs up front; return the warm engine.
 
     Importing the LP stack and exercising one tiny end-to-end query moves
     module-import and first-touch costs out of the first real job, so
     per-job wall times measured in a worker are comparable to a warm
-    sequential process.  The engine's caches stay warm for the lifetime of
-    the worker across all jobs it executes.
+    sequential process.  The warm-up is backend-aware: the query runs
+    through the *named* domain's engine (default: the active domain), so a
+    worker pool configured for ``polyhedra`` jobs warms the polyhedra
+    backend instead of silently warming the default one.
     """
     import repro.core.solver          # noqa: F401  (scipy import)
     import repro.lang.parser          # noqa: F401
 
-    engine = get_engine()
+    engine = get_engine(domain)
     x = LinExpr({"x": 1})
     engine.entails((x,), x)
     engine.clear()

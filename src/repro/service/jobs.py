@@ -41,7 +41,10 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 #: cache misses instead of being misread.
 #: v2: per-stage pipeline statistics (attempted degrees, escalation reuse)
 #: and the per-attempt/total timing split.
-SCHEMA_VERSION = 2
+#: v3: the abstract-domain backend (``domain`` option) participates in the
+#: job hash and results record the domain that produced them, so the store
+#: can never serve one backend's results to the other.
+SCHEMA_VERSION = 3
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
@@ -89,7 +92,22 @@ class AnalysisJob:
     @classmethod
     def create(cls, name: str, source: str,
                options: Optional[Dict[str, object]] = None) -> "AnalysisJob":
-        items = tuple(sorted((options or {}).items()))
+        """Build a job, resolving the abstract domain *now*.
+
+        A job without an explicit ``domain`` option is stamped with the
+        currently active domain: the environment default (``$REPRO_DOMAIN``)
+        is a per-process setting, so leaving it out of the job would let two
+        processes with different defaults share one content hash -- and the
+        store would serve one backend's cached results to the other.
+        Stamping at creation keeps hash and execution domain consistent
+        everywhere the job travels (workers, stores, servers).
+        """
+        from repro.logic.entailment import active_domain
+
+        merged = dict(options or {})
+        if not merged.get("domain"):
+            merged["domain"] = active_domain()
+        items = tuple(sorted(merged.items()))
         return cls(name=name, source=source, options=items)
 
     @property
@@ -115,15 +133,20 @@ def job_from_file(path: str, options: Optional[Dict[str, object]] = None,
     return AnalysisJob.create(name or path, source, options)
 
 
-def job_from_benchmark(benchmark) -> AnalysisJob:
+def job_from_benchmark(benchmark,
+                       domain: Optional[str] = None) -> AnalysisJob:
     """Turn a registry :class:`~repro.bench.registry.BenchmarkProgram` into a job.
 
     The program AST is printed back to concrete syntax (a bound-preserving
     round trip, see ``tests/test_parser_printer.py``) so the job carries only
-    text and the worker parses it afresh.
+    text and the worker parses it afresh.  ``domain`` pins the job to an
+    abstract-domain backend (None = the active domain, stamped by
+    :meth:`AnalysisJob.create`).
     """
-    return AnalysisJob.create(benchmark.name, benchmark.source_text(),
-                              dict(benchmark.analyzer_options))
+    options = dict(benchmark.analyzer_options)
+    if domain is not None:
+        options["domain"] = domain
+    return AnalysisJob.create(benchmark.name, benchmark.source_text(), options)
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +232,9 @@ class JobResult:
     message: str = ""
     certificate: Optional[Dict[str, object]] = None
     engine: Dict[str, int] = field(default_factory=dict)
+    #: Abstract-domain backend that produced this result ("" for results
+    #: that never reached the analyzer, e.g. parse errors).
+    domain: str = ""
     worker_pid: int = 0
     #: Per-stage pipeline breakdown (attempted degrees, per-degree build/solve
     #: walls, escalation reuse ratio) -- see
@@ -241,13 +267,14 @@ class JobResult:
         fields = {name: record[name] for name in (
             "name", "job_hash", "status", "wall_seconds", "degree", "bound",
             "lp_variables", "lp_constraints", "message", "certificate",
-            "engine", "worker_pid", "pipeline")}
+            "engine", "domain", "worker_pid", "pipeline")}
         return cls(**fields)
 
 
 def result_from_analysis(job: AnalysisJob, analysis: AnalysisResult,
                          wall_seconds: float,
-                         engine_delta: Optional[Dict[str, int]] = None) -> JobResult:
+                         engine_delta: Optional[Dict[str, int]] = None,
+                         domain: str = "") -> JobResult:
     """Flatten an in-process :class:`AnalysisResult` into a :class:`JobResult`."""
     import os
 
@@ -265,27 +292,44 @@ def result_from_analysis(job: AnalysisJob, analysis: AnalysisResult,
         certificate=(certificate_payload(analysis.certificate)
                      if analysis.certificate else None),
         engine=dict(engine_delta or {}),
+        domain=domain,
         worker_pid=os.getpid(),
         pipeline=analysis.stats.to_dict() if analysis.stats else {},
     )
 
 
+def job_domain(job: AnalysisJob) -> str:
+    """The abstract domain this job runs under (option or the active one).
+
+    Mirrors the pipeline's own resolution (``use_domain(config.domain)``)
+    so the engine whose statistics are recorded is the engine that actually
+    answered the job's queries.
+    """
+    from repro.logic.entailment import active_domain
+
+    domain = job.options_dict.get("domain")
+    return str(domain) if domain else active_domain()
+
+
 def run_job(job: AnalysisJob) -> JobResult:
     """Execute one job in this process (the scheduler's worker entry point).
 
-    Never raises for job-content problems: parse errors and analysis
-    failures come back as structured statuses.  Only genuinely unexpected
-    exceptions are folded into an ``error`` result so a bad job cannot take
-    the worker down.
+    Never raises for job-content problems: parse errors, unknown domains
+    and analysis failures come back as structured statuses.  Only genuinely
+    unexpected exceptions are folded into an ``error`` result so a bad job
+    cannot take the worker down.
     """
     import os
 
     from repro.logic.entailment import get_engine
 
-    engine = get_engine()
-    before = engine.stats.snapshot()
+    domain = job_domain(job)
     start = time.perf_counter()
     try:
+        # Resolves the domain first so an unknown name fails as a
+        # structured error before any analysis work happens.
+        engine = get_engine(domain)
+        before = engine.stats.snapshot()
         analysis = analyze_source(job.source, **job.options_dict)
     except ParseError as exc:
         return JobResult(name=job.name, job_hash=job.job_hash,
@@ -298,4 +342,5 @@ def run_job(job: AnalysisJob) -> JobResult:
                          message=f"{type(exc).__name__}: {exc}",
                          worker_pid=os.getpid())
     wall = time.perf_counter() - start
-    return result_from_analysis(job, analysis, wall, engine.stats.delta(before))
+    return result_from_analysis(job, analysis, wall,
+                                engine.stats.delta(before), domain=domain)

@@ -38,7 +38,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.service.jobs import AnalysisJob, JobResult, run_job
+from repro.service.jobs import AnalysisJob, JobResult, job_domain, run_job
 from repro.service.store import ResultStore
 
 
@@ -48,12 +48,30 @@ def default_worker_count() -> int:
     return max(1, min(8, cpus - 1))
 
 
-def _worker_init() -> None:
-    """Per-process initializer: fresh, pre-warmed entailment engine."""
+def _worker_init(domains: Sequence[str] = ()) -> None:
+    """Per-process initializer: fresh, pre-warmed entailment engines.
+
+    Backend-aware: the batch's distinct job domains are warmed explicitly,
+    so a pool serving ``polyhedra`` jobs pre-builds that backend's engine
+    instead of silently warming the default one and paying the cold-start
+    inside the first timed job.
+    """
     from repro.logic import entailment
 
-    entailment.reset_engine()
-    entailment.warm_engine()
+    try:
+        entailment.reset_engine()
+    except ValueError:
+        # $REPRO_DOMAIN names an unknown backend: the registry is already
+        # cleared, and every job will report the structured per-job error.
+        # The initializer must not raise -- that would break the whole pool.
+        pass
+    for domain in (domains or (entailment.active_domain(),)):
+        try:
+            entailment.warm_engine(domain)
+        except ValueError:
+            # Unknown domain: the job itself will report the structured
+            # error; warm-up must not take the worker down.
+            continue
 
 
 def _execute_job(job: AnalysisJob) -> JobResult:
@@ -205,10 +223,12 @@ def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
     if not jobs:
         return []
     pool_size = min(workers, len(jobs))
+    domains = tuple(sorted({job_domain(job) for job in jobs}))
     executor = ProcessPoolExecutor(
         max_workers=pool_size,
         mp_context=_pool_context(),
-        initializer=_worker_init)
+        initializer=_worker_init,
+        initargs=(domains,))
     overdue = False
     futures = []
     try:

@@ -221,3 +221,66 @@ class TestContextIntegration:
         assert stats["queries"] == 5
         assert stats["memo_hits"] >= 4
         assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+class TestBackendRegistry:
+    """Per-domain engines: selection, switching and lifecycle hooks."""
+
+    def test_get_engine_is_per_domain(self):
+        from repro.logic import entailment
+
+        fm_engine = entailment.get_engine("fm")
+        poly_engine = entailment.get_engine("polyhedra")
+        assert fm_engine is not poly_engine
+        assert fm_engine.domain == "fm"
+        assert poly_engine.domain == "polyhedra"
+        assert entailment.get_engine("fm") is fm_engine       # stable
+
+    def test_unknown_domain_raises(self):
+        from repro.logic import entailment
+
+        with pytest.raises(ValueError, match="octagons"):
+            entailment.get_engine("octagons")
+
+    def test_use_domain_switches_and_restores(self):
+        from repro.logic import entailment
+
+        baseline = entailment.active_domain()
+        with entailment.use_domain("polyhedra") as engine:
+            assert entailment.active_domain() == "polyhedra"
+            assert entailment.get_engine() is engine
+        assert entailment.active_domain() == baseline
+
+    def test_reset_engine_is_backend_aware(self):
+        from repro.logic import entailment
+
+        fm_engine = entailment.get_engine("fm")
+        poly_engine = entailment.get_engine("polyhedra")
+        # Named reset replaces exactly that engine.
+        fresh = entailment.reset_engine("polyhedra")
+        assert fresh is not poly_engine
+        assert entailment.get_engine("fm") is fm_engine
+        # Bare reset drops the whole registry.
+        entailment.reset_engine()
+        assert entailment.get_engine("fm") is not fm_engine
+
+    def test_warm_engine_warms_the_named_backend(self):
+        from repro.logic import entailment
+
+        entailment.reset_engine()
+        warmed = entailment.warm_engine("polyhedra")
+        assert warmed.domain == "polyhedra"
+        assert warmed is entailment.get_engine("polyhedra")
+
+    def test_queries_agree_across_backends_via_context(self):
+        from repro.logic import entailment
+
+        x = LinExpr.var("x")
+        gamma = Context([x - 1])                 # x >= 1
+        with entailment.use_domain("fm"):
+            fm_answers = (gamma.entails(x), gamma.greatest_lower_bound(x),
+                          gamma.is_satisfiable())
+        with entailment.use_domain("polyhedra"):
+            poly_answers = (gamma.entails(x), gamma.greatest_lower_bound(x),
+                            gamma.is_satisfiable())
+        assert fm_answers == poly_answers == (True, 1, True)

@@ -131,3 +131,41 @@ class TestJobFactories:
 
         direct = analyze_program(bench.build(), **bench.analyzer_options)
         assert result.bound_pretty == direct.bound.pretty()
+
+
+class TestDomainStamping:
+    """Jobs resolve their abstract domain at creation, not at run time."""
+
+    def test_jobs_are_stamped_with_the_active_domain(self):
+        from repro.logic.entailment import active_domain
+
+        job = AnalysisJob.create("t", "proc main(x) { tick(1); }")
+        assert job.options_dict["domain"] == active_domain()
+
+    def test_env_default_domain_participates_in_the_hash(self, monkeypatch):
+        source = "proc main(x) { tick(1); }"
+        monkeypatch.setenv("REPRO_DOMAIN", "fm")
+        under_fm = AnalysisJob.create("t", source)
+        monkeypatch.setenv("REPRO_DOMAIN", "polyhedra")
+        under_poly = AnalysisJob.create("t", source)
+        # Two processes with different $REPRO_DOMAIN defaults must never
+        # share one content hash -- otherwise the store would serve one
+        # backend's cached results to the other.
+        assert under_fm.job_hash != under_poly.job_hash
+        assert under_fm.options_dict["domain"] == "fm"
+        assert under_poly.options_dict["domain"] == "polyhedra"
+
+    def test_explicit_domain_wins_over_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DOMAIN", "polyhedra")
+        job = AnalysisJob.create("t", "proc main(x) { tick(1); }",
+                                 {"domain": "fm"})
+        assert job.options_dict["domain"] == "fm"
+
+    def test_job_from_benchmark_accepts_a_domain(self, monkeypatch):
+        from repro.bench.registry import get_benchmark
+
+        bench = get_benchmark("ber")
+        monkeypatch.setenv("REPRO_DOMAIN", "fm")
+        assert job_from_benchmark(bench).options_dict["domain"] == "fm"
+        pinned = job_from_benchmark(bench, domain="polyhedra")
+        assert pinned.options_dict["domain"] == "polyhedra"

@@ -183,3 +183,26 @@ class TestMisc:
         results = run_jobs([AnalysisJob.create("bad", "proc main( {")],
                            workers=0)
         assert results[0].status == "parse-error"
+
+
+class TestInvalidDomainSurvival:
+    """An unknown abstract domain degrades to structured errors, not a dead pool."""
+
+    def test_pool_survives_invalid_env_domain(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DOMAIN", "octagons")
+        jobs = [AnalysisJob.create("bad-domain",
+                                   "proc main(x) { tick(1); }")]
+        assert jobs[0].options_dict["domain"] == "octagons"
+        results = scheduler_module.run_jobs(jobs, workers=1)
+        # The worker initializer must not take the pool down; the job comes
+        # back as a structured error naming the unknown domain.
+        assert results[0].status == "error"
+        assert "octagons" in results[0].message
+
+    def test_inline_invalid_domain_matches_pool_behaviour(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DOMAIN", "octagons")
+        jobs = [AnalysisJob.create("bad-domain",
+                                   "proc main(x) { tick(1); }")]
+        results = scheduler_module.run_jobs(jobs, workers=0)
+        assert results[0].status == "error"
+        assert "octagons" in results[0].message
