@@ -14,6 +14,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --sampler          # sampler throughput
     python -m repro.bench.perfsmoke --domain polyhedra   # other backend
     python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
+    python -m repro.bench.perfsmoke --chaos            # fault-recovery gate
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -33,6 +34,15 @@ the scalar closure interpreter and the vectorised batch executor
 (:mod:`repro.semantics.vexec`); the pass asserts both engines agree within
 sampling error and fails when the vectorised speedup drops below
 ``--sampler-min-speedup`` (default 5x).
+
+``--chaos`` adds a fault-recovery section: the suite is run fault-free
+through the service scheduler into a temporary result store, then re-run
+with deterministic fault injection active (worker crashes at p=0.2 on
+first attempts, store records corrupted at p=0.5 on read).  The pass is
+the acceptance gate for the supervised scheduler: it fails unless the
+chaotic batch loses zero jobs, reproduces the fault-free bounds
+byte-for-byte, and records every recovery in ``JobResult.fault_events``.
+The recovery overhead lands in the report's ``chaos`` section.
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -69,6 +79,11 @@ SAMPLER_RUNS = 10_000
 
 _GROUPS = ("all", "linear", "polynomial")
 
+#: Chaos-pass fault rates (the acceptance gate's parameters): worker
+#: crashes on first attempts, store records corrupted on read.
+CHAOS_CRASH_PROBABILITY = 0.2
+CHAOS_CORRUPT_PROBABILITY = 0.5
+
 
 def _select(group: str, programs: Optional[Sequence[str]],
             limit: Optional[int]):
@@ -86,7 +101,8 @@ def run_suite(group: str = "linear",
               sampler: bool = False,
               sampler_runs: int = SAMPLER_RUNS,
               domain: Optional[str] = None,
-              compare_domains: bool = False) -> Dict[str, object]:
+              compare_domains: bool = False,
+              chaos: bool = False) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
@@ -166,6 +182,12 @@ def run_suite(group: str = "linear",
     if compare_domains:
         domain_summary = _domain_comparison_pass(benchmarks)
 
+    chaos_summary: Optional[Dict[str, object]] = None
+    if chaos:
+        chaos_summary = _chaos_pass(benchmarks,
+                                    workers=max(2, workers),
+                                    domain=domain)
+
     return {
         "suite": f"table1-{group}" if not programs \
             else f"table1-custom({','.join(programs)})",
@@ -181,6 +203,7 @@ def run_suite(group: str = "linear",
         "escalation": escalation_summary,
         "sampler": sampler_summary,
         "domains": domain_summary,
+        "chaos": chaos_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -344,6 +367,115 @@ def _domain_comparison_pass(benchmarks) -> Dict[str, object]:
     return comparison
 
 
+def _chaos_pass(benchmarks, workers: int = 2,
+                domain: Optional[str] = None,
+                crash_probability: float = CHAOS_CRASH_PROBABILITY,
+                corrupt_probability: float = CHAOS_CORRUPT_PROBABILITY,
+                seed: int = 0) -> Dict[str, object]:
+    """The fault-recovery acceptance gate, measured.
+
+    Phase 1 runs the suite fault-free through the scheduler into a
+    temporary store.  Phase 2 re-runs the same batch with the deterministic
+    fault registry active: every store read corrupts its record at
+    ``corrupt_probability`` (exercising quarantine + recompute) and every
+    recomputed job's *first* pool attempt crashes its worker at
+    ``crash_probability`` (exercising pool rebuild, claim-file attribution
+    and supervised retry).  Crashes are pinned to first attempts
+    (``match=":1"``) so retries are always clean: the recovered outcome is
+    then independent of which jobs happened to share the pool when it
+    broke, and the byte-identity assertion below is deterministic.
+
+    Raises ``AssertionError`` unless the chaotic batch loses zero jobs,
+    reproduces the fault-free statuses and bounds exactly, and records
+    every crash recovery in ``fault_events``.
+    """
+    import multiprocessing
+    import shutil
+    import tempfile
+
+    from repro.service import faults
+    from repro.service.faults import FaultSpec
+    from repro.service.jobs import job_from_benchmark
+    from repro.service.retry import RetryPolicy
+    from repro.service.scheduler import SchedulerConfig, run_batch
+    from repro.service.store import ResultStore
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # Under spawn the workers re-import the faults module and would not
+        # see a registry configured programmatically in this process.
+        return {"skipped": "needs the fork start method (pool workers "
+                           "inherit the fault registry at fork time)"}
+
+    jobs = [job_from_benchmark(bench, domain=domain) for bench in benchmarks]
+    root = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        store = ResultStore(root)
+        start = time.perf_counter()
+        baseline = run_batch(jobs, SchedulerConfig(workers=workers,
+                                                   store=store))
+        wall_fault_free = round(time.perf_counter() - start, 3)
+
+        faults.configure([
+            FaultSpec("worker-crash", probability=crash_probability,
+                      match=":1"),
+            FaultSpec("store-corrupt", probability=corrupt_probability),
+        ], seed=seed)
+        try:
+            start = time.perf_counter()
+            # The per-batch retry budget is sized for isolated failures;
+            # a batch where a fifth of all first attempts die needs room
+            # for every one of them (plus co-in-flight collateral).
+            chaotic = run_batch(jobs, SchedulerConfig(
+                workers=workers, store=store,
+                retry=RetryPolicy(budget=None)))
+            wall_chaos = round(time.perf_counter() - start, 3)
+        finally:
+            faults.disable()
+
+        mismatched = [
+            job.name for job, fault_free, recovered
+            in zip(jobs, baseline.results, chaotic.results)
+            if (fault_free.status, fault_free.bound)
+            != (recovered.status, recovered.bound)]
+        if mismatched:
+            raise AssertionError(
+                "chaos gate FAILED: recovered results diverge from the "
+                f"fault-free run for {', '.join(mismatched)}")
+        crashed = [result for result in chaotic.results
+                   if result.attempts > 1]
+        unrecorded = [result.name for result in crashed
+                      if not any(event["kind"] == "worker-lost"
+                                 for event in result.fault_events)]
+        if unrecorded:
+            raise AssertionError(
+                "chaos gate FAILED: recovered without provenance: "
+                f"{', '.join(unrecorded)}")
+        worker_crashes = sum(
+            1 for result in chaotic.results
+            for event in result.fault_events
+            if event["kind"] == "worker-lost")
+
+        return {
+            "jobs": len(jobs),
+            "workers": workers,
+            "seed": seed,
+            "crash_probability": crash_probability,
+            "corrupt_probability": corrupt_probability,
+            "wall_fault_free": wall_fault_free,
+            "wall_chaos": wall_chaos,
+            "overhead_ratio": (round(wall_chaos / wall_fault_free, 2)
+                               if wall_fault_free > 0 else None),
+            "worker_crashes": worker_crashes,
+            "jobs_recovered": len(crashed),
+            "retries": chaotic.retries,
+            "corrupt_records_quarantined": store.stats.quarantined,
+            "cache_hits_surviving": chaotic.cache_hits,
+            "bounds_identical": True,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
     """Measure scalar vs vectorised sampler throughput on the Figure 8 workload.
 
@@ -487,6 +619,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also time the suite once per registered "
                              "backend (fm vs polyhedra), record per-domain "
                              "entailment counters and assert bound identity")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the fault-recovery gate: re-run the "
+                             "suite with deterministic worker crashes "
+                             f"(p={CHAOS_CRASH_PROBABILITY}) and corrupted "
+                             f"store reads (p={CHAOS_CORRUPT_PROBABILITY}) "
+                             "and fail unless recovery reproduces the "
+                             "fault-free bounds byte-for-byte")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -530,7 +669,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        workers=args.workers, escalation=args.escalation,
                        sampler=args.sampler, sampler_runs=args.sampler_runs,
                        domain=args.domain,
-                       compare_domains=args.compare_domains)
+                       compare_domains=args.compare_domains,
+                       chaos=args.chaos)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -563,6 +703,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{summary['eliminations']} eliminations"
                       + (f", hit rate {summary['hit_rate']:.1%}"
                          if summary["hit_rate"] is not None else ""))
+        chaos_report = report.get("chaos")
+        if chaos_report:
+            if "skipped" in chaos_report:
+                print(f"chaos: skipped ({chaos_report['skipped']})")
+            else:
+                print(f"chaos ({chaos_report['jobs']} jobs, "
+                      f"{chaos_report['workers']} workers): "
+                      f"{chaos_report['worker_crashes']} worker crashes, "
+                      f"{chaos_report['corrupt_records_quarantined']} "
+                      f"corrupt records quarantined, bounds identical; "
+                      f"fault-free {chaos_report['wall_fault_free']:.2f}s "
+                      f"vs chaos {chaos_report['wall_chaos']:.2f}s "
+                      f"(overhead {chaos_report['overhead_ratio']}x)")
         sampler_report = report.get("sampler")
         if sampler_report:
             print(f"sampler ({sampler_report['benchmark']} "

@@ -265,11 +265,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.reporting import render_table
+    from repro.service.retry import RetryPolicy
     from repro.service.scheduler import SchedulerConfig, run_batch
 
-    if args.timeout is not None and args.workers < 1:
-        raise SystemExit("--timeout requires --workers >= 1 (inline "
-                         "execution cannot preempt a running job)")
     extra_options: Dict[str, object] = {}
     if args.degree_limit is not None:
         extra_options["degree_limit"] = args.degree_limit
@@ -281,9 +279,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not jobs:
         raise SystemExit("nothing to analyze")
     store = _make_store(args)
+    retry = None
+    if args.retry_budget is not None:
+        retry = RetryPolicy(budget=args.retry_budget)
     report = run_batch(jobs, SchedulerConfig(
         workers=args.workers, timeout=args.timeout, store=store,
-        refresh=args.refresh))
+        refresh=args.refresh, retry=retry, degrade=not args.no_degrade))
 
     rows = []
     for outcome in report.outcomes:
@@ -299,8 +300,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"\nwall {report.wall_seconds:.2f}s; {report.executed} executed, "
               f"{report.cache_hits} served from store "
               f"({report.cache_hit_rate():.0%} hit rate)")
+        if report.retries or report.degraded or report.fault_events:
+            print(f"supervision: {report.retries} retries, "
+                  f"{len(report.degraded)} degraded results, "
+                  f"{report.fault_events} fault events recorded")
         if store is not None:
-            print(f"cache: {store.root} ({store.stats.writes} records written)")
+            quarantined = store.stats.quarantined
+            note = f", {quarantined} corrupt records quarantined" \
+                if quarantined else ""
+            print(f"cache: {store.root} "
+                  f"({store.stats.writes} records written{note})")
     if args.json:
         payload = {
             "wall_seconds": report.wall_seconds,
@@ -439,7 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", default=None,
                        help="also write the full result records to this file")
     batch.add_argument("--quiet", action="store_true")
-    batch.set_defaults(func=_cmd_batch)
+    batch.add_argument("--no-degrade", action="store_true",
+                       help="disable the graceful-degradation ladder "
+                            "(domain fallback on resource-limit, one "
+                            "lower-degree retry on timeout)")
+    batch.add_argument("--retry-budget", type=int, default=None,
+                       help="per-batch cap on supervised retries after "
+                            "worker-pool breaks (default: 8)")
+    batch.set_defaults(func=_cmd_batch, _subparser=batch)
 
     serve = subparsers.add_parser(
         "serve", help="serve analysis requests as JSON lines on stdin/stdout")
@@ -463,9 +479,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> None:
+    """Cross-argument checks, reported as argparse usage errors (exit 2).
+
+    ``--timeout`` needs a preemptable worker pool; catching the combination
+    here (instead of deep inside ``run_batch``) gives the user the standard
+    usage + message on stderr and the conventional exit code 2.
+    """
+    subparser = getattr(args, "_subparser", parser)
+    if getattr(args, "timeout", None) is not None \
+            and getattr(args, "workers", 1) < 1:
+        subparser.error("--timeout requires --workers >= 1 (inline "
+                        "execution cannot preempt a running job)")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _validate_args(parser, args)
     return args.func(args)
 
 

@@ -97,7 +97,10 @@ class AnalysisResult:
     message: str = ""
     #: ``""`` on success; ``"no-bound"`` when the LP is infeasible for every
     #: attempted degree; ``"analysis-error"`` when the derivation could not
-    #: even be set up (lowering failures, unsupported constructs, ...).
+    #: even be set up (lowering failures, unsupported constructs, ...);
+    #: ``"resource-limit"`` when the backend ran out of resources (the
+    #: Fourier-Motzkin constraint cap) -- a failure of the *backend*, not
+    #: the program, so the service layer may retry under another domain.
     #: Front ends map these to distinct exit codes.
     failure_kind: str = ""
     total_seconds: float = 0.0

@@ -367,6 +367,16 @@ class AnalysisPipeline:
             return finalise(AnalysisResult(
                 False, None, config.max_degree, 0.0, 0, 0, None, str(exc),
                 failure_kind="analysis-error"))
+        except MemoryError as exc:
+            # The eliminator's constraint cap (ConstraintCapExceeded) on a
+            # query with no local fallback: a *resource* failure of this
+            # backend, not a property of the program.  Reported as the
+            # structured ``resource-limit`` kind so the service layer can
+            # retry under the cap-free polyhedra backend.
+            return finalise(AnalysisResult(
+                False, None, config.max_degree, 0.0, 0, 0, None,
+                str(exc) or "constraint cap exceeded",
+                failure_kind="resource-limit"))
         degrees = [config.max_degree]
         if config.auto_degree:
             degrees += list(range(config.max_degree + 1,
@@ -375,12 +385,18 @@ class AnalysisPipeline:
         for degree in degrees:
             try:
                 self.ensure_degree(state, degree)
+                result = self.solve_attempt(state, degree)
             except AnalysisError as exc:
                 return finalise(AnalysisResult(
                     False, None, degree, 0.0,
                     state.system.num_variables, state.system.num_constraints,
                     None, str(exc), failure_kind="analysis-error"))
-            result = self.solve_attempt(state, degree)
+            except MemoryError as exc:
+                return finalise(AnalysisResult(
+                    False, None, degree, 0.0,
+                    state.system.num_variables, state.system.num_constraints,
+                    None, str(exc) or "constraint cap exceeded",
+                    failure_kind="resource-limit"))
             if result.success:
                 return finalise(result)
             last_failure = result

@@ -22,12 +22,16 @@ STATUS_EXIT = {
     "parse-error": EXIT_PARSE_ERROR,
     "no-bound": EXIT_NO_BOUND,
     "analysis-error": EXIT_ANALYSIS_ERROR,
+    # A backend resource failure (constraint-cap blowup) that survived the
+    # degradation ladder: operationally the same bucket as a setup failure.
+    "resource-limit": EXIT_ANALYSIS_ERROR,
 }
 
 #: Severity order used to aggregate a batch into one exit code: parse
 #: errors are reported first (the input is broken), then missing bounds,
 #: then setup failures, then anything unexpected.
-_STATUS_SEVERITY = ("parse-error", "no-bound", "analysis-error")
+_STATUS_SEVERITY = ("parse-error", "no-bound", "analysis-error",
+                    "resource-limit")
 
 
 def exit_code_for_statuses(statuses: Iterable[str]) -> int:

@@ -82,7 +82,8 @@ _ZERO = Fraction(0)
 class EntailmentStats:
     """Counters describing how queries were answered."""
 
-    __slots__ = ("queries", "memo_hits", "fast_hits", "misses", "eliminations")
+    __slots__ = ("queries", "memo_hits", "fast_hits", "misses",
+                 "eliminations", "cap_blowups")
 
     def __init__(self) -> None:
         self.queries = 0        # top-level entails/glb/feasibility queries
@@ -90,6 +91,7 @@ class EntailmentStats:
         self.fast_hits = 0      # answered by a syntactic fast path
         self.misses = 0         # required Fourier-Motzkin work
         self.eliminations = 0   # actual eliminate/minimize invocations
+        self.cap_blowups = 0    # projections killed by the constraint cap
 
     def hit_rate(self) -> float:
         """Fraction of queries answered without any elimination."""
@@ -366,11 +368,22 @@ class EntailmentEngine:
                 raise fm.Infeasible()
             return cached  # type: ignore[return-value]
         self.stats.eliminations += 1
+        # Fault-injection site: lets the chaos suite force a constraint-cap
+        # blowup on the cold path without crafting a pathological program.
+        # Cheap no-op unless a fault registry is installed.
+        from repro.service import faults
+
         try:
+            faults.fire("engine.project", self.domain)
             projected = self.backend.project(facts, keep)
         except fm.Infeasible:
             self._guard(self._projection_cache)
             self._projection_cache[cache_key] = _INFEASIBLE
+            raise
+        except MemoryError:
+            # Constraint-cap blowups are counted but never cached: the same
+            # query may succeed under another backend or a smaller context.
+            self.stats.cap_blowups += 1
             raise
         self._guard(self._projection_cache)
         self._projection_cache[cache_key] = projected

@@ -33,6 +33,19 @@ class Unbounded(Exception):
     """Raised when a minimisation problem has no finite lower bound."""
 
 
+class ConstraintCapExceeded(MemoryError):
+    """Elimination blew past :data:`MAX_CONSTRAINTS`.
+
+    Subclasses :class:`MemoryError` so existing resource-exhaustion
+    handlers (``Context.assign`` havocs the variable) keep working, while
+    letting the service layer recognise the blowup specifically: the
+    analysis pipeline reports it as the structured ``resource-limit``
+    failure kind, and the scheduler's degradation ladder retries the job
+    under the ``polyhedra`` backend, which answers the same queries without
+    a cap.
+    """
+
+
 #: Safety cap on the number of constraints produced during elimination.
 MAX_CONSTRAINTS = 20_000
 
@@ -91,7 +104,7 @@ def eliminate_variable(constraints: Sequence[LinExpr], var: str) -> List[LinExpr
             # ``combined`` no longer mentions ``var``.
             result.append(combined)
             if len(result) > MAX_CONSTRAINTS:
-                raise MemoryError(
+                raise ConstraintCapExceeded(
                     "Fourier-Motzkin elimination exceeded the constraint cap")
     return _dedupe(result)
 

@@ -44,12 +44,17 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 #: v3: the abstract-domain backend (``domain`` option) participates in the
 #: job hash and results record the domain that produced them, so the store
 #: can never serve one backend's results to the other.
-SCHEMA_VERSION = 3
+#: v4: supervision provenance (``attempts``, ``degraded``, ``fault_events``)
+#: and a record checksum written by the store; a Fourier-Motzkin constraint
+#: cap blowup is the structured ``resource-limit`` status instead of a raw
+#: error.
+SCHEMA_VERSION = 4
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
-#: ``analysis-error`` may be environment-dependent (e.g. the constraint cap)
-#: and ``timeout``/``cancelled``/``error`` describe the run, not the job.
+#: ``analysis-error`` and ``resource-limit`` may be environment-dependent
+#: (e.g. the constraint cap) and ``timeout``/``cancelled``/``error``
+#: describe the run, not the job.
 CACHEABLE_STATUSES = frozenset({"ok", "no-bound", "parse-error"})
 
 
@@ -223,7 +228,8 @@ class JobResult:
     name: str
     job_hash: str
     status: str                      # ok | no-bound | analysis-error |
-                                     # parse-error | error | timeout | cancelled
+                                     # resource-limit | parse-error | error |
+                                     # timeout | cancelled
     wall_seconds: float = 0.0
     degree: int = 0
     bound: Optional[Dict[str, object]] = None
@@ -240,6 +246,20 @@ class JobResult:
     #: walls, escalation reuse ratio) -- see
     #: :meth:`repro.core.pipeline.PipelineStats.to_dict`.
     pipeline: Dict[str, object] = field(default_factory=dict)
+    #: How many executions this result took, counting the first (schema v4).
+    #: 1 for the common no-fault path; >1 records pool-rebuild resubmissions
+    #: and degradation-ladder reruns.
+    attempts: int = 1
+    #: Degradation provenance (schema v4): empty for first-class results;
+    #: otherwise e.g. ``{"kind": "domain-fallback", "from": "fm",
+    #: "to": "polyhedra", "reason": "resource-limit"}`` or ``{"kind":
+    #: "degree-fallback", "from": 2, "to": 1, "reason": "timeout"}``.
+    degraded: Dict[str, object] = field(default_factory=dict)
+    #: Faults that fired while producing this result (schema v4): a list of
+    #: ``{"site", "kind", "key", ...}`` dicts, injected ones from
+    #: :mod:`repro.service.faults` and real ones observed by the scheduler
+    #: (e.g. ``worker-lost``, ``store-write-error``).
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
@@ -247,6 +267,17 @@ class JobResult:
 
     @property
     def cacheable(self) -> bool:
+        """Whether this result is a property of the job (worth caching).
+
+        Degree-fallback results are excluded even when their status is
+        cacheable: they were produced under a *reduced* degree limit because
+        the environment timed the job out, so a healthier run could do
+        better.  Domain-fallback results stay cacheable -- the exact-backend
+        identity invariant (``tests/test_domain_identity.py``) makes the
+        fallback answer byte-identical to the primary one.
+        """
+        if self.degraded.get("kind") == "degree-fallback":
+            return False
         return self.status in CACHEABLE_STATUSES
 
     @property
@@ -267,7 +298,8 @@ class JobResult:
         fields = {name: record[name] for name in (
             "name", "job_hash", "status", "wall_seconds", "degree", "bound",
             "lp_variables", "lp_constraints", "message", "certificate",
-            "engine", "domain", "worker_pid", "pipeline")}
+            "engine", "domain", "worker_pid", "pipeline", "attempts",
+            "degraded", "fault_events")}
         return cls(**fields)
 
 
@@ -322,6 +354,7 @@ def run_job(job: AnalysisJob) -> JobResult:
     import os
 
     from repro.logic.entailment import get_engine
+    from repro.service import faults
 
     domain = job_domain(job)
     start = time.perf_counter()
@@ -335,12 +368,16 @@ def run_job(job: AnalysisJob) -> JobResult:
         return JobResult(name=job.name, job_hash=job.job_hash,
                          status="parse-error",
                          wall_seconds=round(time.perf_counter() - start, 4),
-                         message=str(exc), worker_pid=os.getpid())
+                         message=str(exc), worker_pid=os.getpid(),
+                         fault_events=faults.drain_events())
     except Exception as exc:  # noqa: BLE001 -- workers must survive bad jobs
         return JobResult(name=job.name, job_hash=job.job_hash, status="error",
                          wall_seconds=round(time.perf_counter() - start, 4),
                          message=f"{type(exc).__name__}: {exc}",
-                         worker_pid=os.getpid())
+                         worker_pid=os.getpid(),
+                         fault_events=faults.drain_events())
     wall = time.perf_counter() - start
-    return result_from_analysis(job, analysis, wall,
-                                engine.stats.delta(before), domain=domain)
+    result = result_from_analysis(job, analysis, wall,
+                                  engine.stats.delta(before), domain=domain)
+    result.fault_events = faults.drain_events()
+    return result

@@ -18,6 +18,27 @@ deterministic list of :class:`~repro.service.jobs.JobResult`:
   behind it are cancelled and reported as ``cancelled``.
   ``KeyboardInterrupt`` cancels everything still pending before
   propagating;
+* **supervision** -- a dead worker (OOM kill, segfault in native code, an
+  injected ``os._exit``) breaks the whole ``ProcessPoolExecutor``.  Instead
+  of failing every unfinished job, the scheduler *rebuilds* the pool and
+  re-submits: jobs that never started go back into a fresh group round with
+  their attempt refunded, while jobs that were **in flight** when the pool
+  died (identified by per-attempt claim files the workers drop as they pick
+  work up) are *suspects* and re-run one at a time on a single-worker pool,
+  so a second break is unambiguously their fault.  A
+  :class:`~repro.service.retry.RetryPolicy` bounds the whole affair --
+  per-job attempts, a per-batch retry budget, deterministic seeded backoff
+  -- and a suspect that breaks a solo pool twice is quarantined as a
+  **poison job** (structured ``error`` result, ``poison-quarantine`` fault
+  event) instead of being retried forever;
+* **graceful degradation** -- a job whose analysis blows the Fourier-Motzkin
+  constraint cap (status ``resource-limit``) is re-run once under the
+  ``polyhedra`` backend, which answers the *same* queries without the cap
+  and -- by the exact-backend identity invariant
+  (``tests/test_domain_identity.py``) -- byte-identically.  A job that
+  timed out is re-run once with its degree limit lowered by one.  Every
+  fallback is recorded as provenance in ``JobResult.degraded`` (and counts
+  in ``JobResult.attempts``), never silently;
 * **deterministic ordering** -- results always come back in input order, no
   matter which worker finished first, and identical jobs (same content
   hash) are executed only once per batch.
@@ -32,14 +53,28 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.service import faults
 from repro.service.jobs import AnalysisJob, JobResult, job_domain, run_job
+from repro.service.retry import RetryPolicy
 from repro.service.store import ResultStore
+
+#: A suspect that breaks this many *single-worker* pools is quarantined as
+#: poison: the break is unambiguously attributable (nothing else was
+#: running), and twice rules out one-off environmental bad luck.
+POISON_SOLO_BREAKS = 2
+
+#: The degradation ladder's domain rung: backends that blow the FM
+#: constraint cap fall back to an exact backend without one.  Sound by the
+#: byte-identity invariant pinned in ``tests/test_domain_identity.py``.
+FALLBACK_DOMAINS = {"fm": "polyhedra"}
 
 
 def default_worker_count() -> int:
@@ -58,6 +93,7 @@ def _worker_init(domains: Sequence[str] = ()) -> None:
     """
     from repro.logic import entailment
 
+    faults.enter_pool_worker()
     try:
         entailment.reset_engine()
     except ValueError:
@@ -74,8 +110,24 @@ def _worker_init(domains: Sequence[str] = ()) -> None:
             continue
 
 
-def _execute_job(job: AnalysisJob) -> JobResult:
-    """What the pool actually runs (separate from run_job for test seams)."""
+def _execute_job(job: AnalysisJob, attempt: int = 1,
+                 claim_path: Optional[str] = None) -> JobResult:
+    """What the pool actually runs (separate from run_job for test seams).
+
+    ``claim_path`` is only set for pool execution: the worker drops the
+    claim file the moment it picks the job up, so after a pool break the
+    parent can tell in-flight jobs (claimed, no result: crash suspects)
+    from never-started ones (no claim: innocent, just resubmit).  The
+    ``worker`` fault-injection site fires here too -- inline runs pass no
+    claim path and therefore can never be crashed out of the parent.
+    """
+    if claim_path is not None:
+        try:
+            with open(claim_path, "w", encoding="utf-8"):
+                pass
+        except OSError:
+            pass
+        faults.fire("worker", f"{job.job_hash}:{attempt}")
     return run_job(job)
 
 
@@ -101,6 +153,12 @@ class SchedulerConfig:
     store: Optional[ResultStore] = None
     #: Ignore store reads (results are still written back).
     refresh: bool = False
+    #: Supervision policy for pool breaks (None = :class:`RetryPolicy`
+    #: defaults).
+    retry: Optional[RetryPolicy] = None
+    #: Apply the graceful-degradation ladder (domain fallback on
+    #: ``resource-limit``, one lower-degree retry on ``timeout``).
+    degrade: bool = True
 
 
 @dataclass
@@ -137,6 +195,23 @@ class BatchReport:
         return [outcome for outcome in self.outcomes
                 if outcome.result.status != "ok"]
 
+    @property
+    def degraded(self) -> List[JobOutcome]:
+        """Outcomes produced through a degradation-ladder fallback."""
+        return [outcome for outcome in self.outcomes if outcome.result.degraded]
+
+    @property
+    def fault_events(self) -> int:
+        """Total fault events recorded across all results (0 = clean run)."""
+        return sum(len(outcome.result.fault_events)
+                   for outcome in self.outcomes)
+
+    @property
+    def retries(self) -> int:
+        """Executions beyond each job's first attempt, summed."""
+        return sum(outcome.result.attempts - 1 for outcome in self.outcomes
+                   if not outcome.cached)
+
     def cache_hit_rate(self) -> float:
         return self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
 
@@ -156,6 +231,7 @@ def run_batch(jobs: Sequence[AnalysisJob],
     if config.timeout is not None and config.workers < 1:
         raise ValueError("timeout requires workers >= 1 (inline execution "
                          "cannot preempt a running job)")
+    policy = config.retry if config.retry is not None else RetryPolicy()
 
     start = time.perf_counter()
     outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
@@ -179,11 +255,23 @@ def run_batch(jobs: Sequence[AnalysisJob],
     if config.workers <= 0:
         executed = [_execute_job(job) for job in unique_jobs]
     else:
-        executed = _run_on_pool(unique_jobs, config.workers, config.timeout)
+        executed = _run_on_pool(unique_jobs, config.workers, config.timeout,
+                                policy)
 
     for job_hash, result in zip(ordered_hashes, executed):
+        job = jobs[pending[job_hash][0]]
+        if config.degrade:
+            result = _apply_degradation(job, result, config, policy)
         if config.store is not None:
-            config.store.put(result)
+            try:
+                config.store.put(result)
+            except OSError as exc:
+                # A failing store must degrade the cache, not the batch:
+                # the computed result is still delivered, the lost write is
+                # recorded as provenance.
+                result.fault_events = list(result.fault_events) + [{
+                    "site": "store.put", "kind": "store-write-error",
+                    "key": job_hash, "detail": str(exc)}]
         for index in pending[job_hash]:
             outcomes[index] = JobOutcome(jobs[index],
                                          _named_for(result, jobs[index]),
@@ -210,19 +298,225 @@ def _named_for(result: JobResult, job: AnalysisJob) -> JobResult:
     return replace(result, name=job.name)
 
 
-def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
-                 timeout: Optional[float]) -> List[JobResult]:
-    """Fan out over a ProcessPoolExecutor; one result per job, input order.
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
 
-    Per-job deadlines are rolling: job ``i`` cannot start before a worker
-    slot frees up, so its clock starts at the ``(i - workers)``-th
-    completion (batch start for the first wave).  A fast job queued behind
-    a slow one is therefore never misreported as timed out.
+def _apply_degradation(job: AnalysisJob, result: JobResult,
+                       config: SchedulerConfig,
+                       policy: RetryPolicy) -> JobResult:
+    """One rung down the ladder for resource-limit / timeout results.
+
+    Applied at most once per job (the re-run's own result is returned with
+    provenance attached, never re-laddered), so a systematically hopeless
+    job terminates after exactly one structured fallback.
     """
-    results: List[Optional[JobResult]] = [None] * len(jobs)
+    if result.degraded:
+        return result
+    if result.status == "resource-limit":
+        domain = result.domain or job_domain(job)
+        fallback = FALLBACK_DOMAINS.get(domain)
+        if fallback is None:
+            return result
+        options = dict(job.options_dict)
+        options["domain"] = fallback
+        retry_job = AnalysisJob.create(job.name, job.source, options)
+        rerun = _rerun(retry_job, config, policy)
+        return _degraded_result(rerun, job, result, {
+            "kind": "domain-fallback", "from": domain, "to": fallback,
+            "reason": "resource-limit"})
+    if result.status == "timeout":
+        lowered = _lower_degree_job(job)
+        if lowered is None:
+            return result
+        retry_job, old_degree, new_degree = lowered
+        rerun = _rerun(retry_job, config, policy)
+        return _degraded_result(rerun, job, result, {
+            "kind": "degree-fallback", "from": old_degree, "to": new_degree,
+            "reason": "timeout"})
+    return result
+
+
+def _lower_degree_job(job: AnalysisJob) -> Optional[Tuple[AnalysisJob, int, int]]:
+    """The job with its degree budget lowered by one (None when already 1)."""
+    options = dict(job.options_dict)
+    auto = bool(options.get("auto_degree", True))
+    knob = "degree_limit" if auto else "max_degree"
+    current = int(options.get(knob, 2 if auto else 1))
+    lowered = current - 1
+    if lowered < 1:
+        return None
+    options[knob] = lowered
+    return AnalysisJob.create(job.name, job.source, options), current, lowered
+
+
+def _rerun(retry_job: AnalysisJob, config: SchedulerConfig,
+           policy: RetryPolicy) -> JobResult:
+    """Execute one degradation-ladder re-run (pool when available)."""
+    if config.workers <= 0:
+        return _execute_job(retry_job)
+    return _run_on_pool([retry_job], 1, config.timeout, policy)[0]
+
+
+def _degraded_result(rerun: JobResult, job: AnalysisJob, original: JobResult,
+                     provenance: Dict[str, object]) -> JobResult:
+    """The re-run's result, relabelled to the original job, with provenance."""
+    rerun.name = job.name
+    rerun.job_hash = job.job_hash
+    rerun.attempts = original.attempts + rerun.attempts
+    rerun.degraded = dict(provenance)
+    rerun.fault_events = list(original.fault_events) + list(rerun.fault_events)
+    return rerun
+
+
+# ---------------------------------------------------------------------------
+# The supervised pool
+# ---------------------------------------------------------------------------
+
+def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
+                 timeout: Optional[float],
+                 policy: Optional[RetryPolicy] = None) -> List[JobResult]:
+    """Fan out over supervised ProcessPoolExecutors; results in input order.
+
+    Group rounds run every runnable job on one pool.  When the pool breaks,
+    completed futures are harvested, never-started jobs are refunded their
+    attempt and return to the next group round, and in-flight jobs become
+    *suspects*: each re-runs alone on a single-worker pool (after the
+    policy's deterministic backoff) so a further break is unambiguously its
+    fault.  Two solo breaks quarantine the job as poison; the policy's
+    ``max_attempts`` and per-batch retry ``budget`` bound everything else.
+    """
     if not jobs:
         return []
-    pool_size = min(workers, len(jobs))
+    policy = policy if policy is not None else RetryPolicy()
+    results: Dict[str, JobResult] = {}
+    attempt: Dict[str, int] = {job.job_hash: 0 for job in jobs}
+    solo_breaks: Dict[str, int] = {}
+    events: Dict[str, List[Dict[str, object]]] = {job.job_hash: []
+                                                  for job in jobs}
+    retries_used = 0
+    claim_dir = tempfile.mkdtemp(prefix="repro-claims-")
+    fresh: List[AnalysisJob] = list(jobs)
+    suspects: List[AnalysisJob] = []
+
+    def lost_event(job_hash: str, detail: str) -> Dict[str, object]:
+        return {"site": "pool", "kind": "worker-lost",
+                "key": f"{job_hash}:{attempt[job_hash]}", "detail": detail}
+
+    def give_up(job: AnalysisJob, reason: str) -> None:
+        results[job.job_hash] = JobResult(
+            name=job.name, job_hash=job.job_hash, status="error",
+            message=f"worker lost: {reason}")
+
+    try:
+        while fresh or suspects:
+            if fresh:
+                group = fresh
+                fresh = []
+                for job in group:
+                    attempt[job.job_hash] += 1
+                round_results, broke = _pool_round(
+                    group, min(workers, len(group)), timeout, attempt,
+                    claim_dir)
+                for job, result in zip(group, round_results):
+                    if result is not None:
+                        results[job.job_hash] = result
+                if not broke:
+                    continue
+                for job, result in zip(group, round_results):
+                    if result is not None:
+                        continue
+                    job_hash = job.job_hash
+                    if os.path.exists(_claim_path(claim_dir, job_hash,
+                                                  attempt[job_hash])):
+                        # In flight when the pool died: a crash suspect.
+                        events[job_hash].append(lost_event(
+                            job_hash, "in flight when the worker pool broke"))
+                        if attempt[job_hash] >= policy.max_attempts:
+                            give_up(job, f"pool broke on final attempt "
+                                         f"{attempt[job_hash]}")
+                        elif policy.budget is not None \
+                                and retries_used >= policy.budget:
+                            give_up(job, "batch retry budget exhausted")
+                        else:
+                            retries_used += 1
+                            suspects.append(job)
+                    else:
+                        # Never started: innocent.  Refund the attempt and
+                        # run it in the next (rebuilt) group round.
+                        attempt[job_hash] -= 1
+                        fresh.append(job)
+            else:
+                job = suspects.pop(0)
+                job_hash = job.job_hash
+                attempt[job_hash] += 1
+                delay = policy.backoff(job_hash, attempt[job_hash])
+                if delay > 0:
+                    time.sleep(delay)
+                round_results, broke = _pool_round(
+                    [job], 1, timeout, attempt, claim_dir)
+                if round_results[0] is not None:
+                    results[job_hash] = round_results[0]
+                    continue
+                solo_breaks[job_hash] = solo_breaks.get(job_hash, 0) + 1
+                events[job_hash].append(lost_event(
+                    job_hash, f"broke a single-worker pool "
+                              f"(solo break {solo_breaks[job_hash]})"))
+                if solo_breaks[job_hash] >= POISON_SOLO_BREAKS:
+                    events[job_hash].append({
+                        "site": "pool", "kind": "poison-quarantine",
+                        "key": f"{job_hash}:{attempt[job_hash]}",
+                        "detail": f"quarantined after {solo_breaks[job_hash]} "
+                                  f"attributable pool breaks"})
+                    give_up(job, f"poison job quarantined after "
+                                 f"{solo_breaks[job_hash]} pool breaks")
+                elif attempt[job_hash] >= policy.max_attempts:
+                    give_up(job, f"pool broke on final attempt "
+                                 f"{attempt[job_hash]}")
+                elif policy.budget is not None \
+                        and retries_used >= policy.budget:
+                    give_up(job, "batch retry budget exhausted")
+                else:
+                    retries_used += 1
+                    suspects.append(job)
+    finally:
+        shutil.rmtree(claim_dir, ignore_errors=True)
+
+    ordered: List[JobResult] = []
+    for job in jobs:
+        job_hash = job.job_hash
+        result = results.get(job_hash)
+        if result is None:   # defensive: supervision must not lose jobs
+            result = JobResult(name=job.name, job_hash=job_hash,
+                               status="error",
+                               message="worker lost: job was never resolved")
+        result.attempts = max(attempt[job_hash], 1)
+        if events[job_hash]:
+            result.fault_events = list(result.fault_events) + events[job_hash]
+        ordered.append(result)
+    return ordered
+
+
+def _claim_path(claim_dir: str, job_hash: str, attempt: int) -> str:
+    return os.path.join(claim_dir, f"{job_hash}.{attempt}")
+
+
+def _pool_round(jobs: Sequence[AnalysisJob], pool_size: int,
+                timeout: Optional[float], attempt: Dict[str, int],
+                claim_dir: str) -> Tuple[List[Optional[JobResult]], bool]:
+    """One fresh pool over ``jobs``: per-job results (None = unresolved).
+
+    Per-job deadlines are rolling: job ``i`` cannot start before a worker
+    slot frees up, so its clock starts at the ``(i - pool_size)``-th
+    completion (round start for the first wave).  A fast job queued behind
+    a slow one is therefore never misreported as timed out.
+
+    Returns ``(results, broke)``; ``broke`` is True when the pool died.
+    Futures that completed before the break are still harvested -- only
+    genuinely unresolved jobs come back as None, for the supervision loop
+    to triage via their claim files.
+    """
+    results: List[Optional[JobResult]] = [None] * len(jobs)
     domains = tuple(sorted({job_domain(job) for job in jobs}))
     executor = ProcessPoolExecutor(
         max_workers=pool_size,
@@ -230,6 +524,7 @@ def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
         initializer=_worker_init,
         initargs=(domains,))
     overdue = False
+    broke = False
     futures = []
     try:
         start = time.monotonic()
@@ -237,7 +532,10 @@ def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
         # moment we gave up on them: the worker is still busy, so jobs
         # queued behind are not starting either).
         settled_at: List[float] = []
-        futures = [executor.submit(_execute_job, job) for job in jobs]
+        futures = [executor.submit(
+            _execute_job, job, attempt[job.job_hash],
+            _claim_path(claim_dir, job.job_hash, attempt[job.job_hash]))
+            for job in jobs]
         for index, (job, future) in enumerate(zip(jobs, futures)):
             remaining = None
             if timeout is not None:
@@ -255,20 +553,25 @@ def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
                     overdue = True
                 results[index] = JobResult(name=job.name, job_hash=job.job_hash,
                                            status=status, message=note)
-            except BrokenProcessPool as exc:
-                # The pool died (OOM-killed worker, ...): every remaining
-                # future fails the same way, so fill and stop waiting.
-                for rest in range(index, len(jobs)):
-                    if results[rest] is None:
-                        results[rest] = JobResult(
-                            name=jobs[rest].name, job_hash=jobs[rest].job_hash,
-                            status="error", message=f"worker pool broke: {exc}")
+            except BrokenProcessPool:
+                # The pool died (OOM-killed worker, injected crash, ...).
+                # Stop waiting; the supervision loop rebuilds and re-submits.
+                broke = True
                 break
             except Exception as exc:  # noqa: BLE001 -- surface, don't crash batch
                 results[index] = JobResult(name=job.name, job_hash=job.job_hash,
                                            status="error",
                                            message=f"{type(exc).__name__}: {exc}")
             settled_at.append(time.monotonic())
+        if broke:
+            # Harvest everything that finished before the pool died.
+            for index, future in enumerate(futures):
+                if results[index] is not None or not future.done():
+                    continue
+                try:
+                    results[index] = future.result(timeout=0)
+                except Exception:  # noqa: BLE001 -- broken future: stays None
+                    pass
     except KeyboardInterrupt:
         for future in futures:
             future.cancel()
@@ -282,11 +585,8 @@ def _run_on_pool(jobs: Sequence[AnalysisJob], workers: int,
             # worker processes so shutdown (and interpreter exit)
             # actually completes.
             _terminate_workers(executor)
-        executor.shutdown(wait=not overdue, cancel_futures=True)
-    return [result if result is not None else
-            JobResult(name=job.name, job_hash=job.job_hash, status="cancelled",
-                      message="cancelled: batch aborted")
-            for job, result in zip(jobs, results)]
+        executor.shutdown(wait=not (overdue or broke), cancel_futures=True)
+    return results, broke
 
 
 def _terminate_workers(executor: ProcessPoolExecutor) -> None:
@@ -307,7 +607,11 @@ def _terminate_workers(executor: ProcessPoolExecutor) -> None:
 def run_jobs(jobs: Sequence[AnalysisJob], workers: int = 0,
              store: Optional[ResultStore] = None,
              timeout: Optional[float] = None,
-             refresh: bool = False) -> List[JobResult]:
+             refresh: bool = False,
+             retry: Optional[RetryPolicy] = None,
+             degrade: bool = True) -> List[JobResult]:
     """Convenience wrapper returning just the results, in input order."""
     return run_batch(jobs, SchedulerConfig(workers=workers, timeout=timeout,
-                                           store=store, refresh=refresh)).results
+                                           store=store, refresh=refresh,
+                                           retry=retry,
+                                           degrade=degrade)).results

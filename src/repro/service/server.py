@@ -13,14 +13,22 @@ Requests::
     {"op": "batch", "id": 2, "workers": 4,
      "jobs": [{"source": "...", "options": {...}, "name": "a"}, ...]}
     {"op": "stats", "id": 3}
+    {"op": "health", "id": 4}
     {"op": "ping"}
     {"op": "shutdown"}
 
 Responses mirror the request ``id`` and carry ``status`` plus the full
 :class:`~repro.service.jobs.JobResult` record(s).  ``analyze`` runs inline
 (the per-request latency of spinning up a pool would dwarf a single
-analysis); ``batch`` fans out through the scheduler.  Malformed lines
-produce an ``{"error": ...}`` response instead of killing the server.
+analysis); ``batch`` fans out through the scheduler.
+
+The loop is built to outlive its requests: malformed lines and *any*
+per-request exception -- expected validation errors and unexpected bugs
+alike -- produce an ``{"error": ...}`` response and the server keeps
+serving.  A reader that hangs up mid-response (stdout
+``BrokenPipeError``) shuts the loop down cleanly instead of tracing back,
+and the ``health`` op reports pool/store/engine state (plus any active
+fault-injection config) for liveness probes.
 """
 
 from __future__ import annotations
@@ -71,6 +79,8 @@ class AnalysisServer:
             return {"op": "ping", "ok": True}
         if op == "stats":
             return self._handle_stats()
+        if op == "health":
+            return self._handle_health()
         if op == "analyze":
             return self._handle_analyze(payload)
         if op == "batch":
@@ -108,11 +118,41 @@ class AnalysisServer:
     def _handle_stats(self) -> Dict[str, object]:
         from repro.logic.entailment import get_engine
 
+        store_stats = None
+        if self.store:
+            store_stats = self.store.stats.as_dict()
+            store_stats["quarantine_records"] = self.store.quarantine_count()
         return {
             "op": "stats",
             "requests_served": self.requests_served,
-            "store": self.store.stats.as_dict() if self.store else None,
+            "store": store_stats,
             "engine": get_engine().stats.as_dict(),
+        }
+
+    def _handle_health(self) -> Dict[str, object]:
+        """Liveness/readiness probe: pool config, store and engine state."""
+        from repro.logic.entailment import active_domain, engine_fingerprint
+        from repro.service import faults
+        from repro.service.jobs import SCHEMA_VERSION
+
+        store_state = None
+        if self.store:
+            store_state = {
+                "root": self.store.root,
+                "records": len(self.store),
+                "quarantine_records": self.store.quarantine_count(),
+                "stats": self.store.stats.as_dict(),
+            }
+        return {
+            "op": "health",
+            "ok": True,
+            "schema": SCHEMA_VERSION,
+            "requests_served": self.requests_served,
+            "pool": {"workers": self.workers,
+                     "default_options": self.default_options},
+            "store": store_state,
+            "engine": engine_fingerprint(active_domain()),
+            "faults": faults.describe(),
         }
 
     # -- the loop ----------------------------------------------------------
@@ -134,15 +174,29 @@ class AnalysisServer:
                     response = {"op": "shutdown", "ok": True}
                     if request_id is not None:
                         response["id"] = request_id
-                    self._respond(output_stream, response)
+                    try:
+                        self._respond(output_stream, response)
+                    except BrokenPipeError:
+                        pass
                     break
                 response = self.handle(payload)
             except (ValueError, TypeError, KeyError) as exc:
                 response = {"error": str(exc)}
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 -- one request must
+                # never take the server down; unexpected failures become a
+                # structured error naming the exception class.
+                response = {"error": f"{type(exc).__name__}: {exc}"}
             if request_id is not None:
                 response.setdefault("id", request_id)
             self.requests_served += 1
-            self._respond(output_stream, response)
+            try:
+                self._respond(output_stream, response)
+            except BrokenPipeError:
+                # The reader hung up: there is nobody left to answer, so
+                # shut down cleanly instead of tracing back.
+                break
         return self.requests_served
 
     @staticmethod

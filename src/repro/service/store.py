@@ -5,23 +5,37 @@ out git-style (``<root>/<hh>/<hash>.json`` with a two-character fan-out
 directory), so re-running a suite only analyzes programs whose source or
 options changed.  Every record carries the full :class:`JobResult` payload
 including the serialised derivation certificate, plus provenance metadata
-(schema version, creation time, the job name it was first computed under).
+(schema version, creation time, the job name it was first computed under)
+and a SHA-256 ``checksum`` over the record body, so silent on-disk
+corruption (bit rot, a torn write that still parses) is detected rather
+than served.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
 writer can never leave a half-written record; concurrent writers of the
-*same* hash write identical content, so the race is benign.  Unreadable or
-schema-mismatched records are treated as cache misses and overwritten on
-the next put.
+*same* hash write identical content, so the race is benign.
+
+Bad records are triaged in two tiers:
+
+* **replaceable** -- a well-formed record with a different schema version:
+  a legitimate leftover from an older code version.  Counted ``invalid``,
+  treated as a miss, overwritten by the next put;
+* **corrupt** -- unparseable JSON, a failed checksum, a record filed under
+  the wrong hash, or a record missing required fields.  These are moved to
+  ``<root>/quarantine/`` (keeping the evidence for post-mortems, and
+  keeping the hot path from re-parsing the same broken file on every
+  lookup), counted ``quarantined``, and reported as a miss.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import time
 from typing import Dict, Iterator, Optional
 
+from repro.service import faults
 from repro.service.jobs import SCHEMA_VERSION, JobResult
 
 #: Environment variable overriding the default cache location.
@@ -30,21 +44,34 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Subdirectory (never a valid two-character fan-out) corrupt records are
+#: moved to instead of being re-parsed on every lookup.
+QUARANTINE_DIR = "quarantine"
+
 
 def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
+def record_checksum(record: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON image of ``record`` (sans checksum)."""
+    body = {key: value for key, value in record.items() if key != "checksum"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class StoreStats:
     """Hit/miss/write counters of one :class:`ResultStore` instance."""
 
-    __slots__ = ("hits", "misses", "writes", "invalid")
+    __slots__ = ("hits", "misses", "writes", "invalid", "quarantined")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.invalid = 0        # unreadable/mismatched records seen
+        self.quarantined = 0    # corrupt records moved to quarantine/
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -53,11 +80,13 @@ class StoreStats:
     def as_dict(self) -> Dict[str, object]:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "invalid": self.invalid,
+                "quarantined": self.quarantined,
                 "hit_rate": round(self.hit_rate(), 4)}
 
     def __repr__(self) -> str:
         return (f"StoreStats(hits={self.hits}, misses={self.misses}, "
-                f"writes={self.writes}, invalid={self.invalid})")
+                f"writes={self.writes}, invalid={self.invalid}, "
+                f"quarantined={self.quarantined})")
 
 
 class ResultStore:
@@ -72,32 +101,59 @@ class ResultStore:
     def _path(self, job_hash: str) -> str:
         return os.path.join(self.root, job_hash[:2], f"{job_hash}.json")
 
+    @property
+    def quarantine_root(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
     # -- queries -----------------------------------------------------------
 
     def get(self, job_hash: str) -> Optional[JobResult]:
         """The cached result for ``job_hash``, or None (counts hit/miss)."""
         path = self._path(job_hash)
+        faults.fire("store.get", job_hash, path=path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, ValueError):
-            if os.path.exists(path):
-                self.stats.invalid += 1
+        except OSError:
             self.stats.misses += 1
             return None
-        if record.get("schema") != SCHEMA_VERSION \
+        except ValueError:
+            return self._reject(path, job_hash, corrupt=True)
+        if record.get("schema") != SCHEMA_VERSION:
+            # A well-formed record from another code version: replaceable,
+            # not corrupt.  The next put overwrites it in place.
+            return self._reject(path, job_hash, corrupt=False)
+        if record.get("checksum") != record_checksum(record) \
                 or record.get("job_hash") != job_hash:
-            self.stats.invalid += 1
-            self.stats.misses += 1
-            return None
+            return self._reject(path, job_hash, corrupt=True)
         try:
             result = JobResult.from_record(record)
         except (KeyError, TypeError):
-            self.stats.invalid += 1
-            self.stats.misses += 1
-            return None
+            return self._reject(path, job_hash, corrupt=True)
         self.stats.hits += 1
         return result
+
+    def _reject(self, path: str, job_hash: str, corrupt: bool) -> None:
+        """Account one bad record (quarantining it when it is corrupt)."""
+        self.stats.invalid += 1
+        self.stats.misses += 1
+        if corrupt and self._quarantine(path, job_hash):
+            self.stats.quarantined += 1
+        return None
+
+    def _quarantine(self, path: str, job_hash: str) -> bool:
+        """Move a corrupt record out of the hot path (True on success)."""
+        try:
+            os.makedirs(self.quarantine_root, exist_ok=True)
+            target = os.path.join(self.quarantine_root, f"{job_hash}.json")
+            if os.path.exists(target):
+                # A previous incarnation is already quarantined; keep the
+                # newest evidence.
+                os.unlink(target)
+            os.replace(path, target)
+            return True
+        except OSError:
+            return False
 
     def put(self, result: JobResult) -> None:
         """Persist a result (atomic write; only cacheable statuses are kept)."""
@@ -105,9 +161,11 @@ class ResultStore:
             return
         record = result.to_record()
         record["stored_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        record["checksum"] = record_checksum(record)
         path = self._path(result.job_hash)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        faults.fire("store.put", result.job_hash, path=path)
         descriptor, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".tmp-", suffix=".json")
         try:
@@ -129,16 +187,26 @@ class ResultStore:
     # -- maintenance -------------------------------------------------------
 
     def iter_hashes(self) -> Iterator[str]:
-        """All record hashes currently on disk."""
+        """All record hashes currently on disk (quarantine excluded)."""
         if not os.path.isdir(self.root):
             return
         for fan in sorted(os.listdir(self.root)):
             subdir = os.path.join(self.root, fan)
-            if not os.path.isdir(subdir):
+            # Records live only under two-character fan-out directories;
+            # quarantine/ (and anything else) is not part of the cache.
+            if len(fan) != 2 or not os.path.isdir(subdir):
                 continue
             for entry in sorted(os.listdir(subdir)):
                 if entry.endswith(".json") and not entry.startswith("."):
                     yield entry[:-len(".json")]
+
+    def quarantine_count(self) -> int:
+        """How many corrupt records are parked in ``quarantine/`` on disk."""
+        try:
+            return sum(1 for entry in os.listdir(self.quarantine_root)
+                       if entry.endswith(".json"))
+        except OSError:
+            return 0
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_hashes())

@@ -302,9 +302,13 @@ class TestBatchCommand:
         with pytest.raises(SystemExit):
             main(["batch", "no-such-benchmark", "--no-cache"])
 
-    def test_batch_timeout_needs_workers(self):
-        with pytest.raises(SystemExit, match="--workers"):
+    def test_batch_timeout_needs_workers(self, capsys):
+        # Rejected at argument-parse time: conventional usage-error exit
+        # code 2 plus a clear message on stderr.
+        with pytest.raises(SystemExit) as excinfo:
             main(["batch", "ber", "--no-cache", "--timeout", "5"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
 
 
 class TestDomainSelection:
