@@ -15,6 +15,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --domain polyhedra   # other backend
     python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
     python -m repro.bench.perfsmoke --chaos            # fault-recovery gate
+    python -m repro.bench.perfsmoke --serve            # gateway load bench
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -43,6 +44,16 @@ the acceptance gate for the supervised scheduler: it fails unless the
 chaotic batch loses zero jobs, reproduces the fault-free bounds
 byte-for-byte, and records every recovery in ``JobResult.fault_events``.
 The recovery overhead lands in the report's ``chaos`` section.
+
+``--serve`` adds a gateway load bench: an in-process analysis gateway
+(:mod:`repro.service.gateway`) is booted on an ephemeral port and driven
+by concurrent client connections through cold, hot (cache-served) and
+duplicate-storm phases.  Requests/sec, p50/p99 latency, coalesce hits and
+the LRU hit rate land in the report's ``serve`` section; the pass fails
+unless every request got exactly one response, the storm cost exactly one
+underlying analysis and every storm client saw a byte-identical result.
+With ``--check``, hot-tier throughput is additionally gated against the
+baseline's.
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -84,6 +95,13 @@ _GROUPS = ("all", "linear", "polynomial")
 CHAOS_CRASH_PROBABILITY = 0.2
 CHAOS_CORRUPT_PROBABILITY = 0.5
 
+#: Serve-pass load shape: concurrent client connections driving the
+#: gateway, repeat rounds of the suite for the hot-tier phase, and the
+#: width of the duplicate storm (the coalescing acceptance gate).
+SERVE_CLIENTS = 8
+SERVE_HOT_ROUNDS = 3
+SERVE_STORM_CLIENTS = 32
+
 
 def _select(group: str, programs: Optional[Sequence[str]],
             limit: Optional[int]):
@@ -102,7 +120,8 @@ def run_suite(group: str = "linear",
               sampler_runs: int = SAMPLER_RUNS,
               domain: Optional[str] = None,
               compare_domains: bool = False,
-              chaos: bool = False) -> Dict[str, object]:
+              chaos: bool = False,
+              serve: bool = False) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
@@ -188,6 +207,12 @@ def run_suite(group: str = "linear",
                                     workers=max(2, workers),
                                     domain=domain)
 
+    serve_summary: Optional[Dict[str, object]] = None
+    if serve:
+        serve_summary = _serve_pass(benchmarks,
+                                    workers=max(2, workers),
+                                    domain=domain)
+
     return {
         "suite": f"table1-{group}" if not programs \
             else f"table1-custom({','.join(programs)})",
@@ -204,6 +229,7 @@ def run_suite(group: str = "linear",
         "sampler": sampler_summary,
         "domains": domain_summary,
         "chaos": chaos_summary,
+        "serve": serve_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -476,6 +502,226 @@ def _chaos_pass(benchmarks, workers: int = 2,
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _percentile(samples: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of a non-empty latency sample, in ms."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1))))
+    return round(ordered[index] * 1000.0, 2)
+
+
+def _serve_pass(benchmarks, workers: int = 2,
+                domain: Optional[str] = None,
+                clients: int = SERVE_CLIENTS,
+                hot_rounds: int = SERVE_HOT_ROUNDS,
+                storm_clients: int = SERVE_STORM_CLIENTS
+                ) -> Dict[str, object]:
+    """The gateway load bench and coalescing acceptance gate, measured.
+
+    Boots an in-process :class:`~repro.service.gateway.AnalysisGateway`
+    (ephemeral port, temporary store, supervised worker pool) and drives
+    it with ``clients`` concurrent connections in three phases:
+
+    * **cold** -- every benchmark once, fanned over the clients: all
+      analyses, measures end-to-end computed latency;
+    * **hot** -- the whole suite ``hot_rounds`` more times: everything
+      answered from the memory/store tiers, measures served throughput
+      (requests/sec) and p50/p99 latency -- the number the ``--check``
+      gate compares against the committed baseline;
+    * **storm** -- ``storm_clients`` connections fire the *same
+      previously-unseen* request simultaneously: the coalescing gate.
+
+    Raises ``AssertionError`` unless every request got exactly one
+    response with the id it sent (no lost, no duplicated responses), every
+    analysis succeeded, the storm cost exactly **one** underlying analysis,
+    and every storm client received a byte-identical result record.
+    """
+    import multiprocessing
+    import queue as queue_module
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.bench.registry import get_benchmark
+    from repro.service.gateway import GatewayClient, GatewayThread
+    from repro.service.jobs import job_from_benchmark
+    from repro.service.store import ResultStore
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # Workers inherit warm engines at fork time; without fork the pass
+        # would measure a different animal entirely.
+        workers = 0
+
+    jobs = [job_from_benchmark(bench, domain=domain) for bench in benchmarks]
+    root = tempfile.mkdtemp(prefix="repro-serve-")
+    gateway_thread = GatewayThread(store=ResultStore(root), workers=workers,
+                                   queue_limit=max(64, len(jobs) * 2),
+                                   default_options={"domain": domain}
+                                   if domain else None)
+    try:
+        host, port = gateway_thread.start()
+        gateway = gateway_thread.gateway
+
+        def drive(requests: List[Dict[str, object]]
+                  ) -> Dict[int, Dict[str, object]]:
+            """Fan requests over ``clients`` connections; responses by id."""
+            work: "queue_module.Queue" = queue_module.Queue()
+            for request in requests:
+                work.put(request)
+            responses: Dict[int, Dict[str, object]] = {}
+            latencies: List[float] = []
+            lock = threading.Lock()
+            failures: List[BaseException] = []
+
+            def client_loop() -> None:
+                try:
+                    with GatewayClient(host, port) as client:
+                        while True:
+                            try:
+                                request = work.get_nowait()
+                            except queue_module.Empty:
+                                return
+                            start = time.perf_counter()
+                            response = client.request(request)
+                            wall = time.perf_counter() - start
+                            with lock:
+                                latencies.append(wall)
+                                key = response.get("id")
+                                if key in responses:
+                                    raise AssertionError(
+                                        f"duplicated response id {key}")
+                                responses[key] = response
+                except BaseException as exc:  # noqa: BLE001 -- reraised below
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=client_loop)
+                       for _ in range(clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+            if failures:
+                raise failures[0]
+            sent = {request["id"] for request in requests}
+            if set(responses) != sent:
+                missing = sorted(sent - set(responses))[:5]
+                raise AssertionError(
+                    f"serve gate FAILED: lost {len(sent) - len(responses)} "
+                    f"responses (e.g. ids {missing})")
+            return {"responses": responses, "latencies": latencies,
+                    "wall": wall}
+
+        def phase_report(outcome, label: str) -> Dict[str, object]:
+            statuses = [response.get("status")
+                        for response in outcome["responses"].values()]
+            bad = [status for status in statuses if status != "ok"]
+            if bad:
+                raise AssertionError(
+                    f"serve gate FAILED: {len(bad)} non-ok responses in "
+                    f"the {label} phase (e.g. {bad[:3]})")
+            count = len(outcome["latencies"])
+            return {
+                "requests": count,
+                "wall_seconds": round(outcome["wall"], 3),
+                "requests_per_second": round(count / outcome["wall"], 1)
+                                       if outcome["wall"] > 0 else None,
+                "p50_ms": _percentile(outcome["latencies"], 0.50),
+                "p99_ms": _percentile(outcome["latencies"], 0.99),
+            }
+
+        def job_request(job, request_id: int) -> Dict[str, object]:
+            return {"op": "analyze", "id": request_id, "name": job.name,
+                    "source": job.source, "options": job.options_dict}
+
+        # Phase 1: cold -- every benchmark exactly once, all computed.
+        next_id = iter(range(1, 1 + len(jobs) * (1 + hot_rounds)))
+        cold = drive([job_request(job, next(next_id)) for job in jobs])
+        cold_report = phase_report(cold, "cold")
+
+        # Phase 2: hot -- the suite again, several rounds, cache-served.
+        hot_requests = [job_request(job, next(next_id))
+                        for _ in range(hot_rounds) for job in jobs]
+        hot = drive(hot_requests)
+        hot_report = phase_report(hot, "hot")
+
+        # Phase 3: the duplicate storm.  A previously-unseen job (rdwalk
+        # under a degree limit no other phase uses, so its content hash is
+        # fresh) fired by every storm client at once through a barrier.
+        storm_bench = get_benchmark("rdwalk")
+        storm_options: Dict[str, object] = {
+            **storm_bench.analyzer_options, "degree_limit": 4}
+        if domain:
+            storm_options["domain"] = domain
+        storm_payload = {"op": "analyze", "name": "storm",
+                         "source": job_from_benchmark(storm_bench).source,
+                         "options": storm_options}
+        analyses_before = gateway.stats.analyses
+        coalesced_before = gateway.stats.coalesced
+        storm_responses: List[Optional[Dict[str, object]]] = \
+            [None] * storm_clients
+        storm_failures: List[BaseException] = []
+        barrier = threading.Barrier(storm_clients)
+
+        def storm_client(index: int) -> None:
+            try:
+                with GatewayClient(host, port) as client:
+                    barrier.wait()
+                    storm_responses[index] = client.request(
+                        {**storm_payload, "id": index})
+            except BaseException as exc:  # noqa: BLE001 -- reraised below
+                storm_failures.append(exc)
+
+        storm_threads = [threading.Thread(target=storm_client, args=(index,))
+                         for index in range(storm_clients)]
+        storm_start = time.perf_counter()
+        for thread in storm_threads:
+            thread.start()
+        for thread in storm_threads:
+            thread.join()
+        storm_wall = time.perf_counter() - storm_start
+        if storm_failures:
+            raise storm_failures[0]
+        if any(response is None for response in storm_responses):
+            raise AssertionError("serve gate FAILED: storm client got no "
+                                 "response")
+        storm_analyses = gateway.stats.analyses - analyses_before
+        if storm_analyses != 1:
+            raise AssertionError(
+                f"serve gate FAILED: duplicate storm of {storm_clients} "
+                f"requests cost {storm_analyses} analyses, expected "
+                f"exactly 1")
+        distinct = {json.dumps(response["result"], sort_keys=True)
+                    for response in storm_responses}
+        if len(distinct) != 1:
+            raise AssertionError(
+                f"serve gate FAILED: storm produced {len(distinct)} "
+                f"distinct result records, expected byte-identical")
+
+        hot_cache = gateway.cache.as_dict() if gateway.cache else None
+        return {
+            "jobs": len(jobs),
+            "clients": clients,
+            "workers": workers,
+            "cold": cold_report,
+            "hot": hot_report,
+            "storm": {
+                "clients": storm_clients,
+                "analyses": storm_analyses,
+                "coalesced": gateway.stats.coalesced - coalesced_before,
+                "wall_seconds": round(storm_wall, 3),
+                "byte_identical": True,
+            },
+            "coalesce_hits": gateway.stats.coalesced,
+            "busy_rejections": gateway.stats.busy_rejections,
+            "hot_cache": hot_cache,
+            "gateway": gateway.stats.as_dict(),
+        }
+    finally:
+        gateway_thread.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
     """Measure scalar vs vectorised sampler throughput on the Figure 8 workload.
 
@@ -626,6 +872,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"store reads (p={CHAOS_CORRUPT_PROBABILITY}) "
                              "and fail unless recovery reproduces the "
                              "fault-free bounds byte-for-byte")
+    parser.add_argument("--serve", action="store_true",
+                        help="also run the gateway load bench: boot the "
+                             "asyncio analysis gateway and drive it with "
+                             f"{SERVE_CLIENTS} concurrent clients (cold, "
+                             "hot and duplicate-storm phases), record "
+                             "requests/sec, p50/p99 latency, coalesce "
+                             "hits and LRU hit rate, and fail unless the "
+                             "storm costs exactly one analysis with "
+                             "byte-identical results")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -670,7 +925,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        sampler=args.sampler, sampler_runs=args.sampler_runs,
                        domain=args.domain,
                        compare_domains=args.compare_domains,
-                       chaos=args.chaos)
+                       chaos=args.chaos, serve=args.serve)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -716,6 +971,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"fault-free {chaos_report['wall_fault_free']:.2f}s "
                       f"vs chaos {chaos_report['wall_chaos']:.2f}s "
                       f"(overhead {chaos_report['overhead_ratio']}x)")
+        serve_report = report.get("serve")
+        if serve_report:
+            hot = serve_report["hot"]
+            storm = serve_report["storm"]
+            cache = serve_report["hot_cache"]
+            print(f"serve ({serve_report['clients']} clients, "
+                  f"{serve_report['workers']} workers): hot "
+                  f"{hot['requests_per_second']:.0f} req/s, p50 "
+                  f"{hot['p50_ms']:.1f}ms, p99 {hot['p99_ms']:.1f}ms; "
+                  f"storm {storm['clients']} clients -> "
+                  f"{storm['analyses']} analysis "
+                  f"({storm['coalesced']} coalesced); LRU hit rate "
+                  + (f"{cache['hit_rate']:.1%}" if cache else "n/a"))
         sampler_report = report.get("sampler")
         if sampler_report:
             print(f"sampler ({sampler_report['benchmark']} "
@@ -760,6 +1028,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             for line in regressions:
                 print(f"  - {line}", file=sys.stderr)
             return 1
+        serve_report = report.get("serve")
+        base_serve = baseline.get("serve")
+        if serve_report and base_serve:
+            # The serving gate compares hot-tier throughput: cache-served
+            # requests/sec is the steady-state number a regression in the
+            # gateway, the LRU tier or the store read path would move.
+            fresh_rps = serve_report["hot"]["requests_per_second"]
+            base_rps = base_serve["hot"]["requests_per_second"]
+            if base_rps and fresh_rps is not None \
+                    and fresh_rps < base_rps / (1 + args.threshold):
+                print(f"serving throughput gate FAILED: hot tier "
+                      f"{fresh_rps:.0f} req/s vs baseline "
+                      f"{base_rps:.0f} req/s "
+                      f"(allowed floor {base_rps / (1 + args.threshold):.0f})",
+                      file=sys.stderr)
+                return 1
         if not args.quiet:
             print(f"no per-program regression vs {args.check} "
                   f"(threshold {args.threshold:.0%})")

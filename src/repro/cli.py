@@ -9,6 +9,9 @@ Usage::
     absynth-py bench [--group linear|polynomial|all] [--quick] [--workers N]
     absynth-py batch DIR|FILE|@group|name... [--workers N] [--cache-dir DIR]
     absynth-py serve [--workers N] [--cache-dir DIR]
+    absynth-py serve --async [--port P] [--queue-limit N] [--hot-cache-size N]
+    absynth-py store stats [--cache-dir DIR] [--json]
+    absynth-py store prune [--max-age AGE] [--max-bytes SIZE]
     absynth-py list
 
 ``analyze`` parses a program in the concrete syntax (see
@@ -19,12 +22,16 @@ benchmarks accepted by name, unfinished-run accounting); ``figures``
 regenerates the Figure 8 / Appendix F data series; ``bench`` regenerates
 Table 1; ``batch`` fans a set of programs out over the
 :mod:`repro.service` scheduler with the persistent result cache; ``serve``
-runs the line-oriented JSON analysis service on stdin/stdout.
+runs the line-oriented JSON analysis service on stdin/stdout, or -- with
+``--async`` -- the concurrent TCP gateway (request coalescing, tiered
+cache, backpressure; see :mod:`repro.service.gateway`); ``store`` inspects
+and prunes the shared on-disk result cache.
 
 Exit codes are distinct per failure class so scripts can tell them apart:
 ``0`` success, ``2`` parse error, ``3`` no bound found (the LP is
 infeasible for every attempted degree), ``4`` the analysis could not be set
-up (lowering/derivation failure), ``5`` certificate validation failed, and
+up (lowering/derivation failure), ``5`` certificate validation failed,
+``6`` a service could not start (gateway address already in use), and
 ``1`` for anything else (timeouts, cancelled jobs, internal errors).
 """
 
@@ -327,15 +334,103 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import serve_stdio
-
     default_options: Dict[str, object] = {}
     if args.degree_limit is not None:
         default_options["degree_limit"] = args.degree_limit
     if args.domain is not None:
         default_options["domain"] = args.domain
+    if args.async_gateway:
+        from repro.service import gateway
+        from repro.service.retry import RetryPolicy
+
+        retry = None
+        if args.retry_budget is not None:
+            retry = RetryPolicy(budget=args.retry_budget)
+        return gateway.run_gateway(
+            store=_make_store(args), workers=args.workers,
+            host=args.host if args.host is not None else gateway.DEFAULT_HOST,
+            port=args.port if args.port is not None else gateway.DEFAULT_PORT,
+            queue_limit=(args.queue_limit if args.queue_limit is not None
+                         else gateway.DEFAULT_QUEUE_LIMIT),
+            hot_cache_size=(args.hot_cache_size
+                            if args.hot_cache_size is not None
+                            else gateway.DEFAULT_HOT_CACHE_SIZE),
+            default_options=default_options,
+            timeout=args.timeout, retry=retry)
+    from repro.service.server import serve_stdio
+
     return serve_stdio(store=_make_store(args), workers=args.workers,
                        default_options=default_options)
+
+
+def _parse_age(text: str) -> float:
+    """A human age -- ``90``, ``45s``, ``30m``, ``12h``, ``7d`` -- in seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    text = text.strip().lower()
+    scale = units.get(text[-1:], None)
+    digits = text[:-1] if scale is not None else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise SystemExit(f"invalid age {text!r}; expected e.g. 90, 30m, "
+                         f"12h or 7d")
+    return value * (scale if scale is not None else 1.0)
+
+
+def _parse_size(text: str) -> int:
+    """A human size -- ``4096``, ``64K``, ``100M``, ``2G`` -- in bytes."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = text.strip().lower()
+    scale = units.get(text[-1:], None)
+    digits = text[:-1] if scale is not None else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise SystemExit(f"invalid size {text!r}; expected e.g. 4096, "
+                         f"64K, 100M or 2G")
+    return int(value * (scale if scale is not None else 1))
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.store_command == "stats":
+        payload = store.disk_stats()
+        if args.json:
+            json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+            print()
+            return EXIT_OK
+        print(f"store root: {payload['root']}")
+        print(f"records: {payload['entries']} "
+              f"({payload['total_bytes']} bytes)")
+        print(f"quarantined: {payload['quarantine_records']} "
+              f"({payload['quarantine_bytes']} bytes)")
+        if payload["entries"]:
+            print(f"record age: {payload['newest_age_seconds']:.0f}s newest, "
+                  f"{payload['oldest_age_seconds']:.0f}s oldest")
+        session = payload["session"]
+        total = session["hits"] + session["misses"]
+        if total:
+            print(f"this session: {session['hits']}/{total} hits "
+                  f"({session['hits'] / total:.0%})")
+        return EXIT_OK
+    # prune
+    if args.max_age is None and args.max_bytes is None:
+        raise SystemExit("prune needs --max-age and/or --max-bytes "
+                         "(nothing to evict by)")
+    max_age = _parse_age(args.max_age) if args.max_age is not None else None
+    max_bytes = _parse_size(args.max_bytes) \
+        if args.max_bytes is not None else None
+    report = store.prune(max_age_seconds=max_age, max_total_bytes=max_bytes)
+    print(f"pruned {report.removed} records ({report.bytes_freed} bytes), "
+          f"{report.kept} kept")
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=1, sort_keys=True)
+        print()
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -458,9 +553,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.set_defaults(func=_cmd_batch, _subparser=batch)
 
     serve = subparsers.add_parser(
-        "serve", help="serve analysis requests as JSON lines on stdin/stdout")
+        "serve", help="serve analysis requests as JSON lines on "
+                      "stdin/stdout, or over TCP with --async")
     serve.add_argument("--workers", type=int, default=0,
-                       help="worker processes used for 'batch' requests")
+                       help="worker processes (stdio: for 'batch' requests; "
+                            "--async: the supervised analysis pool, "
+                            "0 = inline)")
     serve.add_argument("--cache-dir", default=None,
                        help="persistent result cache directory")
     serve.add_argument("--no-cache", action="store_true",
@@ -472,7 +570,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--domain", choices=available_domains(), default=None,
                        help="default abstract-domain backend for requests "
                             "that do not set one (part of the job hash)")
-    serve.set_defaults(func=_cmd_serve)
+    serve.add_argument("--async", dest="async_gateway", action="store_true",
+                       help="run the concurrent TCP gateway (JSON lines, "
+                            "request coalescing, tiered cache, "
+                            "backpressure) instead of the stdio loop")
+    serve.add_argument("--host", default=None,
+                       help="gateway bind address (default: 127.0.0.1; "
+                            "requires --async)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="gateway TCP port (default: 9471, 0 = "
+                            "ephemeral; requires --async)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="jobs admitted but not yet resolved before "
+                            "the gateway answers 'busy' (default: 64; "
+                            "requires --async)")
+    serve.add_argument("--hot-cache-size", type=int, default=None,
+                       help="entries in the in-memory LRU above the disk "
+                            "store, 0 disables the hot tier (default: "
+                            "256; requires --async)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds "
+                            "(requires --async and --workers >= 1)")
+    serve.add_argument("--retry-budget", type=int, default=None,
+                       help="supervised retry cap after worker-pool "
+                            "breaks (requires --async)")
+    serve.set_defaults(func=_cmd_serve, _subparser=serve)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or prune the shared on-disk result cache")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="record/byte/quarantine counts and hit rates")
+    store_prune = store_sub.add_parser(
+        "prune", help="evict records by age and/or total-size cap")
+    store_prune.add_argument("--max-age", default=None,
+                             help="evict records older than this "
+                                  "(e.g. 90, 30m, 12h, 7d)")
+    store_prune.add_argument("--max-bytes", default=None,
+                             help="then evict oldest-first until the "
+                                  "store fits this total (e.g. 100M, 2G)")
+    for sub in (store_stats, store_prune):
+        sub.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit the report as JSON on stdout")
+        sub.set_defaults(func=_cmd_store)
 
     listing = subparsers.add_parser("list", help="list the benchmark programs")
     listing.set_defaults(func=_cmd_list)
@@ -492,6 +635,15 @@ def _validate_args(parser: argparse.ArgumentParser,
             and getattr(args, "workers", 1) < 1:
         subparser.error("--timeout requires --workers >= 1 (inline "
                         "execution cannot preempt a running job)")
+    if args.command == "serve" and not args.async_gateway:
+        for flag, name in ((args.host, "--host"), (args.port, "--port"),
+                           (args.queue_limit, "--queue-limit"),
+                           (args.hot_cache_size, "--hot-cache-size"),
+                           (args.timeout, "--timeout"),
+                           (args.retry_budget, "--retry-budget")):
+            if flag is not None:
+                subparser.error(f"{name} requires --async (the stdio loop "
+                                f"has no gateway)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

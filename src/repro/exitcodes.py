@@ -15,6 +15,7 @@ EXIT_PARSE_ERROR = 2
 EXIT_NO_BOUND = 3
 EXIT_ANALYSIS_ERROR = 4     # derivation/solver setup failure
 EXIT_CERTIFICATE_ERROR = 5
+EXIT_UNAVAILABLE = 6        # service could not start (address in use, ...)
 
 #: Job/result statuses mapped to exit codes (worst one wins for batches).
 STATUS_EXIT = {

@@ -1,0 +1,137 @@
+"""Hot-entry in-memory cache tier above the persistent result store.
+
+The content-addressed disk store (:mod:`repro.service.store`) makes repeat
+analyses cheap -- but "cheap" still means a file open, a JSON parse and a
+checksum verification per hit, which at gateway request rates is the hot
+path.  :class:`HotResultCache` is the tier above it: a size-bounded LRU of
+fully deserialised :class:`~repro.service.jobs.JobResult` objects keyed by
+job hash, consulted before any disk I/O.
+
+Design points:
+
+* **bounded** -- at most ``max_entries`` records; inserting beyond the
+  bound evicts the least-recently-used entry (and counts it), so a gateway
+  serving an unbounded stream of distinct programs holds steady memory;
+* **thread-safe** -- the gateway touches the cache from the asyncio event
+  loop *and* from dispatcher threads, so every operation holds one lock
+  (the critical sections are dict moves, far cheaper than the disk tier
+  they shield);
+* **stats-instrumented** -- hits/misses/puts/evictions and the derived hit
+  rate are first-class, reported through gateway ``stats``/``health`` ops
+  and recorded by the ``perfsmoke --serve`` bench;
+* **cacheable-only** -- like the disk store, only results whose status is a
+  deterministic property of the job content are kept
+  (:attr:`JobResult.cacheable`), so a timeout can never shadow a future
+  successful run.
+
+Results are shared by reference (they are treated as immutable once
+produced), so a hit costs no copy; callers must not mutate returned
+records.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.service.jobs import JobResult
+
+#: Default hot-tier capacity: comfortably the whole Table 1 suite plus a
+#: working set of ad-hoc requests, at a few KB per deserialised record.
+DEFAULT_HOT_CACHE_SIZE = 256
+
+
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`HotResultCache`."""
+
+    __slots__ = ("hits", "misses", "puts", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate(), 4)}
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"puts={self.puts}, evictions={self.evictions})")
+
+
+class HotResultCache:
+    """Thread-safe, size-bounded LRU of :class:`JobResult` by job hash."""
+
+    def __init__(self, max_entries: int = DEFAULT_HOT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (use no cache at "
+                             "all to disable the hot tier)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, job_hash: str) -> Optional[JobResult]:
+        """The hot entry for ``job_hash`` (refreshing its recency), or None."""
+        with self._lock:
+            result = self._entries.get(job_hash)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(job_hash)
+            self.stats.hits += 1
+            return result
+
+    def put(self, result: JobResult) -> bool:
+        """Insert a cacheable result; True when it was kept.
+
+        Re-inserting an existing hash refreshes its recency without
+        counting a new put (store hits are re-announced on every request).
+        """
+        if not result.cacheable:
+            return False
+        with self._lock:
+            if result.job_hash in self._entries:
+                self._entries.move_to_end(result.job_hash)
+                return True
+            self._entries[result.job_hash] = result
+            self.stats.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
+
+    def __contains__(self, job_hash: str) -> bool:
+        with self._lock:
+            return job_hash in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> int:
+        """Drop every entry; return how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot for stats/health endpoints."""
+        with self._lock:
+            entries = len(self._entries)
+        payload = self.stats.as_dict()
+        payload.update({"entries": entries, "max_entries": self.max_entries})
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"HotResultCache({len(self)}/{self.max_entries}, "
+                f"{self.stats!r})")

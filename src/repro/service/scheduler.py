@@ -55,11 +55,12 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.service import faults
 from repro.service.jobs import AnalysisJob, JobResult, job_domain, run_job
@@ -302,14 +303,16 @@ def _named_for(result: JobResult, job: AnalysisJob) -> JobResult:
 # Graceful degradation
 # ---------------------------------------------------------------------------
 
-def _apply_degradation(job: AnalysisJob, result: JobResult,
-                       config: SchedulerConfig,
-                       policy: RetryPolicy) -> JobResult:
+def apply_degradation(job: AnalysisJob, result: JobResult,
+                      rerun: Callable[[AnalysisJob], JobResult]) -> JobResult:
     """One rung down the ladder for resource-limit / timeout results.
 
     Applied at most once per job (the re-run's own result is returned with
     provenance attached, never re-laddered), so a systematically hopeless
-    job terminates after exactly one structured fallback.
+    job terminates after exactly one structured fallback.  ``rerun`` is
+    how the fallback job gets executed -- the batch scheduler routes it
+    through a pool round, the gateway through its long-lived
+    :class:`SupervisedPool`.
     """
     if result.degraded:
         return result
@@ -321,8 +324,7 @@ def _apply_degradation(job: AnalysisJob, result: JobResult,
         options = dict(job.options_dict)
         options["domain"] = fallback
         retry_job = AnalysisJob.create(job.name, job.source, options)
-        rerun = _rerun(retry_job, config, policy)
-        return _degraded_result(rerun, job, result, {
+        return _degraded_result(rerun(retry_job), job, result, {
             "kind": "domain-fallback", "from": domain, "to": fallback,
             "reason": "resource-limit"})
     if result.status == "timeout":
@@ -330,11 +332,19 @@ def _apply_degradation(job: AnalysisJob, result: JobResult,
         if lowered is None:
             return result
         retry_job, old_degree, new_degree = lowered
-        rerun = _rerun(retry_job, config, policy)
-        return _degraded_result(rerun, job, result, {
+        return _degraded_result(rerun(retry_job), job, result, {
             "kind": "degree-fallback", "from": old_degree, "to": new_degree,
             "reason": "timeout"})
     return result
+
+
+def _apply_degradation(job: AnalysisJob, result: JobResult,
+                       config: SchedulerConfig,
+                       policy: RetryPolicy) -> JobResult:
+    """The batch scheduler's ladder instance (re-runs on a fresh pool)."""
+    return apply_degradation(job, result,
+                             lambda retry_job: _rerun(retry_job, config,
+                                                      policy))
 
 
 def _lower_degree_job(job: AnalysisJob) -> Optional[Tuple[AnalysisJob, int, int]]:
@@ -602,6 +612,155 @@ def _terminate_workers(executor: ProcessPoolExecutor) -> None:
             process.terminate()
         except (OSError, ValueError):
             pass
+
+
+# ---------------------------------------------------------------------------
+# The long-lived supervised pool (the gateway's execution backend)
+# ---------------------------------------------------------------------------
+
+class SupervisedPool:
+    """A persistent worker pool accepting one job at a time, supervised.
+
+    ``run_batch``/``_run_on_pool`` build a fresh pool per batch -- right
+    for CLI batches, far too heavy for a gateway answering a stream of
+    single requests.  This class keeps one ``ProcessPoolExecutor`` warm
+    across requests (per-worker engines stay hot) and exposes a blocking,
+    thread-safe :meth:`submit` for the gateway's dispatcher threads.
+
+    Supervision is per-submission: a ``BrokenProcessPool`` rebuilds the
+    executor (one rebuilder; concurrent submitters whose futures died with
+    it simply retry on the fresh pool) and the job is retried up to the
+    policy's ``max_attempts`` with deterministic backoff.  A job that
+    exceeds ``timeout`` is reported as ``timeout`` and its stuck worker is
+    terminated with the pool rebuilt -- collateral in-flight jobs from
+    other dispatcher threads see the break and retry, bounded by the same
+    policy.  Callers are expected to keep concurrent submissions at or
+    below ``workers`` (the gateway sizes its dispatcher thread pool to
+    match), so a submitted job starts immediately and its timeout clock is
+    honest.
+    """
+
+    def __init__(self, workers: int, timeout: Optional[float] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 domains: Sequence[str] = ()) -> None:
+        self.workers = max(1, workers)
+        self.timeout = timeout
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.domains = tuple(domains)
+        self.rebuilds = 0
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure(self) -> Tuple[ProcessPoolExecutor, int]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SupervisedPool is shut down")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_pool_context(),
+                    initializer=_worker_init,
+                    initargs=(self.domains,))
+            return self._executor, self._generation
+
+    def _rebuild(self, generation: int, terminate: bool = False) -> None:
+        """Retire the pool of ``generation`` (idempotent across threads)."""
+        with self._lock:
+            if self._generation != generation or self._executor is None:
+                return   # another thread already rebuilt this generation
+            executor = self._executor
+            self._executor = None
+            self._generation += 1
+            self.rebuilds += 1
+        if terminate:
+            _terminate_workers(executor)
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Drain and close the pool (idempotent)."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- execution ---------------------------------------------------------
+
+    def submit(self, job: AnalysisJob) -> JobResult:
+        """Run one job to a result (blocking; safe from many threads)."""
+        attempt = 0
+        events: List[Dict[str, object]] = []
+        while True:
+            attempt += 1
+            try:
+                executor, generation = self._ensure()
+            except RuntimeError:
+                return self._lost(job, attempt, events,
+                                  "gateway pool shut down")
+            try:
+                future = executor.submit(_execute_job, job, attempt)
+            except (RuntimeError, BrokenProcessPool):
+                # The executor died or was retired between _ensure and
+                # submit: rebuild that generation and try again.
+                self._rebuild(generation)
+                continue
+            try:
+                result = future.result(timeout=self.timeout)
+                break
+            except FutureTimeout:
+                # The worker is stuck past the budget: report the timeout
+                # and put the pool down (a terminate is the only way to
+                # free the seat).  Innocent co-in-flight jobs see the
+                # break and retry on the rebuilt pool.
+                self._rebuild(generation, terminate=True)
+                result = JobResult(
+                    name=job.name, job_hash=job.job_hash, status="timeout",
+                    message=f"timed out after {self.timeout:.1f}s "
+                            f"wall-clock budget")
+                break
+            except BrokenProcessPool:
+                self._rebuild(generation)
+                events.append({
+                    "site": "pool", "kind": "worker-lost",
+                    "key": f"{job.job_hash}:{attempt}",
+                    "detail": "in flight when the gateway pool broke"})
+                if attempt >= self.policy.max_attempts:
+                    return self._lost(job, attempt, events,
+                                      f"pool broke on final attempt "
+                                      f"{attempt}")
+                delay = self.policy.backoff(job.job_hash, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+            except Exception as exc:  # noqa: BLE001 -- surface, don't crash
+                result = JobResult(
+                    name=job.name, job_hash=job.job_hash, status="error",
+                    message=f"{type(exc).__name__}: {exc}")
+                break
+        result.attempts = max(result.attempts, attempt)
+        if events:
+            result.fault_events = list(result.fault_events) + events
+        return result
+
+    def _lost(self, job: AnalysisJob, attempt: int,
+              events: List[Dict[str, object]], reason: str) -> JobResult:
+        result = JobResult(name=job.name, job_hash=job.job_hash,
+                           status="error", message=f"worker lost: {reason}",
+                           attempts=attempt)
+        result.fault_events = events
+        return result
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able pool state for gateway stats/health endpoints."""
+        with self._lock:
+            alive = self._executor is not None
+        return {"workers": self.workers, "timeout": self.timeout,
+                "alive": alive, "rebuilds": self.rebuilds,
+                "closed": self._closed}
 
 
 def run_jobs(jobs: Sequence[AnalysisJob], workers: int = 0,

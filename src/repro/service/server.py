@@ -29,11 +29,18 @@ serving.  A reader that hangs up mid-response (stdout
 ``BrokenPipeError``) shuts the loop down cleanly instead of tracing back,
 and the ``health`` op reports pool/store/engine state (plus any active
 fault-injection config) for liveness probes.
+
+Shutdown is graceful: SIGINT/SIGTERM finish the request in flight (its
+response is still written, and with it any pending store writes), then
+the loop exits 0 instead of tracing back mid-analysis.  The asyncio
+gateway (:mod:`repro.service.gateway`, ``repro serve --async``) is the
+concurrent counterpart of this loop.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import sys
 from typing import IO, Dict, List, Optional
 
@@ -60,6 +67,10 @@ def _job_from_request(payload: Dict[str, object], index: int = 0,
                               source, options)
 
 
+class _GracefulShutdown(Exception):
+    """Raised out of a blocking read when a drain signal arrives idle."""
+
+
 class AnalysisServer:
     """Stateful request loop over a store and (for batches) a worker pool."""
 
@@ -70,6 +81,22 @@ class AnalysisServer:
         self.workers = workers
         self.default_options = dict(default_options or {})
         self.requests_served = 0
+        self._shutdown = False
+        self._busy = False
+
+    def request_shutdown(self, *_signal_args) -> None:
+        """Signal-handler entry: drain the request in flight, then exit.
+
+        Mid-request the handler only sets a flag -- the running analysis
+        finishes, its response (and store write) lands, and the loop
+        breaks before the next read.  Idle (blocked in ``readline``) it
+        raises, breaking the blocking read immediately; PEP 475 would
+        otherwise retry the read and keep an idle server alive until the
+        next request.
+        """
+        self._shutdown = True
+        if not self._busy:
+            raise _GracefulShutdown()
 
     # -- request handlers --------------------------------------------------
 
@@ -158,8 +185,16 @@ class AnalysisServer:
     # -- the loop ----------------------------------------------------------
 
     def serve(self, input_stream: IO[str], output_stream: IO[str]) -> int:
-        """Process requests until shutdown/EOF; return served request count."""
-        for line in input_stream:
+        """Process requests until shutdown/EOF/signal; return served count."""
+        while not self._shutdown:
+            self._busy = False
+            try:
+                line = input_stream.readline()
+            except _GracefulShutdown:
+                break
+            self._busy = True
+            if not line:
+                break   # EOF
             line = line.strip()
             if not line:
                 continue
@@ -208,8 +243,29 @@ class AnalysisServer:
 
 def serve_stdio(store: Optional[ResultStore] = None, workers: int = 0,
                 default_options: Optional[Dict[str, object]] = None) -> int:
-    """Entry point for ``repro serve``: loop over stdin/stdout."""
+    """Entry point for ``repro serve``: loop over stdin/stdout.
+
+    SIGINT/SIGTERM drain gracefully (finish the in-flight request, flush
+    its response and store write, exit 0) instead of tracing back.
+    """
     server = AnalysisServer(store=store, workers=workers,
                             default_options=default_options)
-    server.serve(sys.stdin, sys.stdout)
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum,
+                                             server.request_shutdown)
+        except ValueError:
+            # Not the main thread (embedded use): signals stay whoever's
+            # they were; EOF/shutdown-op still stop the loop.
+            pass
+    try:
+        server.serve(sys.stdin, sys.stdout)
+    except _GracefulShutdown:
+        # The drain signal landed outside the loop's own read guard
+        # (e.g. while writing a response just before the next read).
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     return 0

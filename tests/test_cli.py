@@ -397,3 +397,83 @@ class TestDomainSelection:
         assert domains == {"fm", "polyhedra"}
         bounds = {record["result"]["bound"]["pretty"] for record in records}
         assert len(bounds) == 1        # ... but the bound is identical
+
+
+class TestStoreCommand:
+    def _seed(self, tmp_path):
+        cache = tmp_path / "cache"
+        program = tmp_path / "walk.imp"
+        program.write_text(RDWALK_SOURCE)
+        assert main(["batch", str(program), "--cache-dir", str(cache),
+                     "--quiet"]) == 0
+        return cache
+
+    def test_store_stats(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        assert main(["store", "stats", "--cache-dir", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert "records: 1" in output
+        assert "quarantined: 0" in output
+
+    def test_store_stats_json(self, tmp_path, capsys):
+        import json as json_module
+
+        cache = self._seed(tmp_path)
+        assert main(["store", "stats", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["total_bytes"] > 0
+        assert payload["quarantine_records"] == 0
+
+    def test_store_prune_by_size(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        assert main(["store", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "0"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert main(["store", "stats", "--cache-dir", str(cache),
+                     "--json"]) == 0
+
+    def test_store_prune_by_age_keeps_fresh_records(self, tmp_path, capsys):
+        cache = self._seed(tmp_path)
+        assert main(["store", "prune", "--cache-dir", str(cache),
+                     "--max-age", "7d"]) == 0
+        assert "1 kept" in capsys.readouterr().out
+
+    def test_store_prune_needs_a_criterion(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", "--cache-dir", str(tmp_path)])
+
+    def test_store_prune_rejects_bad_units(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", "--cache-dir", str(tmp_path),
+                  "--max-age", "7fortnights"])
+
+
+class TestServeGatewayFlags:
+    def test_gateway_flags_require_async(self):
+        for flags in (["--port", "1"], ["--host", "::1"],
+                      ["--queue-limit", "4"], ["--hot-cache-size", "4"],
+                      ["--timeout", "1"], ["--retry-budget", "2"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", *flags])
+            assert excinfo.value.code == 2
+
+    def test_async_forwards_gateway_config(self, monkeypatch):
+        captured = {}
+
+        def fake_run_gateway(**kwargs):
+            captured.update(kwargs)
+            return 0
+
+        import repro.service.gateway as gateway
+
+        monkeypatch.setattr(gateway, "run_gateway", fake_run_gateway)
+        assert main(["serve", "--async", "--no-cache", "--port", "0",
+                     "--queue-limit", "7", "--hot-cache-size", "3",
+                     "--domain", "fm"]) == 0
+        assert captured["port"] == 0
+        assert captured["queue_limit"] == 7
+        assert captured["hot_cache_size"] == 3
+        assert captured["default_options"] == {"domain": "fm"}
+        assert captured["store"] is None

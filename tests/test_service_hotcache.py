@@ -1,0 +1,128 @@
+"""Tests for the hot in-memory LRU tier above the result store."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import DEFAULT_HOT_CACHE_SIZE, HotResultCache
+from repro.service.jobs import JobResult
+
+
+def _result(index: int, status: str = "ok") -> JobResult:
+    return JobResult(name=f"job-{index}", job_hash=f"{index:064x}",
+                     status=status)
+
+
+class TestBasics:
+    def test_put_get_round_trip(self):
+        cache = HotResultCache(4)
+        result = _result(1)
+        assert cache.put(result)
+        assert cache.get(result.job_hash) is result
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_miss_counts(self):
+        cache = HotResultCache(4)
+        assert cache.get("f" * 64) is None
+        assert cache.stats.misses == 1 and cache.stats.hit_rate() == 0.0
+
+    def test_non_cacheable_statuses_are_rejected(self):
+        cache = HotResultCache(4)
+        for status in ("timeout", "cancelled", "error", "analysis-error"):
+            assert not cache.put(_result(1, status=status))
+        assert len(cache) == 0 and cache.stats.puts == 0
+
+    def test_deterministic_failures_are_cached(self):
+        # Same contract as the disk store: no-bound and parse-error are
+        # deterministic properties of the job content.
+        cache = HotResultCache(4)
+        assert cache.put(_result(1, status="no-bound"))
+        assert cache.put(_result(2, status="parse-error"))
+        assert len(cache) == 2
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HotResultCache(0)
+
+    def test_default_size(self):
+        assert HotResultCache().max_entries == DEFAULT_HOT_CACHE_SIZE
+
+
+class TestEviction:
+    def test_bound_is_enforced_lru_first(self):
+        cache = HotResultCache(3)
+        results = [_result(index) for index in range(4)]
+        for result in results[:3]:
+            cache.put(result)
+        cache.put(results[3])   # evicts results[0], the least recent
+        assert len(cache) == 3
+        assert cache.get(results[0].job_hash) is None
+        assert cache.get(results[3].job_hash) is results[3]
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = HotResultCache(2)
+        first, second, third = _result(1), _result(2), _result(3)
+        cache.put(first)
+        cache.put(second)
+        cache.get(first.job_hash)   # first is now the most recent
+        cache.put(third)            # evicts second, not first
+        assert first.job_hash in cache
+        assert second.job_hash not in cache
+
+    def test_reinsert_refreshes_without_counting_a_put(self):
+        cache = HotResultCache(2)
+        first, second, third = _result(1), _result(2), _result(3)
+        cache.put(first)
+        cache.put(second)
+        cache.put(first)            # refresh, not a new insert
+        assert cache.stats.puts == 2
+        cache.put(third)            # evicts second
+        assert first.job_hash in cache
+        assert second.job_hash not in cache
+
+
+class TestIntrospection:
+    def test_clear_reports_dropped_count(self):
+        cache = HotResultCache(8)
+        for index in range(5):
+            cache.put(_result(index))
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_as_dict_shape(self):
+        cache = HotResultCache(8)
+        cache.put(_result(1))
+        cache.get(_result(1).job_hash)
+        cache.get("f" * 64)
+        snapshot = cache.as_dict()
+        assert snapshot["entries"] == 1
+        assert snapshot["max_entries"] == 8
+        assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_bounded(self):
+        cache = HotResultCache(16)
+        results = [_result(index) for index in range(64)]
+        failures = []
+
+        def worker(offset: int) -> None:
+            try:
+                for round_index in range(200):
+                    result = results[(offset + round_index) % len(results)]
+                    cache.put(result)
+                    cache.get(result.job_hash)
+                    len(cache)
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(offset,))
+                   for offset in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(cache) <= 16
