@@ -11,6 +11,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --programs 'C4B_*' rdwalk
     python -m repro.bench.perfsmoke --workers 4          # + parallel pass
     python -m repro.bench.perfsmoke --group all --escalation   # degree reuse
+    python -m repro.bench.perfsmoke --escalation --solver highs  # LP warm-start
     python -m repro.bench.perfsmoke --sampler          # sampler throughput
     python -m repro.bench.perfsmoke --domain polyhedra   # other backend
     python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
@@ -70,6 +71,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.registry import select_benchmarks
 from repro.bench.reporting import render_table
 from repro.core.analyzer import analyze_program
+from repro.core.lpsession import (force_cold_solves, resolve_solver_backend,
+                                  solver_choices)
 from repro.logic.entailment import available_domains, get_engine, resolve_domain
 
 #: Default output path (repo root when invoked from a checkout).
@@ -85,6 +88,13 @@ REGRESSION_FLOOR_SECONDS = 0.05
 #: workload (rdwalk, n=100).  Measured ~20x on the CI container; 5x keeps
 #: the gate meaningful without flaking on slow runners.
 SAMPLER_MIN_SPEEDUP = 5.0
+
+#: LP warm-starting gate: on the native ``highs`` backend the escalation
+#: pass's warm solve walls must beat the forced-cold reference solves by at
+#: least this factor.  Applied automatically only when the resolved solver
+#: is ``highs`` -- the SciPy fallback has no warm path, so its numbers are
+#: recorded without a floor.
+ESCALATION_MIN_SOLVE_SPEEDUP = 1.3
 #: The Figure 8 histogram run count (paper scale).
 SAMPLER_RUNS = 10_000
 
@@ -119,6 +129,7 @@ def run_suite(group: str = "linear",
               sampler: bool = False,
               sampler_runs: int = SAMPLER_RUNS,
               domain: Optional[str] = None,
+              solver: Optional[str] = None,
               compare_domains: bool = False,
               chaos: bool = False,
               serve: bool = False) -> Dict[str, object]:
@@ -134,12 +145,15 @@ def run_suite(group: str = "linear",
     bounds are identical to the cold run's.
 
     ``domain`` selects the abstract-domain backend timed by the main pass
-    (recorded as the report's ``domain`` field); ``compare_domains=True``
-    re-times the suite's entailment load once per registered backend and
-    records the per-domain walls and engine counters under ``domains``,
-    asserting bound identity across backends along the way.
+    (recorded as the report's ``domain`` field); ``solver`` the LP backend
+    selector (the *resolved* backend lands in the report's ``solver``
+    field); ``compare_domains=True`` re-times the suite's entailment load
+    once per registered backend and records the per-domain walls and engine
+    counters under ``domains``, asserting bound identity across backends
+    along the way.
     """
     domain = resolve_domain(domain)
+    resolved_solver = resolve_solver_backend(solver)
     engine = get_engine(domain)
     benchmarks = _select(group, programs, limit)
     rows: List[Dict[str, object]] = []
@@ -151,7 +165,8 @@ def run_suite(group: str = "linear",
         before = engine.stats.snapshot()
         start = time.perf_counter()
         result = analyze_program(program, **{**bench.analyzer_options,
-                                             "domain": domain})
+                                             "domain": domain,
+                                             "solver": solver})
         wall = time.perf_counter() - start
         delta = engine.stats.delta(before)
         answered = delta["memo_hits"] + delta["fast_hits"]
@@ -191,7 +206,8 @@ def run_suite(group: str = "linear",
 
     escalation_summary: Optional[Dict[str, object]] = None
     if escalation:
-        escalation_summary = _escalation_pass(benchmarks, rows, domain)
+        escalation_summary = _escalation_pass(benchmarks, rows, domain,
+                                              solver=solver)
 
     sampler_summary: Optional[Dict[str, object]] = None
     if sampler:
@@ -221,6 +237,7 @@ def run_suite(group: str = "linear",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "domain": domain,
+        "solver": resolved_solver,
         "workers": workers,
         "total_wall_seconds": round(total_wall, 3),
         "suite_wall_parallel": suite_wall_parallel,
@@ -258,30 +275,51 @@ def _parallel_pass(benchmarks, rows: List[Dict[str, object]],
 
 
 def _escalation_pass(benchmarks, rows: List[Dict[str, object]],
-                     domain: str) -> Dict[str, object]:
+                     domain: str,
+                     solver: Optional[str] = None) -> Dict[str, object]:
     """Measure incremental vs rebuild degree escalation per benchmark.
 
     For every benchmark whose target degree is >= 2 the program is analyzed
     in escalation mode (``max_degree=1`` with auto-retry up to the target):
 
     * *incremental* -- one analysis; the retry extends the degree-1
-      derivation/LP in place (the pipeline of ``repro.core.pipeline``);
+      derivation/LP in place (the pipeline of ``repro.core.pipeline``) and
+      the persistent LP session (``repro.core.lpsession``) warm-starts
+      every solve from the previous stage's simplex basis;
     * *rebuild* -- what the analyzer did before the incremental pipeline:
       a full fresh analysis per attempted degree (degree 1, then the
-      target degree from scratch).
+      target degree from scratch), run under
+      :func:`~repro.core.lpsession.force_cold_solves` so every LP goes
+      through the from-scratch ``linprog`` reference path.
+
+    The wall split separates build from solve: ``solve_wall_warm`` is the
+    incremental run's LP time (session-warm where the backend supports it)
+    and ``solve_wall_cold`` the rebuild runs' forced-cold LP time --
+    ``solve_speedup`` is the LP warm-starting win the
+    ``--escalation-min-solve-speedup`` gate enforces on the ``highs``
+    backend.  Session counters (``warm_solves``/``cold_solves``/
+    ``basis_reuses``/``solver_fallbacks``) come from the incremental run's
+    :class:`~repro.core.pipeline.PipelineStats`.
 
     Programs that already succeed at degree 1 are skipped (nothing
     escalates).  For the rest the escalated bound is asserted identical to
     the sequential pass's cold bound -- the identity guarantee of the
-    incremental pipeline -- and the per-program walls, speedup and
-    ``escalation_reuse_ratio`` are recorded on the row.
+    incremental pipeline *and* of the warm LP session -- and the
+    per-program walls, speedup and ``escalation_reuse_ratio`` are recorded
+    on the row.
     """
     summary = {"programs": 0, "wall_incremental": 0.0, "wall_rebuild": 0.0,
                "speedup": None, "mean_reuse_ratio": None,
-               "identity_checked": 0}
+               "identity_checked": 0,
+               "solver": resolve_solver_backend(solver),
+               "solve_wall_warm": 0.0, "solve_wall_cold": 0.0,
+               "solve_speedup": None,
+               "warm_solves": 0, "cold_solves": 0, "basis_reuses": 0,
+               "solver_fallbacks": 0}
     reuse_ratios: List[float] = []
     for bench, row in zip(benchmarks, rows):
-        options = {**bench.analyzer_options, "domain": domain}
+        options = {**bench.analyzer_options, "domain": domain,
+                   "solver": solver}
         target = int(options.get("max_degree", 1))
         if target < 2:
             continue
@@ -294,10 +332,12 @@ def _escalation_pass(benchmarks, rows: List[Dict[str, object]],
         if incremental.degree < target:
             continue  # degree 1 already succeeds: no escalation to measure
         start = time.perf_counter()
-        analyze_program(program, **{**options, "max_degree": 1,
-                                    "auto_degree": False})
-        analyze_program(program, **{**options, "max_degree": target,
-                                    "auto_degree": False})
+        with force_cold_solves():
+            cold_low = analyze_program(program, **{**options, "max_degree": 1,
+                                                   "auto_degree": False})
+            cold = analyze_program(program, **{**options,
+                                               "max_degree": target,
+                                               "auto_degree": False})
         wall_rebuild = time.perf_counter() - start
         incremental_bound = (incremental.bound.pretty()
                              if incremental.bound else None)
@@ -308,25 +348,52 @@ def _escalation_pass(benchmarks, rows: List[Dict[str, object]],
                 f"escalated bound mismatch for {bench.name}: "
                 f"{incremental_bound!r} != {row['bound']!r}")
         summary["identity_checked"] += 1
-        reuse = (incremental.stats.escalation_reuse_ratio
-                 if incremental.stats else None)
+        stats = incremental.stats
+        reuse = stats.escalation_reuse_ratio if stats else None
         if reuse is not None:
             reuse_ratios.append(reuse)
+        # The incremental run solves the degree-1 attempt too, so the cold
+        # side sums both rebuild analyses' LP walls for a like-for-like
+        # comparison.
+        solve_warm = stats.solve_seconds_total() if stats else 0.0
+        solve_cold = sum(result.stats.solve_seconds_total()
+                         for result in (cold_low, cold) if result.stats)
         row["escalation"] = {
             "wall_incremental": round(wall_incremental, 4),
             "wall_rebuild": round(wall_rebuild, 4),
             "speedup": (round(wall_rebuild / wall_incremental, 2)
                         if wall_incremental > 0 else None),
             "reuse_ratio": reuse,
+            "solver": stats.solver_backend if stats else None,
+            "solve_wall_warm": round(solve_warm, 4),
+            "solve_wall_cold": round(solve_cold, 4),
+            "solve_speedup": (round(solve_cold / solve_warm, 2)
+                              if solve_warm > 0 else None),
+            "warm_solves": stats.warm_solves if stats else 0,
+            "cold_solves": stats.cold_solves if stats else 0,
+            "basis_reuses": stats.basis_reuses if stats else 0,
+            "solver_fallbacks": stats.solver_fallbacks if stats else 0,
         }
         summary["programs"] += 1
         summary["wall_incremental"] += wall_incremental
         summary["wall_rebuild"] += wall_rebuild
+        summary["solve_wall_warm"] += solve_warm
+        summary["solve_wall_cold"] += solve_cold
+        if stats:
+            summary["warm_solves"] += stats.warm_solves
+            summary["cold_solves"] += stats.cold_solves
+            summary["basis_reuses"] += stats.basis_reuses
+            summary["solver_fallbacks"] += stats.solver_fallbacks
     summary["wall_incremental"] = round(summary["wall_incremental"], 3)
     summary["wall_rebuild"] = round(summary["wall_rebuild"], 3)
+    summary["solve_wall_warm"] = round(summary["solve_wall_warm"], 3)
+    summary["solve_wall_cold"] = round(summary["solve_wall_cold"], 3)
     if summary["wall_incremental"] > 0:
         summary["speedup"] = round(
             summary["wall_rebuild"] / summary["wall_incremental"], 2)
+    if summary["solve_wall_warm"] > 0:
+        summary["solve_speedup"] = round(
+            summary["solve_wall_cold"] / summary["solve_wall_warm"], 2)
     if reuse_ratios:
         summary["mean_reuse_ratio"] = round(
             sum(reuse_ratios) / len(reuse_ratios), 4)
@@ -861,6 +928,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--domain", choices=available_domains(), default=None,
                         help="abstract-domain backend timed by the main "
                              "pass (default: $REPRO_DOMAIN or fm)")
+    parser.add_argument("--solver", choices=solver_choices(), default=None,
+                        help="LP solver backend selector timed by the run "
+                             "(default: $REPRO_SOLVER or auto); the "
+                             "resolved backend lands in the report's "
+                             "'solver' field")
+    parser.add_argument("--escalation-min-solve-speedup", type=float,
+                        default=None,
+                        help="fail when the escalation pass's warm-vs-cold "
+                             "LP solve-wall speedup drops below this factor "
+                             "(default: "
+                             f"{ESCALATION_MIN_SOLVE_SPEEDUP} when the "
+                             "resolved solver is highs, record-only on "
+                             "scipy)")
     parser.add_argument("--compare-domains", action="store_true",
                         help="also time the suite once per registered "
                              "backend (fm vs polyhedra), record per-domain "
@@ -923,7 +1003,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_suite(args.group, args.limit, programs=args.programs,
                        workers=args.workers, escalation=args.escalation,
                        sampler=args.sampler, sampler_runs=args.sampler_runs,
-                       domain=args.domain,
+                       domain=args.domain, solver=args.solver,
                        compare_domains=args.compare_domains,
                        chaos=args.chaos, serve=args.serve)
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -950,6 +1030,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(speedup {escalation['speedup']:.2f}x, mean reuse "
                   f"{escalation['mean_reuse_ratio']:.1%}, "
                   f"{escalation['identity_checked']} bound identities checked)")
+            solve_speedup = escalation.get("solve_speedup")
+            print(f"LP warm-starting [{escalation['solver']}]: solve walls "
+                  f"warm {escalation['solve_wall_warm']:.2f}s vs cold "
+                  f"{escalation['solve_wall_cold']:.2f}s"
+                  + (f" (speedup {solve_speedup:.2f}x)"
+                     if solve_speedup is not None else "")
+                  + f"; {escalation['warm_solves']} warm / "
+                  f"{escalation['cold_solves']} cold solves, "
+                  f"{escalation['basis_reuses']} basis reuses, "
+                  f"{escalation['solver_fallbacks']} fallbacks")
         domain_report = report.get("domains")
         if domain_report:
             for name, summary in domain_report.items():
@@ -1009,6 +1099,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
 
+    escalation_report = report.get("escalation")
+    if escalation_report and escalation_report["programs"]:
+        required = args.escalation_min_solve_speedup
+        if required is None \
+                and escalation_report.get("solver") == "highs":
+            # The native backend must earn its keep; the SciPy fallback has
+            # no warm path, so its split is recorded without a floor.
+            required = ESCALATION_MIN_SOLVE_SPEEDUP
+        if required is not None:
+            solve_speedup = escalation_report.get("solve_speedup")
+            if solve_speedup is None or solve_speedup < required:
+                print(f"LP warm-starting gate FAILED: warm-vs-cold solve "
+                      f"speedup {solve_speedup} < required {required}x "
+                      f"on the {escalation_report.get('solver')} backend",
+                      file=sys.stderr)
+                return 1
+
     if baseline is not None:
         baseline_domain = baseline.get("domain", "fm")
         if report["domain"] != baseline_domain:
@@ -1028,6 +1135,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             for line in regressions:
                 print(f"  - {line}", file=sys.stderr)
             return 1
+        base_escalation = baseline.get("escalation")
+        if escalation_report and escalation_report["programs"] \
+                and base_escalation and base_escalation.get("speedup"):
+            baseline_solver = baseline.get("solver")
+            if baseline_solver is not None \
+                    and baseline_solver != report["solver"]:
+                # Same reasoning as the domain guard: comparing warm-start
+                # numbers across LP backends would gate apples on oranges.
+                print(f"cannot --check escalation: report solved with "
+                      f"{report['solver']!r} but baseline {args.check!r} "
+                      f"with {baseline_solver!r}", file=sys.stderr)
+                return 2
+            fresh_speedup = escalation_report.get("speedup")
+            base_speedup = base_escalation["speedup"]
+            if fresh_speedup is not None \
+                    and fresh_speedup < base_speedup / (1 + args.threshold):
+                print(f"escalation speedup gate FAILED: incremental-vs-"
+                      f"rebuild speedup {fresh_speedup}x vs baseline "
+                      f"{base_speedup}x (allowed floor "
+                      f"{base_speedup / (1 + args.threshold):.2f}x)",
+                      file=sys.stderr)
+                return 1
         serve_report = report.get("serve")
         base_serve = baseline.get("serve")
         if serve_report and base_serve:

@@ -44,6 +44,8 @@ from repro.core.bounds import ExpectedBound
 from repro.core.certificates import build_certificate
 from repro.core.constraints import AffExpr, ConstraintSystem
 from repro.core.derivation import DerivationBuilder
+from repro.core.lpsession import LPSession, create_session, \
+    resolve_solver_backend
 from repro.core.solver import AssembledSystem, IterativeMinimizer, LPSolution
 from repro.core.specs import ProcedureSpec, SpecContext
 from repro.lang import ast
@@ -80,6 +82,14 @@ class DegreeStage:
     constraints_total: int = 0
     solved: bool = False
     feasible: Optional[bool] = None
+    #: LP-session counters of this stage's solve attempt: solves answered by
+    #: the persistent warm model, solves through the cold reference path,
+    #: warm solves that reused the previous simplex basis, and warm solves
+    #: rejected into a cold re-solve (see ``repro.core.lpsession``).
+    warm_solves: int = 0
+    cold_solves: int = 0
+    basis_reuses: int = 0
+    solver_fallbacks: int = 0
 
     def reuse_ratio(self) -> Optional[float]:
         """Fraction of this stage's system carried over from earlier degrees."""
@@ -107,6 +117,10 @@ class DegreeStage:
             "solved": self.solved,
             "feasible": self.feasible,
             "reuse_ratio": self.reuse_ratio(),
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "basis_reuses": self.basis_reuses,
+            "solver_fallbacks": self.solver_fallbacks,
         }
 
 
@@ -120,6 +134,9 @@ class PipelineStats:
     #: One entry per *constructed* degree (superset of the attempted ones:
     #: a cold ``max_degree=2`` run constructs degree 1 without solving it).
     stages: List[DegreeStage] = field(default_factory=list)
+    #: The resolved LP backend that answered this analysis's solves
+    #: ("scipy", "highs"; None before the first solve attempt).
+    solver_backend: Optional[str] = None
 
     @property
     def escalation_reuse_ratio(self) -> Optional[float]:
@@ -142,6 +159,22 @@ class PipelineStats:
     def solve_seconds_total(self) -> float:
         return sum(stage.solve_seconds for stage in self.stages)
 
+    @property
+    def warm_solves(self) -> int:
+        return sum(stage.warm_solves for stage in self.stages)
+
+    @property
+    def cold_solves(self) -> int:
+        return sum(stage.cold_solves for stage in self.stages)
+
+    @property
+    def basis_reuses(self) -> int:
+        return sum(stage.basis_reuses for stage in self.stages)
+
+    @property
+    def solver_fallbacks(self) -> int:
+        return sum(stage.solver_fallbacks for stage in self.stages)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "prepare_seconds": round(self.prepare_seconds, 4),
@@ -149,6 +182,11 @@ class PipelineStats:
             "solve_seconds": round(self.solve_seconds_total(), 4),
             "attempted_degrees": list(self.attempted_degrees),
             "escalation_reuse_ratio": self.escalation_reuse_ratio,
+            "solver": self.solver_backend,
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "basis_reuses": self.basis_reuses,
+            "solver_fallbacks": self.solver_fallbacks,
             "stages": [stage.to_dict() for stage in self.stages],
         }
 
@@ -171,6 +209,10 @@ class AnalysisState:
     initial: Optional[PotentialAnnotation] = None
     #: LP assembly grown in place; created lazily at the first solve.
     assembled: Optional[AssembledSystem] = None
+    #: Persistent LP solver session over ``assembled`` (same lifetime): the
+    #: native model survives objective stages and degree escalations, so
+    #: warm backends feed every solve the previous stage's simplex basis.
+    session: Optional["LPSession"] = None
     built_degree: Optional[int] = None
 
 
@@ -280,6 +322,10 @@ class AnalysisPipeline:
         extension = system.end_extension()
         if state.assembled is not None:
             state.assembled.extend(extension)
+            if state.session is not None:
+                # Mirror the growth onto the live solver model: new columns,
+                # delta coefficients in fresh columns, and the round's rows.
+                state.session.apply_extension(extension)
         state.built_degree = degree
         self.stats.stages.append(DegreeStage(
             degree=degree, kind="extend",
@@ -304,13 +350,23 @@ class AnalysisPipeline:
         objectives = self._objectives(state.initial)
         if state.assembled is None:
             state.assembled = AssembledSystem(system)
+        if state.session is None:
+            state.session = create_session(self.config.solver,
+                                           state.assembled)
+            self.stats.solver_backend = state.session.name
+        before = state.session.stats.snapshot()
         solver = IterativeMinimizer(system, tolerance=self.config.lp_tolerance)
-        solution = solver.solve(objectives, assembled=state.assembled)
+        solution = solver.solve(objectives, session=state.session)
         elapsed = time.perf_counter() - started
         if stage is not None:
             stage.solve_seconds = elapsed
             stage.solved = True
             stage.feasible = solution is not None
+            delta = state.session.stats.delta(before)
+            stage.warm_solves = delta["warm_solves"]
+            stage.cold_solves = delta["cold_solves"]
+            stage.basis_reuses = delta["basis_reuses"]
+            stage.solver_fallbacks = delta["fallbacks"]
         if solution is None:
             return AnalysisResult(
                 False, None, degree, elapsed,
@@ -341,6 +397,7 @@ class AnalysisPipeline:
 
         try:
             domain = resolve_domain(self.config.domain)
+            resolve_solver_backend(self.config.solver)
         except ValueError as exc:
             return AnalysisResult(
                 False, None, self.config.max_degree, 0.0, 0, 0, None,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 from scipy.optimize import linprog
@@ -25,6 +25,9 @@ from scipy.sparse import coo_matrix, csr_matrix, vstack
 from repro.core.constraints import (AffExpr, Constraint, ConstraintSystem,
                                     LPVar, SystemExtension)
 from repro.utils.rationals import snap_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.lpsession import LPSession
 
 
 @dataclass
@@ -123,6 +126,11 @@ class AssembledSystem:
                           if ge_rows else None)
         self.bounds = [(0.0, None) if var.nonneg else (None, None)
                        for var in system.variables]
+        #: Incremental cache of the assembled per-stage ``extra`` rows:
+        #: the (expr, bound) prefix already assembled, its CSR block and
+        #: right-hand side.  See :meth:`_assemble_extras`.
+        self._extras_cache: Optional[
+            Tuple[List[Tuple[AffExpr, float]], csr_matrix, np.ndarray]] = None
 
     # -- incremental growth (degree escalation) ------------------------------
 
@@ -200,14 +208,47 @@ class AssembledSystem:
         self.num_vars = new_num_vars
         self.num_constraints = system.num_constraints
 
+    def _assemble_extras(self, extra: Sequence[Tuple[AffExpr, float]]
+                         ) -> Tuple[csr_matrix, np.ndarray]:
+        """Assemble the ``extra`` rows, reusing the cached prefix.
+
+        The iterative objective scheme grows ``extra`` by exactly one row
+        per stage, so re-running ``_rows_to_csr`` over the whole list every
+        solve re-did all but the newest row's work.  The cache keeps the
+        previously assembled block and appends only the unseen suffix;
+        any non-prefix call (fresh stage list, changed bound, column count
+        grown by an extension) falls back to a full rebuild.
+        """
+        cached = self._extras_cache
+        if cached is not None:
+            prefix, block, rhs = cached
+            if block.shape[1] == self.num_vars and len(prefix) <= len(extra) \
+                    and all(old_expr is new_expr and old_bound == new_bound
+                            for (old_expr, old_bound), (new_expr, new_bound)
+                            in zip(prefix, extra)):
+                if len(prefix) < len(extra):
+                    suffix = extra[len(prefix):]
+                    block = vstack(
+                        [block, _rows_to_csr([expr for expr, _ in suffix],
+                                             self.num_vars)],
+                        format="csr")
+                    rhs = np.concatenate([rhs, np.fromiter(
+                        (bound - float(expr.const) for expr, bound in suffix),
+                        dtype=np.float64, count=len(suffix))])
+                    self._extras_cache = (list(extra), block, rhs)
+                return block, rhs
+        block = _rows_to_csr([expr for expr, _ in extra], self.num_vars)
+        rhs = np.fromiter((bound - float(expr.const)
+                           for expr, bound in extra),
+                          dtype=np.float64, count=len(extra))
+        self._extras_cache = (list(extra), block, rhs)
+        return block, rhs
+
     def matrices(self, extra: Sequence[Tuple[AffExpr, float]] = ()):
         """The ``(A_ub, b_ub, A_eq, b_eq, bounds)`` tuple for ``linprog``."""
         a_ub, b_ub = self.a_ub_base, self.b_ub_base
         if extra:
-            a_extra = _rows_to_csr([expr for expr, _ in extra], self.num_vars)
-            b_extra = np.fromiter((bound - float(expr.const)
-                                   for expr, bound in extra),
-                                  dtype=np.float64, count=len(extra))
+            a_extra, b_extra = self._assemble_extras(extra)
             if a_ub is None:
                 a_ub, b_ub = a_extra, b_extra
             else:
@@ -244,8 +285,12 @@ def solve_lp(system: ConstraintSystem, objective: Optional[AffExpr] = None,
 class IterativeMinimizer:
     """Minimise a sequence of objectives, fixing each optimum before the next.
 
-    The base LP matrices are assembled exactly once; each stage only stacks
-    its incremental ``extra`` rows on top of them.
+    The base LP matrices are assembled exactly once; each stage only adds
+    its incremental objective-fixing row on top of them.  With a persistent
+    :class:`~repro.core.lpsession.LPSession` the stage rows go straight
+    into the live solver model and every solve starts from the previous
+    stage's basis; without one a transient SciPy-backed session reproduces
+    the classic cold-solve behaviour byte for byte.
     """
 
     def __init__(self, system: ConstraintSystem, tolerance: float = 1e-6) -> None:
@@ -253,33 +298,48 @@ class IterativeMinimizer:
         self.tolerance = tolerance
 
     def solve(self, objectives: Sequence[AffExpr],
-              assembled: Optional[AssembledSystem] = None) -> Optional[LPSolution]:
-        """Solve the staged objectives; ``assembled`` reuses a prior assembly.
+              assembled: Optional[AssembledSystem] = None,
+              session: Optional["LPSession"] = None) -> Optional[LPSolution]:
+        """Solve the staged objectives; ``assembled``/``session`` reuse state.
 
         The incremental pipeline passes the :class:`AssembledSystem` it has
-        been growing across degree escalations; it must be up to date with
+        been growing across degree escalations (and, with a solver session,
+        the live model built over it); the assembly must be up to date with
         the constraint system (same variable/constraint counts).
         """
+        if session is not None:
+            assembled = session.assembled
         if assembled is None:
             assembled = AssembledSystem(self.system)
-        elif assembled.num_vars != self.system.num_variables \
+        if assembled.num_vars != self.system.num_variables \
                 or assembled.num_constraints != self.system.num_constraints:
             raise ValueError("assembled system is stale with respect to the "
                              "constraint system; apply the extension first")
-        extra: List[Tuple[AffExpr, float]] = []
+        if session is None:
+            from repro.core.lpsession import ScipySession
+
+            session = ScipySession(assembled)
         values: Optional[np.ndarray] = None
         achieved: List[float] = []
         stages = list(objectives) or [AffExpr.zero()]
-        for objective in stages:
-            values = assembled.solve(objective, extra)
-            if values is None:
-                return None
-            achieved_value = float(sum(float(coeff) * values[var.index]
-                                       for var, coeff in objective.term_items())
-                                   + float(objective.const))
-            achieved.append(achieved_value)
-            if not objective.is_constant():
-                extra.append((objective, achieved_value + self.tolerance))
+        try:
+            for objective in stages:
+                values = session.solve(objective)
+                if values is None:
+                    return None
+                achieved_value = float(
+                    assembled.objective_vector(objective) @ values
+                    + float(objective.const))
+                achieved.append(achieved_value)
+                if not objective.is_constant():
+                    session.fix_objective(objective,
+                                          achieved_value + self.tolerance)
+        finally:
+            # Stage rows belong to this attempt only.  Clearing them here --
+            # before any degree extension touches the session -- keeps them
+            # a pure tail block in native models, so warm backends can drop
+            # them without renumbering earlier rows.
+            session.clear_stage_rows()
         assignment = {var: snap_fraction(float(values[var.index]))
                       for var in self.system.variables}
         # Clamp tiny negatives introduced by floating point on non-negative vars.

@@ -48,7 +48,12 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 #: and a record checksum written by the store; a Fourier-Motzkin constraint
 #: cap blowup is the structured ``resource-limit`` status instead of a raw
 #: error.
-SCHEMA_VERSION = 4
+#: v5: the LP solver selector (``solver`` option) is stamped into every job
+#: like ``domain`` was in v3.  The *selector* ("auto"/"scipy"/"highs") is
+#: hashed, not the machine-dependent resolution of ``auto`` -- the backends
+#: are byte-identical (warm/cold identity pin), so an ``auto`` job keys the
+#: same on a highspy-equipped machine and a SciPy-only one.
+SCHEMA_VERSION = 5
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
@@ -106,12 +111,22 @@ class AnalysisJob:
         store would serve one backend's cached results to the other.
         Stamping at creation keeps hash and execution domain consistent
         everywhere the job travels (workers, stores, servers).
+
+        The LP ``solver`` selector is stamped the same way (the per-process
+        ``$REPRO_SOLVER`` default, or ``"auto"``).  Unlike ``domain`` the
+        stamped value is the *selector*, not the resolved backend: ``auto``
+        resolves per machine, but the backends are byte-identical by the
+        warm/cold identity pin, so hashing the selector keeps one cache key
+        across heterogeneous workers.
         """
+        from repro.core.lpsession import default_solver
         from repro.logic.entailment import active_domain
 
         merged = dict(options or {})
         if not merged.get("domain"):
             merged["domain"] = active_domain()
+        if not merged.get("solver"):
+            merged["solver"] = default_solver()
         items = tuple(sorted(merged.items()))
         return cls(name=name, source=source, options=items)
 
@@ -139,18 +154,21 @@ def job_from_file(path: str, options: Optional[Dict[str, object]] = None,
 
 
 def job_from_benchmark(benchmark,
-                       domain: Optional[str] = None) -> AnalysisJob:
+                       domain: Optional[str] = None,
+                       solver: Optional[str] = None) -> AnalysisJob:
     """Turn a registry :class:`~repro.bench.registry.BenchmarkProgram` into a job.
 
     The program AST is printed back to concrete syntax (a bound-preserving
     round trip, see ``tests/test_parser_printer.py``) so the job carries only
     text and the worker parses it afresh.  ``domain`` pins the job to an
-    abstract-domain backend (None = the active domain, stamped by
-    :meth:`AnalysisJob.create`).
+    abstract-domain backend and ``solver`` to an LP backend selector (None =
+    the process defaults, stamped by :meth:`AnalysisJob.create`).
     """
     options = dict(benchmark.analyzer_options)
     if domain is not None:
         options["domain"] = domain
+    if solver is not None:
+        options["solver"] = solver
     return AnalysisJob.create(benchmark.name, benchmark.source_text(), options)
 
 

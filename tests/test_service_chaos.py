@@ -16,7 +16,7 @@ import pytest
 
 from repro.service import faults
 from repro.service.faults import FaultSpec, unit_fraction
-from repro.service.jobs import AnalysisJob
+from repro.service.jobs import SCHEMA_VERSION, AnalysisJob
 from repro.service.retry import RetryPolicy
 from repro.service.scheduler import SchedulerConfig, run_batch, run_jobs
 from repro.service.server import AnalysisServer
@@ -271,7 +271,7 @@ class TestServerHardening:
         assert health["store"]["quarantine_records"] == 0
         assert health["engine"]["domain"]
         assert health["faults"] is None
-        assert health["schema"] == 4
+        assert health["schema"] == SCHEMA_VERSION
 
     def test_health_reports_active_faults_and_quarantine(self, tmp_path):
         store = ResultStore(str(tmp_path))
