@@ -17,6 +17,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
     python -m repro.bench.perfsmoke --chaos            # fault-recovery gate
     python -m repro.bench.perfsmoke --serve            # gateway load bench
+    python -m repro.bench.perfsmoke --lint             # diagnostics sweep
     python -m repro.bench.perfsmoke --check BENCH_entailment.json
     python benchmarks/perf_smoke.py            # same entry point
 
@@ -55,6 +56,16 @@ unless every request got exactly one response, the storm cost exactly one
 underlying analysis and every storm client saw a byte-identical result.
 With ``--check``, hot-tier throughput is additionally gated against the
 baseline's.
+
+``--lint`` adds a static-diagnostics sweep: every selected benchmark is
+linted through :func:`repro.lang.analysis.lint_program` exactly the way
+the analyzer's pre-flight gate does it (main parameters plus the declared
+resource counter seed the definite-initialization pass).  The sweep wall
+and its ratio against the sequential analysis wall land in the report's
+``lint`` section; the pass fails outright on any error-severity
+diagnostic, and with ``--check`` the overhead ratio is additionally
+capped at ``LINT_MAX_OVERHEAD`` (the observe-only pre-flight must stay
+effectively free).
 
 See PERFORMANCE.md for how to read the output.
 """
@@ -98,6 +109,12 @@ ESCALATION_MIN_SOLVE_SPEEDUP = 1.3
 #: The Figure 8 histogram run count (paper scale).
 SAMPLER_RUNS = 10_000
 
+#: Pre-flight lint gate: with ``--check``, the full static-diagnostics
+#: sweep over the suite must cost less than this fraction of the cold
+#: sequential analysis wall.  The analyzer's observe-only pre-flight runs
+#: these passes on every gated analysis, so they must stay ~free.
+LINT_MAX_OVERHEAD = 0.05
+
 _GROUPS = ("all", "linear", "polynomial")
 
 #: Chaos-pass fault rates (the acceptance gate's parameters): worker
@@ -132,7 +149,8 @@ def run_suite(group: str = "linear",
               solver: Optional[str] = None,
               compare_domains: bool = False,
               chaos: bool = False,
-              serve: bool = False) -> Dict[str, object]:
+              serve: bool = False,
+              lint: bool = False) -> Dict[str, object]:
     """Analyze every selected benchmark; return the report dict.
 
     The sequential pass produces the per-program numbers; with
@@ -229,6 +247,10 @@ def run_suite(group: str = "linear",
                                     workers=max(2, workers),
                                     domain=domain)
 
+    lint_summary: Optional[Dict[str, object]] = None
+    if lint:
+        lint_summary = _lint_pass(benchmarks, total_wall)
+
     return {
         "suite": f"table1-{group}" if not programs \
             else f"table1-custom({','.join(programs)})",
@@ -247,6 +269,7 @@ def run_suite(group: str = "linear",
         "domains": domain_summary,
         "chaos": chaos_summary,
         "serve": serve_summary,
+        "lint": lint_summary,
         "programs": rows,
         "entailment_cache": suite_stats,
         "cache_evictions": engine.evictions - evictions_before,
@@ -789,6 +812,50 @@ def _serve_pass(benchmarks, workers: int = 2,
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _lint_pass(benchmarks, total_wall: float) -> Dict[str, object]:
+    """Time the static-diagnostics front-end over the suite; assert clean.
+
+    Every benchmark's source is linted the way the analyzer's pre-flight
+    gate lints it: the main procedure's parameters plus the declared
+    resource counter seed the definite-initialization pass.  Parsing stays
+    *outside* the clock -- the pre-flight reuses the analysis's own parsed
+    program, so the marginal cost of always-on diagnostics is the flow
+    walk alone, and that is the number the ``--check`` overhead gate caps
+    at ``LINT_MAX_OVERHEAD`` of the sequential analysis wall.
+
+    Raises ``AssertionError`` if any benchmark produces an error-severity
+    diagnostic: the whole Table 1 suite is lint-clean by construction, so
+    an error here means either a benchmark or a lint pass regressed.
+    """
+    from repro.lang.analysis import lint_program, max_severity
+    from repro.lang.parser import parse_program
+
+    prepared = []
+    for bench in benchmarks:
+        program = parse_program(bench.source_text())
+        initial = set(program.main_procedure.params)
+        counter = bench.analyzer_options.get("resource_counter")
+        if counter:
+            initial.add(str(counter))
+        prepared.append((bench.name, program, initial))
+    start = time.perf_counter()
+    results = [(name, lint_program(program, initial_state=initial))
+               for name, program, initial in prepared]
+    wall = time.perf_counter() - start
+    dirty = [name for name, diagnostics in results
+             if max_severity(diagnostics) == "error"]
+    if dirty:
+        raise AssertionError("lint gate FAILED: error-severity diagnostics "
+                             "on " + ", ".join(dirty))
+    return {
+        "programs": len(prepared),
+        "wall_seconds": round(wall, 4),
+        "diagnostics": sum(len(diags) for _, diags in results),
+        "overhead_ratio": (round(wall / total_wall, 4)
+                           if total_wall > 0 else None),
+    }
+
+
 def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
     """Measure scalar vs vectorised sampler throughput on the Figure 8 workload.
 
@@ -806,11 +873,11 @@ def _sampler_pass(runs: int = SAMPLER_RUNS) -> Dict[str, object]:
     state = {"x": 0, "n": 100}
 
     start = time.perf_counter()
-    scalar_costs, scalar_unfinished, _ = sample_costs(
+    scalar_costs, scalar_unfinished, _, _ = sample_costs(
         program, state, runs=runs, seed=0, engine="scalar")
     wall_scalar = time.perf_counter() - start
     start = time.perf_counter()
-    vec_costs, vec_unfinished, _ = sample_costs(
+    vec_costs, vec_unfinished, _, _ = sample_costs(
         program, state, runs=runs, seed=0, engine="vec")
     wall_vec = time.perf_counter() - start
 
@@ -961,6 +1028,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "hits and LRU hit rate, and fail unless the "
                              "storm costs exactly one analysis with "
                              "byte-identical results")
+    parser.add_argument("--lint", action="store_true",
+                        help="also sweep the static-diagnostics front-end "
+                             "over the suite (pre-flight configuration), "
+                             "fail on any error-severity diagnostic, and "
+                             "with --check cap the lint wall at "
+                             f"{LINT_MAX_OVERHEAD:.0%} of the sequential "
+                             "analysis wall")
     parser.add_argument("--check", default=None, metavar="BASELINE.json",
                         help="compare per-program wall times against this "
                              "baseline and exit non-zero on a "
@@ -1005,7 +1079,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        sampler=args.sampler, sampler_runs=args.sampler_runs,
                        domain=args.domain, solver=args.solver,
                        compare_domains=args.compare_domains,
-                       chaos=args.chaos, serve=args.serve)
+                       chaos=args.chaos, serve=args.serve, lint=args.lint)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -1074,6 +1148,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{storm['analyses']} analysis "
                   f"({storm['coalesced']} coalesced); LRU hit rate "
                   + (f"{cache['hit_rate']:.1%}" if cache else "n/a"))
+        lint_report = report.get("lint")
+        if lint_report:
+            overhead = lint_report["overhead_ratio"]
+            print(f"lint ({lint_report['programs']} programs): "
+                  f"{lint_report['wall_seconds'] * 1000:.0f}ms, "
+                  f"{lint_report['diagnostics']} diagnostics"
+                  + (f" (overhead {overhead:.2%} of cold wall)"
+                     if overhead is not None else ""))
         sampler_report = report.get("sampler")
         if sampler_report:
             print(f"sampler ({sampler_report['benchmark']} "
@@ -1117,6 +1199,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
 
     if baseline is not None:
+        lint_report = report.get("lint")
+        if lint_report:
+            # The lint wall is gated against *this run's* cold analysis
+            # wall, not the baseline's: the claim is "pre-flight is free
+            # relative to analysis", which holds or fails on any hardware.
+            ratio = lint_report.get("overhead_ratio")
+            if ratio is not None and ratio > LINT_MAX_OVERHEAD:
+                print(f"lint overhead gate FAILED: diagnostics sweep cost "
+                      f"{ratio:.2%} of the sequential analysis wall "
+                      f"(cap {LINT_MAX_OVERHEAD:.0%})", file=sys.stderr)
+                return 1
         baseline_domain = baseline.get("domain", "fm")
         if report["domain"] != baseline_domain:
             # Cross-domain wall-time comparisons are meaningless: a slower

@@ -12,7 +12,8 @@ Usage::
     absynth-py serve --async [--port P] [--queue-limit N] [--hot-cache-size N]
     absynth-py store stats [--cache-dir DIR] [--json]
     absynth-py store prune [--max-age AGE] [--max-bytes SIZE]
-    absynth-py list
+    absynth-py lint program.imp|@all|name... [--strict] [--json]
+    absynth-py list [--lint]
 
 ``analyze`` parses a program in the concrete syntax (see
 :mod:`repro.lang.parser`), runs the expected-cost analysis and prints the
@@ -31,8 +32,10 @@ Exit codes are distinct per failure class so scripts can tell them apart:
 ``0`` success, ``2`` parse error, ``3`` no bound found (the LP is
 infeasible for every attempted degree), ``4`` the analysis could not be set
 up (lowering/derivation failure), ``5`` certificate validation failed,
-``6`` a service could not start (gateway address already in use), and
-``1`` for anything else (timeouts, cancelled jobs, internal errors).
+``6`` a service could not start (gateway address already in use), ``7``
+lint diagnostics at the failing severity (errors, plus warnings under
+``lint --strict``), and ``1`` for anything else (timeouts, cancelled jobs,
+internal errors).
 """
 
 from __future__ import annotations
@@ -179,6 +182,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     fallback = " (fallback from auto)" \
         if args.engine == "auto" and stats.engine == "scalar" else ""
     print(f"{label}: engine={stats.engine}{fallback}")
+    if stats.fallback_reason:
+        print(f"  fallback reason: {stats.fallback_reason}")
     _print_statistics(stats)
     return EXIT_OK
 
@@ -214,10 +219,133 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return table1.main(forwarded)
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _lint_text(source: str, counter: Optional[str] = None,
+               main: Optional[str] = None):
+    """Lint one source text, seeding the resource counter as initialized.
+
+    The counter variable (``analyzer_options['resource_counter']`` for
+    registry benchmarks, ``--counter`` for files) is zero-initialized by
+    convention, so ``cost = cost + s`` must not read as uninitialized.
+    """
+    from repro.lang.analysis import lint_source
+
+    initial = None
+    if counter:
+        try:
+            program = parse_program(source, main=main)
+            initial = set(program.main_procedure.params) | {counter}
+        except ParseError:
+            initial = None   # lint_source will report the R001 itself
+    return lint_source(source, main=main, initial_state=initial)
+
+
+def _collect_lint_targets(targets: Sequence[str],
+                          counter: Optional[str] = None):
+    """Resolve lint targets to ``(name, source, resource_counter)`` triples.
+
+    Accepts the same shapes as ``batch``: directories of ``.imp`` files,
+    single files, and registry selectors (``@all``, names, globs).
+    Registry benchmarks lint the same printed source text the service
+    layer hashes, with their own ``resource_counter`` option.
+    """
+    from repro.bench.registry import select_benchmarks
+
+    triples = []
+    registry_selectors: List[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            entries = sorted(entry for entry in os.listdir(target)
+                             if entry.endswith(".imp"))
+            if not entries:
+                raise SystemExit(f"no .imp programs under {target!r}")
+            for entry in entries:
+                path = os.path.join(target, entry)
+                with open(path, "r", encoding="utf-8") as handle:
+                    triples.append((path, handle.read(), counter))
+        elif os.path.isfile(target):
+            with open(target, "r", encoding="utf-8") as handle:
+                triples.append((target, handle.read(), counter))
+        else:
+            registry_selectors.append(target)
+    if registry_selectors:
+        try:
+            benchmarks = select_benchmarks(registry_selectors)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0] if exc.args else exc))
+        for benchmark in benchmarks:
+            bench_counter = benchmark.analyzer_options.get("resource_counter")
+            triples.append((benchmark.name, benchmark.source_text(),
+                            bench_counter))
+    return triples
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lang.analysis import severity_counts
+
+    triples = _collect_lint_targets(args.targets, counter=args.counter)
+    if not triples:
+        raise SystemExit("nothing to lint")
+    statuses: List[str] = []
+    reports: List[Dict[str, object]] = []
+    for name, source, counter in triples:
+        diagnostics = _lint_text(source, counter=counter)
+        counts = severity_counts(diagnostics)
+        if any(diag.code == "R001" for diag in diagnostics):
+            status = "parse-error"
+        elif counts["error"]:
+            status = "lint-error"
+        elif args.strict and counts["warning"]:
+            status = "lint-error"
+        else:
+            status = "ok"
+        statuses.append(status)
+        if args.json:
+            reports.append({
+                "name": name,
+                "status": status,
+                "counts": counts,
+                "diagnostics": [diag.to_dict() for diag in diagnostics],
+            })
+            continue
+        if not diagnostics:
+            if not args.quiet:
+                print(f"{name}: clean")
+            continue
+        print(f"{name}: {counts['error']} errors, "
+              f"{counts['warning']} warnings, {counts['info']} info")
+        for diag in diagnostics:
+            print(f"  {diag.format()}")
+    if args.json:
+        json.dump({"schema": 1, "strict": bool(args.strict),
+                   "targets": reports}, sys.stdout, indent=1, sort_keys=True)
+        print()
+    return exit_code_for_statuses(statuses)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     # Stable, plainly sorted output so scripts can diff/bisect the listing.
-    for name in sorted(benchmark_names()):
-        print(name)
+    names = sorted(benchmark_names())
+    if not getattr(args, "lint", False):
+        for name in names:
+            print(name)
+        return EXIT_OK
+    from repro.bench.registry import get_benchmark
+    from repro.lang.analysis import severity_counts
+
+    for name in names:
+        benchmark = get_benchmark(name)
+        diagnostics = _lint_text(
+            benchmark.source_text(),
+            counter=benchmark.analyzer_options.get("resource_counter"))
+        if not diagnostics:
+            summary = "clean"
+        else:
+            counts = severity_counts(diagnostics)
+            summary = " ".join(f"{severity}:{count}"
+                               for severity, count in counts.items() if count)
+        print(f"{name}\t{summary}")
     return EXIT_OK
 
 
@@ -641,7 +769,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the report as JSON on stdout")
         sub.set_defaults(func=_cmd_store)
 
+    lint = subparsers.add_parser(
+        "lint", help="run the static diagnostics passes (no analysis)")
+    lint.add_argument("targets", nargs="+",
+                      help="directories of .imp files, single files, or "
+                           "registry selectors (@all, names, globs)")
+    lint.add_argument("--counter", default=None,
+                      help="treat this global variable as the (zero-"
+                           "initialized) resource counter in file targets; "
+                           "registry benchmarks use their own option")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail (exit 7) on warnings too, not just errors")
+    lint.add_argument("--json", action="store_true",
+                      help="emit one JSON report on stdout instead of text")
+    lint.add_argument("--quiet", action="store_true",
+                      help="do not print a line for clean targets")
+    lint.set_defaults(func=_cmd_lint)
+
     listing = subparsers.add_parser("list", help="list the benchmark programs")
+    listing.add_argument("--lint", action="store_true",
+                         help="add a lint-summary column (clean, or "
+                              "severity:count pairs)")
     listing.set_defaults(func=_cmd_list)
     return parser
 

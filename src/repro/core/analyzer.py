@@ -36,6 +36,7 @@ from repro.utils.linear import LinExpr
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.pipeline import PipelineStats
+    from repro.lang.analysis import Diagnostic
 
 
 @dataclass
@@ -76,6 +77,13 @@ class AnalyzerConfig:
     lp_tolerance: float = 1e-7
     #: Coefficients below this magnitude are treated as floating-point noise.
     coefficient_epsilon: float = 1e-6
+    #: Run the static lint passes (:mod:`repro.lang.analysis`) before the
+    #: derivation.  Diagnostics are attached to the result in every case;
+    #: error-severity diagnostics abort the analysis with
+    #: ``failure_kind="lint-error"``.  For accepted programs the gate is
+    #: observe-only: bounds and certificates are byte-identical to a run
+    #: without it.
+    preflight: bool = False
 
     def basegen(self, degree: int) -> BaseGenConfig:
         return BaseGenConfig(max_degree=degree,
@@ -114,6 +122,9 @@ class AnalysisResult:
     failure_kind: str = ""
     total_seconds: float = 0.0
     stats: Optional["PipelineStats"] = None
+    #: Lint diagnostics from the pre-flight gate (empty unless
+    #: ``AnalyzerConfig.preflight`` was enabled).
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     def require_bound(self) -> ExpectedBound:
         if not self.success or self.bound is None:
@@ -141,10 +152,45 @@ class ExpectedCostAnalyzer:
     # -- public API ----------------------------------------------------------------
 
     def analyze(self) -> AnalysisResult:
-        """Run the staged pipeline, escalating the degree incrementally."""
+        """Run the staged pipeline, escalating the degree incrementally.
+
+        With ``preflight`` enabled the lint passes run first: error-severity
+        diagnostics stop the analysis (``failure_kind="lint-error"``);
+        otherwise the diagnostics ride along on the result and the pipeline
+        runs exactly as without the gate.
+        """
         from repro.core.pipeline import AnalysisPipeline
 
-        return AnalysisPipeline(self.program, self.config).run()
+        diagnostics: Tuple["Diagnostic", ...] = ()
+        if self.config.preflight:
+            import time
+
+            from repro.lang.analysis import lint_program
+
+            # The resource counter is zero-initialized by convention, so
+            # counter updates such as ``cost = cost + s`` are not
+            # uninitialized reads.
+            initial = set(self.program.main_procedure.params)
+            if self.config.resource_counter:
+                initial.add(self.config.resource_counter)
+            start = time.perf_counter()
+            diagnostics = tuple(lint_program(self.program,
+                                             initial_state=initial))
+            elapsed = time.perf_counter() - start
+            errors = [diag for diag in diagnostics
+                      if diag.severity == "error"]
+            if errors:
+                return AnalysisResult(
+                    success=False, bound=None, degree=0,
+                    time_seconds=elapsed, lp_variables=0, lp_constraints=0,
+                    message="pre-flight lint rejected the program: "
+                            + errors[0].format(),
+                    failure_kind="lint-error", total_seconds=elapsed,
+                    diagnostics=diagnostics)
+        result = AnalysisPipeline(self.program, self.config).run()
+        if diagnostics:
+            result.diagnostics = diagnostics
+        return result
 
 
 def analyze_program(program: ast.Program, **options) -> AnalysisResult:

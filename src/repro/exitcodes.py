@@ -16,11 +16,15 @@ EXIT_NO_BOUND = 3
 EXIT_ANALYSIS_ERROR = 4     # derivation/solver setup failure
 EXIT_CERTIFICATE_ERROR = 5
 EXIT_UNAVAILABLE = 6        # service could not start (address in use, ...)
+EXIT_LINT = 7               # lint diagnostics at the failing severity
 
 #: Job/result statuses mapped to exit codes (worst one wins for batches).
 STATUS_EXIT = {
     "ok": EXIT_OK,
     "parse-error": EXIT_PARSE_ERROR,
+    # Pre-flight lint gate rejected the program (error-severity
+    # diagnostics with AnalyzerConfig.preflight enabled).
+    "lint-error": EXIT_LINT,
     "no-bound": EXIT_NO_BOUND,
     "analysis-error": EXIT_ANALYSIS_ERROR,
     # A backend resource failure (constraint-cap blowup) that survived the
@@ -31,8 +35,8 @@ STATUS_EXIT = {
 #: Severity order used to aggregate a batch into one exit code: parse
 #: errors are reported first (the input is broken), then missing bounds,
 #: then setup failures, then anything unexpected.
-_STATUS_SEVERITY = ("parse-error", "no-bound", "analysis-error",
-                    "resource-limit")
+_STATUS_SEVERITY = ("parse-error", "lint-error", "no-bound",
+                    "analysis-error", "resource-limit")
 
 
 def exit_code_for_statuses(statuses: Iterable[str]) -> int:

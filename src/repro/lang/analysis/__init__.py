@@ -1,0 +1,45 @@
+"""Static program diagnostics for the pGCL front end.
+
+Public surface:
+
+* :func:`lint_source` / :func:`lint_program` -- run all passes, get back
+  a source-ordered list of :class:`Diagnostic` records.
+* :class:`Diagnostic` plus the :data:`CODES` table -- the stable code /
+  severity registry (``R101`` ...).
+* :func:`vectorizability_verdict` / :func:`analyzability_verdict` -- the
+  back-end acceptance pre-checks, also used directly by
+  ``repro.semantics.sampler.resolve_engine("auto")``.
+"""
+
+from repro.lang.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    SEVERITIES,
+    format_diagnostics,
+    max_severity,
+    severity_counts,
+)
+from repro.lang.analysis.intervals import Interval
+from repro.lang.analysis.lint import lint_program, lint_source
+from repro.lang.analysis.verdicts import (
+    VEC_VALUE_LIMIT,
+    Verdict,
+    analyzability_verdict,
+    vectorizability_verdict,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Interval",
+    "SEVERITIES",
+    "VEC_VALUE_LIMIT",
+    "Verdict",
+    "analyzability_verdict",
+    "format_diagnostics",
+    "lint_program",
+    "lint_source",
+    "max_severity",
+    "severity_counts",
+    "vectorizability_verdict",
+]

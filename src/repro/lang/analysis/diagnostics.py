@@ -1,0 +1,143 @@
+"""Structured diagnostics for the static-analysis front end.
+
+Every finding the lint passes produce is a :class:`Diagnostic`: a stable
+code (``R101``), a severity, an optional source span, a human message and
+an optional hint.  Codes are grouped by pass:
+
+===== ======== ==========================================================
+code  severity meaning
+===== ======== ==========================================================
+R001  error    source could not be parsed
+R101  error    read of a variable that no path ever assigns
+R102  warning  read of a possibly-uninitialized variable
+R103  warning  parameter or local is never used
+R104  warning  duplicate declaration shadows an earlier one
+R105  error    call to an undefined procedure
+R201  warning  degenerate probabilistic choice (probability 0 or 1)
+R202  warning  negative tick amount (refunds cost)
+R203  warning  deterministic distribution (single-point support)
+R301  warning  condition is constant
+R302  warning  unreachable code
+R303  warning  loop with a constant-true guard never terminates
+R401  warning  arithmetic may exceed the vectorised executor's int64 range
+R501  info     program is not vectorizable (scalar engine will be used)
+R502  info     program is not analyzable by the derivation system
+===== ======== ==========================================================
+
+Severities are fixed per code so that ``repro lint`` exit behaviour and
+the CI gate are stable: *errors* always fail lint, *warnings* fail only
+under ``--strict`` and *info* findings never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import Span
+
+__all__ = ["Diagnostic", "CODES", "SEVERITIES", "severity_counts",
+           "max_severity", "format_diagnostics"]
+
+#: Severity names from most to least severe.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+#: Stable code registry: code -> (severity, short title).
+CODES: Dict[str, Tuple[str, str]] = {
+    "R001": ("error", "parse error"),
+    "R101": ("error", "uninitialized read"),
+    "R102": ("warning", "possibly uninitialized read"),
+    "R103": ("warning", "unused declaration"),
+    "R104": ("warning", "shadowed declaration"),
+    "R105": ("error", "undefined procedure"),
+    "R201": ("warning", "degenerate probability"),
+    "R202": ("warning", "negative tick"),
+    "R203": ("warning", "deterministic distribution"),
+    "R301": ("warning", "constant condition"),
+    "R302": ("warning", "unreachable code"),
+    "R303": ("warning", "divergent loop"),
+    "R401": ("warning", "int64 overflow risk"),
+    "R501": ("info", "not vectorizable"),
+    "R502": ("info", "not analyzable"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.  Immutable and order-able for stable output."""
+
+    code: str
+    message: str
+    span: Optional[Span] = None
+    hint: str = ""
+    procedure: str = ""
+    severity: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", CODES[self.code][0])
+        elif self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][1]
+
+    def sort_key(self) -> Tuple[int, int, str, str]:
+        line = self.span.line if self.span is not None else 0
+        column = self.span.column if self.span is not None else 0
+        return (line, column, self.code, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable representation (schema covered by tests)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "line": self.span.line if self.span is not None else 0,
+            "column": self.span.column if self.span is not None else 0,
+            "message": self.message,
+            "hint": self.hint,
+            "procedure": self.procedure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        line = int(data.get("line", 0) or 0)
+        column = int(data.get("column", 0) or 0)
+        span = Span(line, column) if (line or column) else None
+        return cls(code=str(data["code"]), message=str(data["message"]),
+                   span=span, hint=str(data.get("hint", "")),
+                   procedure=str(data.get("procedure", "")),
+                   severity=str(data.get("severity", "")))
+
+    def format(self) -> str:
+        where = f" at {self.span}" if self.span is not None else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        proc = f" [{self.procedure}]" if self.procedure else ""
+        return f"{self.code} {self.severity}{where}: {self.message}{proc}{hint}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def severity_counts(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diag in diagnostics:
+        counts[diag.severity] += 1
+    return counts
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[str]:
+    """The most severe level present, or None when nothing was reported."""
+    present = {diag.severity for diag in diagnostics}
+    for severity in SEVERITIES:
+        if severity in present:
+            return severity
+    return None
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    return [diag.format() for diag in sorted(diagnostics,
+                                             key=Diagnostic.sort_key)]

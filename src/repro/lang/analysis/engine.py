@@ -1,0 +1,549 @@
+"""The shared abstract walk behind the lint passes.
+
+One execution-order traversal of the program threads a :class:`FlowState`
+-- definite-initialization set, maybe-initialization set, interval
+environment and reachability flag -- through every command, and the
+passes that need flow facts (def-use, constant-condition reachability,
+overflow ranges) report their findings during that single walk.  The
+purely syntactic passes (probability well-formedness, declarations,
+back-end verdicts) are separate cheap traversals in :mod:`.lint`.
+
+Soundness contracts relied on by the fuzzer differential tests:
+
+* *definite* under-approximates: a variable is in ``definite`` only if
+  **every** executable path to this point assigned it (or it belongs to
+  the declared initial state).  Hence lint-clean programs (no R101/R102)
+  never trip the scalar interpreter's ``strict_init`` mode.
+* *maybe* over-approximates: a variable missing from ``maybe`` is
+  assigned on **no** path, so R101 ("never assigned") is never wrong.
+* intervals over-approximate values, so R401 only fires on ranges that
+  genuinely admit magnitudes past 2^61; widening (loops, recursion,
+  div/mod) goes straight to top and stays silent.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.analysis.diagnostics import Diagnostic
+from repro.lang.analysis.intervals import Interval
+from repro.lang.analysis.verdicts import VEC_VALUE_LIMIT
+
+__all__ = ["FlowState", "FlowWalker"]
+
+#: Procedure-call descent limit; beyond it (or on recursion) the walker
+#: falls back to the conservative havoc of the callee's modified set.
+_CALL_DEPTH_LIMIT = 8
+
+
+class FlowState:
+    """The dataflow facts threaded through the walk (functional updates)."""
+
+    __slots__ = ("definite", "maybe", "intervals", "reachable")
+
+    def __init__(self, definite: Set[str], maybe: Set[str],
+                 intervals: Dict[str, Interval], reachable: bool = True) -> None:
+        self.definite = definite
+        self.maybe = maybe
+        self.intervals = intervals
+        self.reachable = reachable
+
+    def copy(self) -> "FlowState":
+        return FlowState(set(self.definite), set(self.maybe),
+                         dict(self.intervals), self.reachable)
+
+    def assign(self, name: str, interval: Interval) -> None:
+        self.definite.add(name)
+        self.maybe.add(name)
+        self.intervals[name] = interval
+
+    def havoc(self, names: Set[str]) -> None:
+        """Variables written by code we do not walk precisely."""
+        self.maybe |= names
+        for name in names:
+            self.intervals[name] = Interval.top()
+
+    def interval_of(self, name: str) -> Interval:
+        return self.intervals.get(name, Interval.top())
+
+    @staticmethod
+    def join(left: "FlowState", right: "FlowState") -> "FlowState":
+        """Control-flow merge.  Unreachable inputs do not pollute facts."""
+        if not left.reachable:
+            return right
+        if not right.reachable:
+            return left
+        intervals: Dict[str, Interval] = {}
+        for name in set(left.intervals) | set(right.intervals):
+            intervals[name] = left.interval_of(name).join(right.interval_of(name))
+        return FlowState(left.definite & right.definite,
+                         left.maybe | right.maybe, intervals, True)
+
+
+def _assigned_closure(program: ast.Program, command: ast.Command,
+                      _seen: Optional[Set[str]] = None) -> Set[str]:
+    """Variables ``command`` may write, following calls (over-approx)."""
+    seen = _seen if _seen is not None else set()
+    names = set(command.assigned_variables())
+    for callee in command.called_procedures():
+        if callee in seen or callee not in program.procedures:
+            continue
+        seen.add(callee)
+        names |= _assigned_closure(program, program.procedures[callee].body,
+                                   seen)
+    return names
+
+
+class FlowWalker:
+    """Runs the shared walk over one procedure and collects diagnostics."""
+
+    def __init__(self, program: ast.Program, procedure: ast.Procedure,
+                 initial: Set[str]) -> None:
+        self.program = program
+        self.procedure = procedure
+        self.diagnostics: List[Diagnostic] = []
+        self._reported: Set[Tuple[str, str, Optional[ast.Span]]] = set()
+        self._call_stack: List[str] = [procedure.name]
+        self._initial = initial
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(self, code: str, message: str, node=None, hint: str = "",
+                dedupe: str = "") -> None:
+        span = getattr(node, "span", None)
+        # A ``dedupe`` key (e.g. the variable name for R101/R102) collapses
+        # repeated reports to one diagnostic per walker, anchored at the
+        # first offending site; without one, each distinct span reports.
+        key = (code, dedupe, None) if dedupe else (code, message, span)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diagnostics.append(Diagnostic(
+            code=code, message=message, span=span, hint=hint,
+            procedure=self.procedure.name))
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> FlowState:
+        intervals = {name: Interval.top() for name in self._initial}
+        state = FlowState(set(self._initial), set(self._initial), intervals)
+        return self.walk(self.procedure.body, state)
+
+    # -- expression evaluation (reads + intervals + folding) ----------------
+
+    def eval_expr(self, expr: ast.Expr, state: FlowState) -> Interval:
+        """Interval of ``expr``; reports R101/R102 for every Var read."""
+        if isinstance(expr, ast.Const):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.Var):
+            self._check_read(expr, state)
+            return state.interval_of(expr.name)
+        if isinstance(expr, ast.Star):
+            return Interval.boolean()
+        if isinstance(expr, ast.Not):
+            inner = self.fold_bool(expr.operand, state)
+            self.eval_expr(expr.operand, state)
+            if inner is None:
+                return Interval.boolean()
+            return Interval.const(0 if inner else 1)
+        if isinstance(expr, ast.BinOp):
+            left = self.eval_expr(expr.left, state)
+            right = self.eval_expr(expr.right, state)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op in ("div", "mod"):
+                lp, rp = left.point_value(), right.point_value()
+                if lp is not None and rp is not None and rp != 0 \
+                        and lp.denominator == rp.denominator == 1:
+                    op = (lambda a, b: a // b) if expr.op == "div" \
+                        else (lambda a, b: a % b)
+                    return Interval.const(op(int(lp), int(rp)))
+                return Interval.top()
+            # Comparisons and boolean connectives yield 0/1; fold when the
+            # operand intervals decide the outcome (fold_bool re-derives
+            # operand intervals silently, so no duplicate read reports).
+            folded = self.fold_bool(expr, state)
+            if folded is not None:
+                return Interval.const(1 if folded else 0)
+            return Interval.boolean()
+        return Interval.top()
+
+    def fold_bool(self, expr: ast.Expr,
+                  state: FlowState) -> Optional[bool]:
+        """Truth value of a guard when the facts decide it, else None."""
+        if isinstance(expr, ast.Const):
+            return expr.value != 0
+        if isinstance(expr, ast.Var):
+            point = state.interval_of(expr.name).point_value()
+            return None if point is None else point != 0
+        if isinstance(expr, ast.Star):
+            return None
+        if isinstance(expr, ast.Not):
+            inner = self.fold_bool(expr.operand, state)
+            return None if inner is None else not inner
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("and", "or"):
+                left = self.fold_bool(expr.left, state)
+                right = self.fold_bool(expr.right, state)
+                if expr.op == "and":
+                    if left is False or right is False:
+                        return False
+                    if left is True and right is True:
+                        return True
+                    return None
+                if left is True or right is True:
+                    return True
+                if left is False and right is False:
+                    return False
+                return None
+            if expr.op in ast.COMPARE_OPS:
+                left = self._silent_interval(expr.left, state)
+                right = self._silent_interval(expr.right, state)
+                return _compare_intervals(expr.op, left, right)
+            if expr.op in ast.ARITH_OPS:
+                point = self._silent_interval(expr, state).point_value()
+                return None if point is None else point != 0
+        return None
+
+    def _silent_interval(self, expr: ast.Expr, state: FlowState) -> Interval:
+        """Interval of ``expr`` without emitting read diagnostics."""
+        if isinstance(expr, ast.Const):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.Var):
+            return state.interval_of(expr.name)
+        if isinstance(expr, ast.BinOp):
+            left = self._silent_interval(expr.left, state)
+            right = self._silent_interval(expr.right, state)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op in ast.COMPARE_OPS + ast.BOOL_OPS:
+                return Interval.boolean()
+        return Interval.top()
+
+    def _check_read(self, var: ast.Var, state: FlowState) -> None:
+        if not state.reachable:
+            return
+        name = var.name
+        if name in state.definite:
+            return
+        if name in state.maybe:
+            self._report(
+                "R102",
+                f"variable {name!r} may be read before it is assigned",
+                var, hint="assign it on every path, or make it a parameter "
+                          "of the main procedure", dedupe=name)
+        else:
+            self._report(
+                "R101",
+                f"variable {name!r} is read but never assigned",
+                var, hint="add it to the main procedure's parameters or "
+                          "assign it first", dedupe=name)
+
+    def _check_overflow(self, interval: Interval, node, what: str) -> None:
+        bound = interval.magnitude_bound()
+        if bound is not None and bound > VEC_VALUE_LIMIT:
+            self._report(
+                "R401",
+                f"{what} may reach magnitude {bound} which exceeds the "
+                f"vectorised executor's int64-safe range (2^61)",
+                node, hint="the scalar engine handles arbitrary precision; "
+                           "expect an automatic fallback")
+
+    # -- command walk --------------------------------------------------------
+
+    def walk(self, command: ast.Command, state: FlowState) -> FlowState:
+        handler = getattr(self, f"_walk_{type(command).__name__.lower()}",
+                          None)
+        if handler is None:
+            return state
+        return handler(command, state)
+
+    def _walk_skip(self, command: ast.Skip, state: FlowState) -> FlowState:
+        return state
+
+    def _walk_abort(self, command: ast.Abort, state: FlowState) -> FlowState:
+        state = state.copy()
+        state.reachable = False
+        return state
+
+    def _walk_assert(self, command: ast.Assert, state: FlowState) -> FlowState:
+        return self._walk_check(command, state, "assert")
+
+    def _walk_assume(self, command: ast.Assume, state: FlowState) -> FlowState:
+        return self._walk_check(command, state, "assume")
+
+    def _walk_check(self, command, state: FlowState, kind: str) -> FlowState:
+        self.eval_expr(command.condition, state)
+        folded = self.fold_bool(command.condition, state)
+        if folded is None or not state.reachable:
+            return state
+        self._report(
+            "R301",
+            f"{kind} condition is constantly "
+            f"{'true' if folded else 'false'}: {command.condition}",
+            command,
+            hint="a constant check either never fires or always stops "
+                 "the program")
+        if not folded:
+            state = state.copy()
+            state.reachable = False
+        return state
+
+    def _walk_tick(self, command: ast.Tick, state: FlowState) -> FlowState:
+        if command.is_constant:
+            if state.reachable and command.amount < 0:
+                self._report(
+                    "R202",
+                    f"tick amount {command.amount} is negative and refunds "
+                    f"cost", command,
+                    hint="negative ticks make 'expected cost' bounds "
+                         "one-sided; double-check the cost model")
+            return state
+        interval = self.eval_expr(command.amount, state)
+        if state.reachable and interval.hi is not None \
+                and interval.hi < 0:
+            self._report(
+                "R202",
+                f"tick amount {command.amount} is always negative and "
+                f"refunds cost", command,
+                hint="negative ticks make 'expected cost' bounds one-sided; "
+                     "double-check the cost model")
+        self._check_overflow(interval, command, "tick amount")
+        return state
+
+    def _walk_assign(self, command: ast.Assign, state: FlowState) -> FlowState:
+        interval = self.eval_expr(command.expr, state)
+        self._check_overflow(interval, command,
+                             f"value assigned to {command.target!r}")
+        state = state.copy()
+        state.assign(command.target, interval)
+        return state
+
+    def _walk_sample(self, command: ast.Sample, state: FlowState) -> FlowState:
+        base = self.eval_expr(command.expr, state)
+        support = command.distribution.support()
+        drawn = Interval(support[0][0], support[-1][0])
+        if command.op == "+":
+            interval = base + drawn
+        elif command.op == "-":
+            interval = base - drawn
+        else:
+            interval = base * drawn
+        self._check_overflow(interval, command,
+                             f"value sampled into {command.target!r}")
+        state = state.copy()
+        state.assign(command.target, interval)
+        return state
+
+    def _walk_seq(self, command: ast.Seq, state: FlowState) -> FlowState:
+        reported_dead = False
+        for sub in command.commands:
+            if not state.reachable and not reported_dead:
+                # Flag only the first dead statement; keep walking so nested
+                # structural findings still surface (reads in dead code stay
+                # silent because the state is unreachable).
+                self._maybe_report_unreachable(sub)
+                reported_dead = True
+            state = self.walk(sub, state)
+        return state
+
+    def _maybe_report_unreachable(self, command: ast.Command) -> None:
+        if command.span is None:
+            return
+        self._report("R302", "unreachable code", command,
+                     hint="execution cannot reach this statement",
+                     dedupe=f"node:{command.node_id}")
+
+    def _walk_if(self, command: ast.If, state: FlowState) -> FlowState:
+        self.eval_expr(command.condition, state)
+        folded = self.fold_bool(command.condition, state)
+        then_state = state.copy()
+        else_state = state.copy()
+        if folded is not None and state.reachable:
+            self._report(
+                "R301",
+                f"condition is constantly {'true' if folded else 'false'}: "
+                f"{command.condition}", command,
+                hint="one branch of this 'if' can never run")
+            dead = command.else_branch if folded else command.then_branch
+            self._maybe_report_unreachable(dead)
+            if folded:
+                else_state.reachable = False
+            else:
+                then_state.reachable = False
+        then_state = self.walk(command.then_branch, then_state)
+        else_state = self.walk(command.else_branch, else_state)
+        return FlowState.join(then_state, else_state)
+
+    def _walk_nondetchoice(self, command: ast.NonDetChoice,
+                           state: FlowState) -> FlowState:
+        left = self.walk(command.left, state.copy())
+        right = self.walk(command.right, state.copy())
+        return FlowState.join(left, right)
+
+    def _walk_probchoice(self, command: ast.ProbChoice,
+                         state: FlowState) -> FlowState:
+        probability = command.probability
+        left_state = state.copy()
+        right_state = state.copy()
+        if probability in (Fraction(0), Fraction(1)) and state.reachable:
+            taken = "left" if probability == 1 else "right"
+            self._report(
+                "R201",
+                f"probabilistic choice with probability {probability} "
+                f"always takes the {taken} branch", command,
+                hint="replace the choice with the live branch, or fix the "
+                     "probability")
+            dead = command.right if probability == 1 else command.left
+            self._maybe_report_unreachable(dead)
+            if probability == 1:
+                right_state.reachable = False
+            else:
+                left_state.reachable = False
+        left_state = self.walk(command.left, left_state)
+        right_state = self.walk(command.right, right_state)
+        return FlowState.join(left_state, right_state)
+
+    def _walk_while(self, command: ast.While, state: FlowState) -> FlowState:
+        self.eval_expr(command.condition, state)
+        folded = self.fold_bool(command.condition, state)
+        if folded is False:
+            if state.reachable:
+                self._report(
+                    "R301",
+                    f"loop condition is constantly false: "
+                    f"{command.condition}", command,
+                    hint="the loop body can never run")
+                self._maybe_report_unreachable(command.body)
+            dead = state.copy()
+            dead.reachable = False
+            self.walk(command.body, dead)
+            return state
+
+        # Stabilise: within and after the loop, anything the body (or its
+        # callees) may write is maybe-initialized with unknown range.  The
+        # guard is re-evaluated every iteration, so divergence claims must
+        # fold it on this *stabilised* state -- folding the entry state
+        # would call ``x = 0; while (x == 0) { x = coin(); }`` divergent.
+        assigned = _assigned_closure(self.program, command.body)
+        body_state = state.copy()
+        body_state.havoc(assigned)
+        stable_folded = self.fold_bool(command.condition, body_state)
+        can_stop = _can_stop(command.body)
+        guard_vars = command.condition.variables()
+        if state.reachable and not can_stop:
+            if stable_folded is True:
+                self._report(
+                    "R303",
+                    f"loop condition is constantly true and the body cannot "
+                    f"stop: {command.condition}", command,
+                    hint="the loop never terminates; everything after it is "
+                         "dead code")
+            elif stable_folded is None and guard_vars \
+                    and not (guard_vars & assigned) \
+                    and not _contains_star(command.condition):
+                self._report(
+                    "R303",
+                    f"loop body never modifies the guard variables "
+                    f"({', '.join(sorted(guard_vars))}); once entered the "
+                    f"loop cannot exit", command,
+                    hint="update a guard variable inside the body")
+        self.walk(command.body, body_state)
+        # A guard that stays true under the stabilised facts means control
+        # never leaves through it: the program either loops forever or
+        # halts inside the body (assert/abort), so the code after the loop
+        # never runs.
+        exit_state = FlowState(set(state.definite),
+                               set(state.maybe) | assigned,
+                               dict(body_state.intervals),
+                               state.reachable and stable_folded is not True)
+        return exit_state
+
+    def _walk_call(self, command: ast.Call, state: FlowState) -> FlowState:
+        name = command.procedure
+        callee = self.program.procedures.get(name)
+        if callee is None:
+            self._report(
+                "R105",
+                f"call to undefined procedure {name!r}", command,
+                hint="define the procedure or fix the name")
+            return state
+        if name in self._call_stack or len(self._call_stack) > _CALL_DEPTH_LIMIT:
+            # Recursion (or very deep nesting): havoc the callee's effects.
+            state = state.copy()
+            state.havoc(_assigned_closure(self.program, callee.body))
+            return state
+        self._call_stack.append(name)
+        try:
+            # Global-state convention: the callee reads and writes the
+            # caller's variables directly.
+            state = self.walk(callee.body, state)
+        finally:
+            self._call_stack.pop()
+        return state
+
+
+def _contains_star(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Star):
+        return True
+    return any(_contains_star(child) for child in expr.children())
+
+
+def _can_stop(command: ast.Command) -> bool:
+    """Whether executing ``command`` can halt the whole program (assert /
+    assume / abort) -- the only exits from a constant-true loop."""
+    for node in command.iter_nodes():
+        if isinstance(node, (ast.Abort, ast.Assert, ast.Assume, ast.Call)):
+            return True
+    return False
+
+
+def _compare_intervals(op: str, left: Interval,
+                       right: Interval) -> Optional[bool]:
+    """Decide ``left op right`` when the intervals do not overlap enough."""
+    llo, lhi, rlo, rhi = left.lo, left.hi, right.lo, right.hi
+    if op == "<":
+        if lhi is not None and rlo is not None and lhi < rlo:
+            return True
+        if llo is not None and rhi is not None and llo >= rhi:
+            return False
+        return None
+    if op == "<=":
+        if lhi is not None and rlo is not None and lhi <= rlo:
+            return True
+        if llo is not None and rhi is not None and llo > rhi:
+            return False
+        return None
+    if op == ">":
+        return _compare_intervals("<", right, left)
+    if op == ">=":
+        return _compare_intervals("<=", right, left)
+    if op == "==":
+        lp, rp = left.point_value(), right.point_value()
+        if lp is not None and rp is not None:
+            return lp == rp
+        if _disjoint(left, right):
+            return False
+        return None
+    if op == "!=":
+        equal = _compare_intervals("==", left, right)
+        return None if equal is None else not equal
+    return None
+
+
+def _disjoint(left: Interval, right: Interval) -> bool:
+    if left.hi is not None and right.lo is not None and left.hi < right.lo:
+        return True
+    if right.hi is not None and left.lo is not None and right.hi < left.lo:
+        return True
+    return False

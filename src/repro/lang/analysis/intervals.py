@@ -1,0 +1,109 @@
+"""A small interval domain over exact rationals for the lint range pass.
+
+Bounds are :class:`~fractions.Fraction` or ``None`` (unbounded).  The
+domain only needs to be *sound enough to stay quiet*: the overflow pass
+(R401) warns when a bound is finite and provably past the vectorised
+executor's 2^61 range, and widening to :meth:`Interval.top` is always a
+safe answer, so ``div``/``mod`` and anything imprecise simply go to top.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from repro.utils.rationals import Number, to_fraction
+
+__all__ = ["Interval"]
+
+
+class Interval:
+    """A closed interval ``[lo, hi]``; ``None`` means unbounded on that side."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[Number], hi: Optional[Number]) -> None:
+        self.lo = None if lo is None else to_fraction(lo)
+        self.hi = None if hi is None else to_fraction(hi)
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    @classmethod
+    def const(cls, value: Number) -> "Interval":
+        frac = to_fraction(value)
+        return cls(frac, frac)
+
+    @classmethod
+    def boolean(cls) -> "Interval":
+        return cls(0, 1)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def point_value(self) -> Optional[Fraction]:
+        return self.lo if self.is_point else None
+
+    def magnitude_bound(self) -> Optional[Fraction]:
+        """``max |x|`` over the interval, or None when unbounded."""
+        if self.lo is None or self.hi is None:
+            return None
+        return max(abs(self.lo), abs(self.hi))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Interval) and other.lo == self.lo
+                and other.hi == self.hi)
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- lattice ------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def __neg__(self) -> "Interval":
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        # Any unbounded side makes the product unbounded unless the other
+        # operand is exactly zero; keeping that single special case exact
+        # avoids widening ``0 * x`` paths.
+        if self.lo == self.hi == Fraction(0) or other.lo == other.hi == Fraction(0):
+            return Interval.const(0)
+        if None in (self.lo, self.hi, other.lo, other.hi):
+            return Interval.top()
+        products = [self.lo * other.lo, self.lo * other.hi,
+                    self.hi * other.lo, self.hi * other.hi]
+        return Interval(min(products), max(products))

@@ -1,0 +1,222 @@
+"""Static acceptance pre-checks for the execution and analysis back ends.
+
+:func:`vectorizability_verdict` answers, *without importing or running*
+:mod:`repro.semantics.vexec`, the exact question the vectorised executor's
+eager compiler answers by raising :class:`VectorisationError`: can this
+program be compiled to the batch engine?  The traversal below mirrors
+``VecInterpreter``'s compilation order construct for construct, so the
+first reason reported here names the same offending construct the runtime
+error would.  The agreement is pinned registry-wide plus on fuzzer
+programs by ``tests/test_program_fuzz.py`` -- extend both sides together.
+
+:func:`analyzability_verdict` performs the analogous pre-check for the
+derivation system's *setup* rejections (undefined callees, non-linear tick
+amounts).  ``NoBoundFoundError`` is not predicted -- whether an LP is
+feasible is the analysis itself.
+
+This package deliberately does not import :mod:`repro.semantics` (the
+front end sits below the semantics layer), so scheduler capability is
+passed in as ``choice_mode`` (``"random"``/``"left"``/``"right"`` or
+``None`` for a scheduler the vectoriser cannot resolve lane-wise).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional
+
+from repro.lang import ast
+from repro.lang.ast import span_suffix
+
+__all__ = ["Verdict", "vectorizability_verdict", "analyzability_verdict",
+           "VEC_VALUE_LIMIT"]
+
+#: Mirrors ``repro.semantics.vexec._VALUE_LIMIT`` (int64 head-room bound).
+#: Duplicated here because the front end must not import the semantics
+#: layer; the differential fuzz tests fail loudly if the two drift.
+VEC_VALUE_LIMIT = 1 << 61
+
+#: Default step budget, mirroring ``VecInterpreter``'s constructor.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+class Verdict(NamedTuple):
+    """Outcome of a static acceptance pre-check."""
+
+    ok: bool
+    reason: str = ""
+    span: Optional[ast.Span] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class _Reject(Exception):
+    def __init__(self, reason: str, node=None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.span = getattr(node, "span", None)
+
+
+def _describe(node) -> str:
+    return f"{node}{span_suffix(node)}"
+
+
+# ---------------------------------------------------------------------------
+# Vectorizability
+# ---------------------------------------------------------------------------
+
+
+def _check_vec_expr(expr: ast.Expr, choice_mode: Optional[str]) -> None:
+    """Mirror of ``VecInterpreter._compile_expr``."""
+    if isinstance(expr, ast.Const):
+        if expr.value.denominator != 1:
+            raise _Reject(
+                f"non-integral constant {expr.value} in expression "
+                f"{_describe(expr)}", expr)
+        if abs(int(expr.value)) > VEC_VALUE_LIMIT:
+            raise _Reject(
+                f"constant {int(expr.value)} exceeds the executor's integer "
+                f"range (2^61){span_suffix(expr)}", expr)
+        return
+    if isinstance(expr, (ast.Var, ast.Star)):
+        # A bare '*' inside an arithmetic expression compiles to a closure
+        # that raises at *runtime* on both engines, so it does not block
+        # vectorisation (mirrors _compile_expr's Star case).
+        return
+    if isinstance(expr, ast.Not):
+        _check_vec_expr(expr.operand, choice_mode)
+        return
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("and", "or"):
+            # and/or operands go through _compile_bool, where a '*' guard
+            # demands a resolvable choice mode.
+            _check_vec_bool(expr.left, choice_mode)
+            _check_vec_bool(expr.right, choice_mode)
+            return
+        _check_vec_expr(expr.left, choice_mode)
+        _check_vec_expr(expr.right, choice_mode)
+        return
+    raise _Reject(f"cannot vectorise expression {_describe(expr)}", expr)
+
+
+def _check_vec_bool(expr: ast.Expr, choice_mode: Optional[str]) -> None:
+    """Mirror of ``VecInterpreter._compile_bool``."""
+    if isinstance(expr, ast.Star):
+        if choice_mode is None:
+            raise _Reject(
+                f"the scheduler cannot resolve a '*' guard lane-wise"
+                f"{span_suffix(expr)}", expr)
+        return
+    _check_vec_expr(expr, choice_mode)
+
+
+def _check_vec_command(command: ast.Command, choice_mode: Optional[str],
+                       max_steps: int, cost_scale: int) -> None:
+    """Mirror of ``VecInterpreter._compile_command`` / ``_compile_tick``."""
+    if isinstance(command, (ast.Skip, ast.Abort, ast.Call)):
+        return
+    if isinstance(command, (ast.Assert, ast.Assume)):
+        _check_vec_bool(command.condition, choice_mode)
+        return
+    if isinstance(command, ast.Tick):
+        if command.is_constant:
+            numerator = int(command.amount * cost_scale)
+            if abs(numerator) * (max_steps + 1) > VEC_VALUE_LIMIT:
+                raise _Reject(
+                    f"constant tick amount {command.amount} could overflow "
+                    f"the vectorised cost accumulator within the step "
+                    f"budget{span_suffix(command)}", command)
+            return
+        _check_vec_expr(command.amount, choice_mode)
+        return
+    if isinstance(command, (ast.Assign, ast.Sample)):
+        _check_vec_expr(command.expr, choice_mode)
+        return
+    if isinstance(command, ast.Seq):
+        for sub in command.commands:
+            _check_vec_command(sub, choice_mode, max_steps, cost_scale)
+        return
+    if isinstance(command, ast.If):
+        _check_vec_bool(command.condition, choice_mode)
+        _check_vec_command(command.then_branch, choice_mode, max_steps,
+                           cost_scale)
+        _check_vec_command(command.else_branch, choice_mode, max_steps,
+                           cost_scale)
+        return
+    if isinstance(command, ast.NonDetChoice):
+        if choice_mode is None:
+            raise _Reject(
+                f"the scheduler cannot resolve 'if *' lane-wise"
+                f"{span_suffix(command)}", command)
+        _check_vec_command(command.left, choice_mode, max_steps, cost_scale)
+        _check_vec_command(command.right, choice_mode, max_steps, cost_scale)
+        return
+    if isinstance(command, ast.ProbChoice):
+        _check_vec_command(command.left, choice_mode, max_steps, cost_scale)
+        _check_vec_command(command.right, choice_mode, max_steps, cost_scale)
+        return
+    if isinstance(command, ast.While):
+        _check_vec_bool(command.condition, choice_mode)
+        _check_vec_command(command.body, choice_mode, max_steps, cost_scale)
+        return
+    raise _Reject(f"cannot vectorise command {type(command).__name__}"
+                  f"{span_suffix(command)}", command)
+
+
+def _vec_cost_scale(program: ast.Program) -> int:
+    """Mirror of ``VecInterpreter._cost_scale`` (LCM of tick denominators)."""
+    scale = 1
+    for node in program.iter_nodes():
+        if isinstance(node, ast.Tick) and node.is_constant:
+            scale = math.lcm(scale, node.amount.denominator)
+    return scale
+
+
+def vectorizability_verdict(program: ast.Program,
+                            max_steps: int = DEFAULT_MAX_STEPS,
+                            choice_mode: Optional[str] = "random") -> Verdict:
+    """Would ``VecInterpreter(program, ..., max_steps)`` compile?
+
+    ``choice_mode`` is the resolved scheduler capability (see module
+    docstring); the default ``"random"`` matches the default
+    ``RandomScheduler``.  Every procedure is checked -- the vectoriser
+    compiles all of them eagerly, even uncalled ones.
+    """
+    scale = _vec_cost_scale(program)
+    try:
+        for proc in program.procedures.values():
+            _check_vec_command(proc.body, choice_mode, max_steps, scale)
+    except _Reject as reject:
+        return Verdict(False, reject.reason, reject.span)
+    return Verdict(True)
+
+
+# ---------------------------------------------------------------------------
+# Analyzability
+# ---------------------------------------------------------------------------
+
+
+def analyzability_verdict(program: ast.Program) -> Verdict:
+    """Would the derivation *setup* accept the program?
+
+    Predicts the unconditional ``AnalysisError`` rejections: calls to
+    undefined procedures (inlining fails) and non-constant tick amounts
+    that are not linear (``Q:Tick`` cannot lower them).  Feasibility of
+    the LP itself is not -- and cannot be -- predicted here.
+    """
+    for name, proc in program.procedures.items():
+        for node in proc.body.iter_nodes():
+            if isinstance(node, ast.Call) \
+                    and node.procedure not in program.procedures:
+                return Verdict(
+                    False,
+                    f"call to undefined procedure {node.procedure!r}"
+                    f"{span_suffix(node)}", getattr(node, "span", None))
+            if isinstance(node, ast.Tick) and not node.is_constant \
+                    and not ast.is_linear_expr(node.amount):
+                return Verdict(
+                    False,
+                    f"tick amount is not linear: {node.amount}"
+                    f"{span_suffix(node)}", getattr(node, "span", None))
+    return Verdict(True)

@@ -34,6 +34,62 @@ from repro.utils.linear import LinExpr
 from repro.utils.rationals import Number, pretty_fraction, to_fraction
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+class Span:
+    """A source position (1-based line/column) carried by AST nodes.
+
+    The parser attaches a span to every command and expression it builds;
+    programmatically constructed trees (:mod:`repro.lang.builder`) carry
+    ``span = None``.  Spans never participate in node equality or hashing,
+    so printed/reparsed and cloned trees stay interchangeable.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = int(line)
+        self.column = int(column)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Span) and other.line == self.line
+                and other.column == self.column)
+
+    def __hash__(self) -> int:
+        return hash(("Span", self.line, self.column))
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+    def __repr__(self) -> str:
+        return f"Span({self.line}, {self.column})"
+
+
+def copy_span(node, template):
+    """Copy ``template``'s span (if any) onto ``node`` and return ``node``.
+
+    Used by :mod:`repro.lang.transform` so cloned/rewritten trees keep
+    pointing at the original source text.
+    """
+    span = getattr(template, "span", None)
+    if span is not None:
+        node.span = span
+    return node
+
+
+def span_suffix(node) -> str:
+    """`` at line L, column C`` when ``node`` carries a span, else ``""``.
+
+    Error constructors use this so messages name the offending construct's
+    position whenever the tree came from the parser.
+    """
+    span = getattr(node, "span", None)
+    return f" at {span}" if span is not None else ""
+
+
+# ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
 
@@ -45,6 +101,12 @@ ALL_OPS = ARITH_OPS + COMPARE_OPS + BOOL_OPS
 
 class Expr:
     """Base class of expressions."""
+
+    #: Source position (set by the parser; None for built trees).  A class
+    #: attribute so subclasses with ``__slots__`` still read it cheaply --
+    #: the parser overrides it per instance (instances have a ``__dict__``
+    #: because this base class is slot-less).
+    span: Optional[Span] = None
 
     def variables(self) -> Set[str]:
         raise NotImplementedError
@@ -190,9 +252,12 @@ def expr_to_linexpr(expr: Expr) -> LinExpr:
                 return right * left.const_term
             if right.is_constant():
                 return left * right.const_term
-            raise LoweringError(f"non-linear multiplication: {expr}")
-        raise LoweringError(f"operator {expr.op!r} is not linear: {expr}")
-    raise LoweringError(f"cannot lower {expr} to a linear expression")
+            raise LoweringError(
+                f"non-linear multiplication: {expr}{span_suffix(expr)}")
+        raise LoweringError(
+            f"operator {expr.op!r} is not linear: {expr}{span_suffix(expr)}")
+    raise LoweringError(
+        f"cannot lower {expr} to a linear expression{span_suffix(expr)}")
 
 
 def is_linear_expr(expr: Expr) -> bool:
@@ -213,6 +278,9 @@ _NODE_COUNTER = itertools.count(1)
 
 class Command:
     """Base class of commands; every node gets a unique ``node_id``."""
+
+    #: Source position (set by the parser; None for built trees).
+    span: Optional[Span] = None
 
     def __init__(self) -> None:
         self.node_id: int = next(_NODE_COUNTER)
@@ -429,6 +497,9 @@ class Procedure:
     :func:`repro.lang.transform.inline_calls` removes parameterised calls of
     non-recursive procedures before analysis.
     """
+
+    #: Source position of the ``proc`` keyword (None for built trees).
+    span: Optional[Span] = None
 
     def __init__(self, name: str, body: Command,
                  params: Sequence[str] = (),

@@ -8,12 +8,25 @@ class ReproError(Exception):
 
 
 class ParseError(ReproError):
-    """Raised when the concrete syntax cannot be parsed."""
+    """Raised when the concrete syntax cannot be parsed.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+    ``span`` may be passed instead of ``line``/``column`` by callers that
+    hold an AST node's :class:`~repro.lang.ast.Span` (builder/transform
+    paths).  Any non-zero position is formatted into the message -- a
+    column-only position (``line=0, column=7``) used to be dropped
+    silently, hiding the offset the caller did supply.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 span=None) -> None:
+        if span is not None and not (line or column):
+            line, column = span.line, span.column
         self.line = line
         self.column = column
-        if line:
+        #: The message without the position prefix (lint reports the
+        #: position structurally and must not repeat it in the text).
+        self.bare_message = message
+        if line or column:
             message = f"line {line}, column {column}: {message}"
         super().__init__(message)
 
@@ -24,6 +37,20 @@ class LoweringError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised by the interpreter on runtime errors (e.g. failed assertions)."""
+
+
+class UninitializedReadError(EvaluationError):
+    """Raised by the strict-initialization interpreter mode on a read of a
+    variable that was never assigned (normal runs zero-fill instead).
+
+    The lint pass's definite-initialization analysis under-approximates:
+    a lint run with no ``R101``/``R102`` diagnostics guarantees strict
+    execution never raises this -- a contract the fuzzer enforces.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"read of uninitialized variable {name!r}")
+        self.name = name
 
 
 class AnalysisError(ReproError):

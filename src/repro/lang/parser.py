@@ -83,6 +83,13 @@ class Parser:
             raise self._error(f"expected {expected!r}")
         return token
 
+    @staticmethod
+    def _at(node, token: Token):
+        """Attach ``token``'s position to ``node`` (unless it has one)."""
+        if node.span is None:
+            node.span = ast.Span(token.line, token.column)
+        return node
+
     def at_end(self) -> bool:
         return self._check("eof")
 
@@ -98,6 +105,7 @@ class Parser:
         return ast.Program(procedures, main=main_name)
 
     def parse_procedure(self) -> ast.Procedure:
+        proc_token = self._current()
         if not (self._accept("keyword", "proc") or self._accept("keyword", "def")):
             raise self._error("expected 'proc'")
         name = self._expect("ident").value
@@ -110,12 +118,13 @@ class Parser:
         self._expect("symbol", ")")
         locals_: List[str] = []
         body = self.parse_block(locals_)
-        return ast.Procedure(name, body, params=params, locals_=locals_)
+        return self._at(ast.Procedure(name, body, params=params, locals_=locals_),
+                        proc_token)
 
     # -- statements ----------------------------------------------------------
 
     def parse_block(self, locals_sink: Optional[List[str]] = None) -> ast.Command:
-        self._expect("symbol", "{")
+        open_token = self._expect("symbol", "{")
         commands: List[ast.Command] = []
         while not self._check("symbol", "}"):
             if self._accept("keyword", "local"):
@@ -129,12 +138,16 @@ class Parser:
             commands.append(self.parse_statement())
         self._expect("symbol", "}")
         if not commands:
-            return ast.Skip()
+            return self._at(ast.Skip(), open_token)
         if len(commands) == 1:
             return commands[0]
-        return ast.Seq(commands)
+        return self._at(ast.Seq(commands), open_token)
 
     def parse_statement(self) -> ast.Command:
+        token = self._current()
+        return self._at(self._parse_statement(), token)
+
+    def _parse_statement(self) -> ast.Command:
         if self._check("symbol", "{"):
             return self.parse_block()
         if self._accept("keyword", "skip"):
@@ -207,12 +220,18 @@ class Parser:
             return ast.If(condition, then_branch, else_branch)
         if self._accept("keyword", "prob"):
             self._expect("symbol", "(")
+            prob_token = self._current()
             probability = self.parse_probability()
             self._expect("symbol", ")")
             left = self.parse_block()
             self._expect("keyword", "else")
             right = self.parse_block()
-            return ast.ProbChoice(probability, left, right)
+            try:
+                return ast.ProbChoice(probability, left, right)
+            except ValueError as exc:
+                # Out-of-range weights are a *syntax-level* problem: report
+                # them as a positioned parse error, not a bare ValueError.
+                raise ParseError(str(exc), prob_token.line, prob_token.column)
         if self._check("ident"):
             target = self._expect("ident").value
             self._expect("symbol", "=")
@@ -252,32 +271,35 @@ class Parser:
     # -- conditions -------------------------------------------------------------
 
     def parse_condition(self) -> ast.Expr:
+        start = self._current()
         left = self.parse_conjunction()
         while self._accept("symbol", "||"):
             right = self.parse_conjunction()
-            left = ast.BinOp("or", left, right)
+            left = self._at(ast.BinOp("or", left, right), start)
         return left
 
     def parse_conjunction(self) -> ast.Expr:
+        start = self._current()
         left = self.parse_comparison()
         while self._accept("symbol", "&&"):
             right = self.parse_comparison()
-            left = ast.BinOp("and", left, right)
+            left = self._at(ast.BinOp("and", left, right), start)
         return left
 
     def parse_comparison(self) -> ast.Expr:
+        start = self._current()
         if self._accept("symbol", "!"):
             self._expect("symbol", "(")
             inner = self.parse_condition()
             self._expect("symbol", ")")
-            return ast.Not(inner)
+            return self._at(ast.Not(inner), start)
         if self._check("symbol", "*"):
             self._accept("symbol", "*")
-            return ast.Star()
+            return self._at(ast.Star(), start)
         if self._accept("keyword", "true"):
-            return ast.Const(1)
+            return self._at(ast.Const(1), start)
         if self._accept("keyword", "false"):
-            return ast.Const(0)
+            return self._at(ast.Const(0), start)
         if self._check("symbol", "("):
             # Could be a parenthesised condition or arithmetic; try condition.
             saved = self.index
@@ -293,7 +315,7 @@ class Parser:
         for op in ("==", "!=", "<=", ">=", "<", ">"):
             if self._accept("symbol", op):
                 right = self.parse_expression()
-                return ast.BinOp(op, left, right)
+                return self._at(ast.BinOp(op, left, right), start)
         return left
 
     def _check_comparison_follow(self) -> bool:
@@ -303,38 +325,47 @@ class Parser:
     # -- arithmetic expressions ---------------------------------------------------
 
     def parse_expression(self, allow_dist: bool = False) -> ast.Expr:
+        start = self._current()
         left = self.parse_term(allow_dist)
         while True:
             if self._accept("symbol", "+"):
-                left = ast.BinOp("+", left, self.parse_term(allow_dist))
+                left = self._at(
+                    ast.BinOp("+", left, self.parse_term(allow_dist)), start)
             elif self._accept("symbol", "-"):
-                left = ast.BinOp("-", left, self.parse_term(allow_dist))
+                left = self._at(
+                    ast.BinOp("-", left, self.parse_term(allow_dist)), start)
             else:
                 return left
 
     def parse_term(self, allow_dist: bool = False) -> ast.Expr:
+        start = self._current()
         left = self.parse_factor(allow_dist)
         while True:
             if self._accept("symbol", "*"):
-                left = ast.BinOp("*", left, self.parse_factor(allow_dist))
+                left = self._at(
+                    ast.BinOp("*", left, self.parse_factor(allow_dist)), start)
             elif self._accept("symbol", "/"):
-                left = ast.BinOp("div", left, self.parse_factor(allow_dist))
+                left = self._at(
+                    ast.BinOp("div", left, self.parse_factor(allow_dist)), start)
             elif self._accept("symbol", "%"):
-                left = ast.BinOp("mod", left, self.parse_factor(allow_dist))
+                left = self._at(
+                    ast.BinOp("mod", left, self.parse_factor(allow_dist)), start)
             else:
                 return left
 
     def parse_factor(self, allow_dist: bool = False) -> ast.Expr:
+        start = self._current()
         if self._accept("symbol", "-"):
             inner = self.parse_factor(allow_dist)
-            return ast.BinOp("-", ast.Const(0), inner)
+            return self._at(ast.BinOp("-", self._at(ast.Const(0), start), inner),
+                            start)
         if self._accept("symbol", "("):
             inner = self.parse_expression(allow_dist)
             self._expect("symbol", ")")
             return inner
         token = self._accept("number")
         if token is not None:
-            return ast.Const(Fraction(token.value))
+            return self._at(ast.Const(Fraction(token.value)), token)
         token = self._accept("ident")
         if token is not None:
             if allow_dist and token.value in DISTRIBUTION_CONSTRUCTORS \
@@ -347,8 +378,15 @@ class Parser:
                         args.append(self.parse_probability())
                 self._expect("symbol", ")")
                 numeric_args = [int(a) if a.denominator == 1 else a for a in args]
-                return _DistCall(make_distribution(token.value, numeric_args))
-            return ast.Var(token.value)
+                try:
+                    distribution = make_distribution(token.value, numeric_args)
+                except ValueError as exc:
+                    # Invalid distribution parameters (p outside [0, 1],
+                    # empty ranges, ...) are reported with the call's
+                    # position instead of leaking a bare ValueError.
+                    raise ParseError(str(exc), token.line, token.column)
+                return self._at(_DistCall(distribution), token)
+            return self._at(ast.Var(token.value), token)
         raise self._error("expected an expression")
 
 

@@ -27,16 +27,17 @@ from repro.lang.errors import AnalysisError
 # ---------------------------------------------------------------------------
 
 def rename_expr(expr: ast.Expr, mapping: Mapping[str, str]) -> ast.Expr:
-    """Rename variables in an expression."""
+    """Rename variables in an expression (source spans are preserved)."""
     if isinstance(expr, ast.Var):
-        return ast.Var(mapping.get(expr.name, expr.name))
+        return ast.copy_span(ast.Var(mapping.get(expr.name, expr.name)), expr)
     if isinstance(expr, ast.Const) or isinstance(expr, ast.Star):
         return expr
     if isinstance(expr, ast.BinOp):
-        return ast.BinOp(expr.op, rename_expr(expr.left, mapping),
-                         rename_expr(expr.right, mapping))
+        return ast.copy_span(
+            ast.BinOp(expr.op, rename_expr(expr.left, mapping),
+                      rename_expr(expr.right, mapping)), expr)
     if isinstance(expr, ast.Not):
-        return ast.Not(rename_expr(expr.operand, mapping))
+        return ast.copy_span(ast.Not(rename_expr(expr.operand, mapping)), expr)
     raise TypeError(f"unknown expression {expr!r}")
 
 
@@ -46,7 +47,11 @@ def rename_expr(expr: ast.Expr, mapping: Mapping[str, str]) -> ast.Expr:
 
 def clone_command(command: ast.Command,
                   rename: Optional[Mapping[str, str]] = None) -> ast.Command:
-    """Deep-copy ``command`` with fresh node ids, optionally renaming variables."""
+    """Deep-copy ``command`` with fresh node ids, optionally renaming variables.
+
+    Source spans survive the copy, so diagnostics and error messages about
+    inlined/rewritten trees still point at the original program text.
+    """
     mapping = dict(rename or {})
 
     def rn(name: str) -> str:
@@ -55,40 +60,45 @@ def clone_command(command: ast.Command,
     def re(expr: ast.Expr) -> ast.Expr:
         return rename_expr(expr, mapping) if mapping else expr
 
+    def sp(clone: ast.Command) -> ast.Command:
+        return ast.copy_span(clone, command)
+
     if isinstance(command, ast.Skip):
-        return ast.Skip()
+        return sp(ast.Skip())
     if isinstance(command, ast.Abort):
-        return ast.Abort()
+        return sp(ast.Abort())
     if isinstance(command, ast.Assert):
-        return ast.Assert(re(command.condition))
+        return sp(ast.Assert(re(command.condition)))
     if isinstance(command, ast.Assume):
-        return ast.Assume(re(command.condition))
+        return sp(ast.Assume(re(command.condition)))
     if isinstance(command, ast.Tick):
         if command.is_constant:
-            return ast.Tick(command.amount)
-        return ast.Tick(re(command.amount))
+            return sp(ast.Tick(command.amount))
+        return sp(ast.Tick(re(command.amount)))
     if isinstance(command, ast.Assign):
-        return ast.Assign(rn(command.target), re(command.expr))
+        return sp(ast.Assign(rn(command.target), re(command.expr)))
     if isinstance(command, ast.Sample):
-        return ast.Sample(rn(command.target), re(command.expr), command.op,
-                          command.distribution)
+        return sp(ast.Sample(rn(command.target), re(command.expr), command.op,
+                             command.distribution))
     if isinstance(command, ast.If):
-        return ast.If(re(command.condition),
-                      clone_command(command.then_branch, mapping),
-                      clone_command(command.else_branch, mapping))
+        return sp(ast.If(re(command.condition),
+                         clone_command(command.then_branch, mapping),
+                         clone_command(command.else_branch, mapping)))
     if isinstance(command, ast.NonDetChoice):
-        return ast.NonDetChoice(clone_command(command.left, mapping),
-                                clone_command(command.right, mapping))
+        return sp(ast.NonDetChoice(clone_command(command.left, mapping),
+                                   clone_command(command.right, mapping)))
     if isinstance(command, ast.ProbChoice):
-        return ast.ProbChoice(command.probability,
-                              clone_command(command.left, mapping),
-                              clone_command(command.right, mapping))
+        return sp(ast.ProbChoice(command.probability,
+                                 clone_command(command.left, mapping),
+                                 clone_command(command.right, mapping)))
     if isinstance(command, ast.Seq):
-        return ast.Seq([clone_command(sub, mapping) for sub in command.commands])
+        return sp(ast.Seq([clone_command(sub, mapping)
+                           for sub in command.commands]))
     if isinstance(command, ast.While):
-        return ast.While(re(command.condition), clone_command(command.body, mapping))
+        return sp(ast.While(re(command.condition),
+                            clone_command(command.body, mapping)))
     if isinstance(command, ast.Call):
-        return ast.Call(command.procedure)
+        return sp(ast.Call(command.procedure))
     raise TypeError(f"unknown command {command!r}")
 
 
@@ -114,29 +124,38 @@ def inline_calls(program: ast.Program, max_depth: int = 32) -> ast.Program:
         if isinstance(command, ast.Call):
             name = command.procedure
             if name in recursive:
-                return ast.Call(name)
+                return ast.copy_span(ast.Call(name), command)
             if name not in program.procedures:
-                raise AnalysisError(f"call to undefined procedure {name!r}")
+                raise AnalysisError(f"call to undefined procedure {name!r}"
+                                    f"{ast.span_suffix(command)}")
             if depth >= max_depth:
                 raise AnalysisError(
-                    f"call inlining exceeded depth {max_depth} at {name!r}")
+                    f"call inlining exceeded depth {max_depth} at {name!r}"
+                    f"{ast.span_suffix(command)}")
             body = clone_command(program.procedures[name].body)
             return inline(body, depth + 1)
         if isinstance(command, ast.Seq):
-            return ast.Seq([inline(sub, depth) for sub in command.commands])
+            return ast.copy_span(
+                ast.Seq([inline(sub, depth) for sub in command.commands]),
+                command)
         if isinstance(command, ast.If):
-            return ast.If(command.condition,
-                          inline(command.then_branch, depth),
-                          inline(command.else_branch, depth))
+            return ast.copy_span(
+                ast.If(command.condition,
+                       inline(command.then_branch, depth),
+                       inline(command.else_branch, depth)), command)
         if isinstance(command, ast.NonDetChoice):
-            return ast.NonDetChoice(inline(command.left, depth),
-                                    inline(command.right, depth))
+            return ast.copy_span(
+                ast.NonDetChoice(inline(command.left, depth),
+                                 inline(command.right, depth)), command)
         if isinstance(command, ast.ProbChoice):
-            return ast.ProbChoice(command.probability,
-                                  inline(command.left, depth),
-                                  inline(command.right, depth))
+            return ast.copy_span(
+                ast.ProbChoice(command.probability,
+                               inline(command.left, depth),
+                               inline(command.right, depth)), command)
         if isinstance(command, ast.While):
-            return ast.While(command.condition, inline(command.body, depth))
+            return ast.copy_span(
+                ast.While(command.condition, inline(command.body, depth)),
+                command)
         return clone_command(command)
 
     new_procs: Dict[str, ast.Procedure] = {}
@@ -194,24 +213,31 @@ def counter_as_resource(program: ast.Program, counter: str) -> ast.Program:
                     and isinstance(expr.left, ast.Var) and expr.left.name == counter:
                 amount = expr.right
                 if isinstance(amount, ast.Const):
-                    return ast.Tick(amount.value)
-                return ast.Tick(amount)
+                    return ast.copy_span(ast.Tick(amount.value), command)
+                return ast.copy_span(ast.Tick(amount), command)
             if isinstance(expr, ast.Const):
-                return ast.Skip()
+                return ast.copy_span(ast.Skip(), command)
             raise AnalysisError(
-                f"cannot interpret write to resource counter: {command!r}")
+                f"cannot interpret write to resource counter: {command!r}"
+                f"{ast.span_suffix(command)}")
         if isinstance(command, ast.Seq):
-            return ast.Seq([rewrite(sub) for sub in command.commands])
+            return ast.copy_span(ast.Seq([rewrite(sub)
+                                          for sub in command.commands]), command)
         if isinstance(command, ast.If):
-            return ast.If(command.condition, rewrite(command.then_branch),
-                          rewrite(command.else_branch))
+            return ast.copy_span(
+                ast.If(command.condition, rewrite(command.then_branch),
+                       rewrite(command.else_branch)), command)
         if isinstance(command, ast.NonDetChoice):
-            return ast.NonDetChoice(rewrite(command.left), rewrite(command.right))
+            return ast.copy_span(
+                ast.NonDetChoice(rewrite(command.left), rewrite(command.right)),
+                command)
         if isinstance(command, ast.ProbChoice):
-            return ast.ProbChoice(command.probability, rewrite(command.left),
-                                  rewrite(command.right))
+            return ast.copy_span(
+                ast.ProbChoice(command.probability, rewrite(command.left),
+                               rewrite(command.right)), command)
         if isinstance(command, ast.While):
-            return ast.While(command.condition, rewrite(command.body))
+            return ast.copy_span(
+                ast.While(command.condition, rewrite(command.body)), command)
         return clone_command(command)
 
     new_procs = {name: ast.Procedure(name, rewrite(proc.body), params=proc.params,

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.lang import ast
-from repro.lang.errors import EvaluationError
+from repro.lang.errors import EvaluationError, UninitializedReadError
 
 State = Dict[str, int]
 
@@ -99,11 +99,19 @@ class Interpreter:
     def __init__(self, program: ast.Program,
                  scheduler: Optional[Scheduler] = None,
                  max_steps: int = 1_000_000,
-                 max_call_depth: int = 512) -> None:
+                 max_call_depth: int = 512,
+                 strict_init: bool = False) -> None:
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
+        #: Strict-initialization mode: the state is seeded only from
+        #: ``initial_state`` (no zero-fill) and reading a never-assigned
+        #: variable raises :class:`UninitializedReadError`.  This is the
+        #: runtime oracle for the lint pass's definite-initialization
+        #: analysis (see ``repro.lang.analysis``): lint-clean programs
+        #: must run identically in both modes.
+        self.strict_init = strict_init
         self._main_fn = None
         self._proc_cache: Dict[str, object] = {}
 
@@ -115,7 +123,8 @@ class Interpreter:
         """Execute the main procedure from ``initial_state``."""
         if rng is None:
             rng = np.random.default_rng(seed)
-        state: State = {var: 0 for var in self.program.variables()}
+        state: State = {} if self.strict_init else \
+            {var: 0 for var in self.program.variables()}
         if initial_state:
             for var, value in initial_state.items():
                 state[str(var)] = int(value)
@@ -148,6 +157,8 @@ class Interpreter:
             # Fraction arithmetic/comparisons compose with int state values.
             return value
         if isinstance(expr, ast.Var):
+            if self.strict_init and expr.name not in state:
+                raise UninitializedReadError(expr.name)
             return state.get(expr.name, 0)
         if isinstance(expr, ast.Star):
             raise EvaluationError("'*' may only appear as a branching guard")
@@ -295,6 +306,13 @@ class Interpreter:
             return lambda state: value
         if isinstance(expr, ast.Var):
             name = expr.name
+            if self.strict_init:
+                def read(state):
+                    try:
+                        return state[name]
+                    except KeyError:
+                        raise UninitializedReadError(name) from None
+                return read
             return lambda state: state.get(name, 0)
         if isinstance(expr, ast.Star):
             def star(state):

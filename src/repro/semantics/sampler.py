@@ -40,7 +40,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.lang import ast
-from repro.semantics.interp import Interpreter, Scheduler
+from repro.lang.analysis import vectorizability_verdict
+from repro.semantics.interp import Interpreter, RandomScheduler, Scheduler
 from repro.semantics.vexec import (VecInterpreter, VectorisationError,
                                    VexecRangeError, fresh_seedseq)
 
@@ -67,6 +68,9 @@ class SampleStatistics:
     #: The engine that actually produced the samples ("scalar" or "vec") --
     #: 'auto' resolution and runtime fallback are reported through this.
     engine: str = "scalar"
+    #: Why the 'auto' engine fell back to the scalar interpreter, naming
+    #: the offending construct (empty when no fallback happened).
+    fallback_reason: str = ""
 
     def candlestick(self) -> Tuple[float, float, float, float]:
         """(low, q1, q3, high) -- the candlestick of the Appendix F plots."""
@@ -135,6 +139,42 @@ def _vec_executor(program: ast.Program, scheduler: Optional[Scheduler],
     return executor
 
 
+def resolve_engine_with_reason(engine: str, program: ast.Program,
+                               scheduler: Optional[Scheduler] = None,
+                               max_steps: int = 1_000_000
+                               ) -> Tuple[str, Optional[VecInterpreter], str]:
+    """Resolve an engine name; the third element says *why* 'auto' fell back.
+
+    ``"auto"`` consults the front end's static
+    :func:`~repro.lang.analysis.vectorizability_verdict` first: a rejected
+    program goes straight to the scalar interpreter with the verdict's
+    reason (naming the offending construct and its span) instead of paying
+    for a compile attempt that is known to fail.  The static verdict and
+    the compiler are pinned to agree by ``tests/test_program_fuzz.py``; a
+    compile attempt remains as a belt-and-braces fallback so a divergence
+    could only ever cost performance, never correctness.
+    """
+    if engine not in SAMPLER_ENGINES:
+        raise ValueError(f"unknown sampler engine {engine!r}; "
+                         f"choose one of {SAMPLER_ENGINES}")
+    if engine == "scalar":
+        return "scalar", None, ""
+    if engine == "auto":
+        mode = VecInterpreter._resolve_choice_mode(
+            scheduler if scheduler is not None else RandomScheduler())
+        verdict = vectorizability_verdict(program, max_steps=max_steps,
+                                          choice_mode=mode)
+        if not verdict.ok:
+            return "scalar", None, verdict.reason
+    try:
+        executor = _vec_executor(program, scheduler, max_steps)
+    except VectorisationError as exc:
+        if engine == "vec":
+            raise
+        return "scalar", None, str(exc)
+    return "vec", executor, ""
+
+
 def resolve_engine(engine: str, program: ast.Program,
                    scheduler: Optional[Scheduler] = None,
                    max_steps: int = 1_000_000
@@ -143,20 +183,12 @@ def resolve_engine(engine: str, program: ast.Program,
 
     ``"vec"`` raises :class:`VectorisationError` when the program or
     scheduler cannot be vectorised; ``"auto"`` falls back to the scalar
-    interpreter instead.
+    interpreter instead (see :func:`resolve_engine_with_reason` for the
+    explanation of *why*).
     """
-    if engine not in SAMPLER_ENGINES:
-        raise ValueError(f"unknown sampler engine {engine!r}; "
-                         f"choose one of {SAMPLER_ENGINES}")
-    if engine == "scalar":
-        return "scalar", None
-    try:
-        executor = _vec_executor(program, scheduler, max_steps)
-    except VectorisationError:
-        if engine == "vec":
-            raise
-        return "scalar", None
-    return "vec", executor
+    chosen, executor, _ = resolve_engine_with_reason(engine, program,
+                                                     scheduler, max_steps)
+    return chosen, executor
 
 
 def sample_costs(program: ast.Program,
@@ -167,30 +199,33 @@ def sample_costs(program: ast.Program,
                  max_steps: int = 1_000_000,
                  engine: str = "scalar",
                  batch_size: Optional[int] = None
-                 ) -> Tuple[np.ndarray, int, str]:
+                 ) -> Tuple[np.ndarray, int, str, str]:
     """Sample ``runs`` executions.
 
-    Returns ``(costs of terminated runs, #unfinished, engine used)``.  The
-    cost array contains one float per run that terminated within the step
-    budget (assertion-failed runs count as terminated, with the cost
-    accumulated up to the failing assertion, exactly as in the scalar
-    semantics).  The returned engine name is what actually ran --
-    ``"auto"`` resolution and the runtime overflow fallback both surface
-    here.
+    Returns ``(costs of terminated runs, #unfinished, engine used,
+    fallback reason)``.  The cost array contains one float per run that
+    terminated within the step budget (assertion-failed runs count as
+    terminated, with the cost accumulated up to the failing assertion,
+    exactly as in the scalar semantics).  The returned engine name is
+    what actually ran -- ``"auto"`` resolution and the runtime overflow
+    fallback both surface here, with the reason naming the construct (or
+    runtime event) that blocked vectorisation.
     """
-    chosen, executor = resolve_engine(engine, program, scheduler, max_steps)
+    chosen, executor, reason = resolve_engine_with_reason(
+        engine, program, scheduler, max_steps)
     if chosen == "vec":
         try:
             batch = executor.run_batch(initial_state, runs=runs, seed=seed,
                                        batch_size=batch_size)
-        except VexecRangeError:
+        except VexecRangeError as exc:
             # Values left the int64-safe range at runtime.  Under 'auto'
             # that is the executor's limitation, not the program's error:
             # retry on the scalar interpreter (exact Python ints).
             if engine == "vec":
                 raise
+            reason = str(exc)
         else:
-            return batch.finished_costs(), batch.unfinished_runs, "vec"
+            return batch.finished_costs(), batch.unfinished_runs, "vec", ""
     interpreter = Interpreter(program, scheduler=scheduler, max_steps=max_steps)
     rng = np.random.default_rng(seed)
     costs: List[float] = []
@@ -201,16 +236,17 @@ def sample_costs(program: ast.Program,
             unfinished += 1
             continue
         costs.append(float(result.cost))
-    return np.asarray(costs, dtype=float), unfinished, "scalar"
+    return np.asarray(costs, dtype=float), unfinished, "scalar", reason
 
 
 def summarise_costs(costs: np.ndarray, unfinished: int,
-                    engine: str = "scalar") -> SampleStatistics:
+                    engine: str = "scalar",
+                    fallback_reason: str = "") -> SampleStatistics:
     """Fold a sampled cost array into :class:`SampleStatistics`."""
     if len(costs) == 0:
         nan = float("nan")
         return SampleStatistics(nan, nan, nan, nan, nan, nan, nan, 0,
-                                unfinished, engine)
+                                unfinished, engine, fallback_reason)
     data = np.asarray(costs, dtype=float)
     q1, median, q3 = np.percentile(data, [25, 50, 75])
     return SampleStatistics(
@@ -224,6 +260,7 @@ def summarise_costs(costs: np.ndarray, unfinished: int,
         runs=len(data),
         unfinished_runs=unfinished,
         engine=engine,
+        fallback_reason=fallback_reason,
     )
 
 
@@ -236,11 +273,10 @@ def estimate_expected_cost(program: ast.Program,
                            engine: str = "scalar",
                            batch_size: Optional[int] = None) -> SampleStatistics:
     """Sample ``runs`` executions and summarise the observed costs."""
-    costs, unfinished, used = sample_costs(program, initial_state, runs=runs,
-                                           seed=seed, scheduler=scheduler,
-                                           max_steps=max_steps, engine=engine,
-                                           batch_size=batch_size)
-    return summarise_costs(costs, unfinished, used)
+    costs, unfinished, used, reason = sample_costs(
+        program, initial_state, runs=runs, seed=seed, scheduler=scheduler,
+        max_steps=max_steps, engine=engine, batch_size=batch_size)
+    return summarise_costs(costs, unfinished, used, reason)
 
 
 def sweep_expected_cost(program: ast.Program,
@@ -297,10 +333,11 @@ def histogram_of_costs(program: ast.Program,
                        engine: str = "scalar",
                        batch_size: Optional[int] = None) -> CostHistogram:
     """Sampled cost histogram (Figure 8 left), with unfinished-run accounting."""
-    costs, unfinished, used = sample_costs(program, initial_state, runs=runs,
-                                           seed=seed, max_steps=max_steps,
-                                           engine=engine,
-                                           batch_size=batch_size)
+    costs, unfinished, used, _ = sample_costs(program, initial_state,
+                                              runs=runs, seed=seed,
+                                              max_steps=max_steps,
+                                              engine=engine,
+                                              batch_size=batch_size)
     data = np.asarray(costs, dtype=float)
     counts, edges = np.histogram(data, bins=bins)
     mean = float(data.mean()) if len(data) else float("nan")

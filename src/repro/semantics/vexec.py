@@ -403,11 +403,12 @@ class VecInterpreter:
             return mask.copy()
         return np.zeros_like(mask)
 
-    def _require_choice_mode(self, what: str) -> None:
+    def _require_choice_mode(self, what: str, node=None) -> None:
         if self._choice_mode is None:
             raise VectorisationError(
                 f"scheduler {type(self.scheduler).__name__} cannot resolve "
-                f"{what} lane-wise; use the scalar interpreter")
+                f"{what}{ast.span_suffix(node)} lane-wise; "
+                f"use the scalar interpreter")
 
     # -- expressions --------------------------------------------------------
 
@@ -416,15 +417,15 @@ class VecInterpreter:
             value = expr.value
             if value.denominator != 1:
                 raise VectorisationError(
-                    f"non-integral constant {value} in an expression cannot "
-                    f"be executed over integer state arrays")
+                    f"non-integral constant {value}{ast.span_suffix(expr)} "
+                    f"cannot be executed over integer state arrays")
             constant = int(value)
             if abs(constant) > _VALUE_LIMIT:
                 # Reject at compile time so engine='auto' can fall back to
                 # the scalar interpreter (which computes with exact ints).
                 raise VectorisationError(
-                    f"constant {constant} exceeds the vectorised executor's "
-                    f"integer range (2^61)")
+                    f"constant {constant}{ast.span_suffix(expr)} exceeds the "
+                    f"vectorised executor's integer range (2^61)")
             return lambda ctx, mask: constant
         if isinstance(expr, ast.Var):
             name = expr.name
@@ -442,7 +443,8 @@ class VecInterpreter:
             return negate
         if isinstance(expr, ast.BinOp):
             return self._compile_binop(expr)
-        raise VectorisationError(f"cannot vectorise expression {expr!r}")
+        raise VectorisationError(
+            f"cannot vectorise expression {expr}{ast.span_suffix(expr)}")
 
     def _compile_binop(self, expr: ast.BinOp):
         op = expr.op
@@ -526,7 +528,7 @@ class VecInterpreter:
 
     def _compile_bool(self, expr: ast.Expr):
         if isinstance(expr, ast.Star):
-            self._require_choice_mode("a '*' guard")
+            self._require_choice_mode("a '*' guard", expr)
             return lambda ctx, mask: self._choose(ctx, mask)
         inner = self._compile_expr(expr)
         return lambda ctx, mask: np.asarray(inner(ctx, mask)) != 0
@@ -619,7 +621,7 @@ class VecInterpreter:
                 return taken | other
             return run_if
         if isinstance(command, ast.NonDetChoice):
-            self._require_choice_mode("'if *'")
+            self._require_choice_mode("'if *'", command)
             left = self._compile_command(command.left)
             right = self._compile_command(command.right)
 
@@ -690,7 +692,9 @@ class VecInterpreter:
                     raise EvaluationError(f"undefined procedure {name!r}")
                 return callee(ctx, mask, depth + 1)
             return run_call
-        raise VectorisationError(f"cannot vectorise command {command!r}")
+        raise VectorisationError(
+            f"cannot vectorise command {type(command).__name__}"
+            f"{ast.span_suffix(command)}")
 
     def _compile_tick(self, command: ast.Tick):
         scale = self.cost_denominator
@@ -703,9 +707,10 @@ class VecInterpreter:
             # runtime check needed on this hot path.
             if abs(numerator) * (self.max_steps + 1) > _VALUE_LIMIT:
                 raise VectorisationError(
-                    f"constant tick amount {command.amount} could overflow "
-                    f"the vectorised cost accumulator within the step "
-                    f"budget; use the scalar engine")
+                    f"constant tick amount {command.amount}"
+                    f"{ast.span_suffix(command)} could overflow the "
+                    f"vectorised cost accumulator within the step budget; "
+                    f"use the scalar engine")
 
             def run_tick(ctx, mask, depth):
                 mask = _charge(ctx, mask)

@@ -323,7 +323,52 @@ class AnalysisGateway:
             return {"op": "analyze", "status": result.status,
                     "tier": tier, "cached": tier in ("memory", "store"),
                     "result": result.to_record()}
+        if op == "lint":
+            return await self._handle_lint(payload)
         raise ValueError(f"unknown op {op!r}")
+
+    async def _handle_lint(self,
+                           payload: Dict[str, object]) -> Dict[str, object]:
+        """Run the static lint passes over one source text.
+
+        Lint is deterministic and cheap (no LP, no derivation), so it
+        bypasses the cache tiers and the worker pool; the walk still runs
+        on an executor thread to keep the event loop responsive.
+        """
+        from repro.lang.analysis import (lint_source, max_severity,
+                                         severity_counts)
+
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise ValueError("'lint' needs a 'source' string")
+        name = str(payload.get("name") or "<request>")
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ValueError("'options' must be an object")
+        # Mirror the analyzer's pre-flight seeding: the resource counter
+        # is zero-initialized by convention.
+        counter = options.get("resource_counter")
+        loop = asyncio.get_running_loop()
+
+        def run_lint():
+            from repro.lang.parser import parse_program
+            try:
+                program = parse_program(source)
+            except Exception:
+                return lint_source(source)
+            seed = set(program.main_procedure.params)
+            if counter:
+                seed.add(str(counter))
+            return lint_source(source, initial_state=seed)
+
+        diagnostics = await loop.run_in_executor(None, run_lint)
+        return {
+            "op": "lint",
+            "name": name,
+            "severity": max_severity(diagnostics),
+            "counts": severity_counts(diagnostics),
+            "diagnostics": [diag.to_dict() for diag in diagnostics],
+        }
 
     async def _handle_batch(self, payload: Dict[str, object],
                             writer: asyncio.StreamWriter,
@@ -689,6 +734,16 @@ class GatewayClient:
             yield response
             if response.get("op") != "batch-result":
                 return
+
+    def lint(self, source: str,
+             options: Optional[Dict[str, object]] = None,
+             name: Optional[str] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "lint", "source": source}
+        if options:
+            payload["options"] = options
+        if name:
+            payload["name"] = name
+        return self.request(payload)
 
     def shutdown(self) -> Dict[str, object]:
         return self.request({"op": "shutdown"})

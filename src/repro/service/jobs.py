@@ -53,14 +53,19 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 #: hashed, not the machine-dependent resolution of ``auto`` -- the backends
 #: are byte-identical (warm/cold identity pin), so an ``auto`` job keys the
 #: same on a highspy-equipped machine and a SciPy-only one.
-SCHEMA_VERSION = 5
+#: v6: results carry the pre-flight lint diagnostics (``diagnostics``, a
+#: list of :meth:`repro.lang.analysis.Diagnostic.to_dict` records) and the
+#: pre-flight gate's ``lint-error`` status joins the cacheable set (lint is
+#: a deterministic function of the job content).
+SCHEMA_VERSION = 6
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
 #: ``analysis-error`` and ``resource-limit`` may be environment-dependent
 #: (e.g. the constraint cap) and ``timeout``/``cancelled``/``error``
 #: describe the run, not the job.
-CACHEABLE_STATUSES = frozenset({"ok", "no-bound", "parse-error"})
+CACHEABLE_STATUSES = frozenset({"ok", "no-bound", "parse-error",
+                                "lint-error"})
 
 
 def canonical_source(source: str) -> str:
@@ -246,8 +251,9 @@ class JobResult:
     name: str
     job_hash: str
     status: str                      # ok | no-bound | analysis-error |
-                                     # resource-limit | parse-error | error |
-                                     # timeout | cancelled
+                                     # resource-limit | parse-error |
+                                     # lint-error | error | timeout |
+                                     # cancelled
     wall_seconds: float = 0.0
     degree: int = 0
     bound: Optional[Dict[str, object]] = None
@@ -278,6 +284,9 @@ class JobResult:
     #: :mod:`repro.service.faults` and real ones observed by the scheduler
     #: (e.g. ``worker-lost``, ``store-write-error``).
     fault_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Pre-flight lint diagnostics (schema v6): ``Diagnostic.to_dict()``
+    #: records, present only when the job ran with ``preflight`` enabled.
+    diagnostics: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
@@ -317,7 +326,7 @@ class JobResult:
             "name", "job_hash", "status", "wall_seconds", "degree", "bound",
             "lp_variables", "lp_constraints", "message", "certificate",
             "engine", "domain", "worker_pid", "pipeline", "attempts",
-            "degraded", "fault_events")}
+            "degraded", "fault_events", "diagnostics")}
         return cls(**fields)
 
 
@@ -345,6 +354,7 @@ def result_from_analysis(job: AnalysisJob, analysis: AnalysisResult,
         domain=domain,
         worker_pid=os.getpid(),
         pipeline=analysis.stats.to_dict() if analysis.stats else {},
+        diagnostics=[diag.to_dict() for diag in analysis.diagnostics],
     )
 
 

@@ -112,7 +112,41 @@ class AnalysisServer:
             return self._handle_analyze(payload)
         if op == "batch":
             return self._handle_batch(payload)
+        if op == "lint":
+            return self._handle_lint(payload)
         return {"error": f"unknown op {op!r}"}
+
+    def _handle_lint(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Run the static lint passes over one source text (no analysis)."""
+        from repro.lang.analysis import (lint_source, max_severity,
+                                         severity_counts)
+        from repro.lang.parser import parse_program
+
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise ValueError("'lint' needs a 'source' string")
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ValueError("'options' must be an object")
+        counter = options.get("resource_counter")
+        try:
+            program = parse_program(source)
+        except Exception:
+            diagnostics = lint_source(source)
+        else:
+            # The resource counter is zero-initialized by convention, so
+            # counter updates are not uninitialized reads.
+            seed = set(program.main_procedure.params)
+            if counter:
+                seed.add(str(counter))
+            diagnostics = lint_source(source, initial_state=seed)
+        return {
+            "op": "lint",
+            "name": str(payload.get("name") or "<request>"),
+            "severity": max_severity(diagnostics),
+            "counts": severity_counts(diagnostics),
+            "diagnostics": [diag.to_dict() for diag in diagnostics],
+        }
 
     def _handle_analyze(self, payload: Dict[str, object]) -> Dict[str, object]:
         job = _job_from_request(payload, self.requests_served,

@@ -176,3 +176,143 @@ def test_soundness_holds_under_polyhedra_domain():
             f" = {bound_value:.3f} < {stats.mean:.3f}\n"
             f"{program_to_source(program)}")
     assert analyzed >= 5
+
+# ---------------------------------------------------------------------------
+# Lint front-end: crash-freedom, differential soundness, verdict agreement
+# ---------------------------------------------------------------------------
+
+def _mutate_source(rng: random.Random, source: str) -> str:
+    """One random text edit: lint must survive arbitrary broken input."""
+    if not source:
+        return source
+    kind = rng.randrange(4)
+    pos = rng.randrange(len(source))
+    if kind == 0:                       # delete a slice
+        end = min(len(source), pos + rng.randint(1, 12))
+        return source[:pos] + source[end:]
+    if kind == 1:                       # truncate
+        return source[:pos]
+    if kind == 2:                       # insert junk
+        junk = "".join(rng.choice("(){};=<>*/+-x0 $#\n")
+                       for _ in range(rng.randint(1, 6)))
+        return source[:pos] + junk + source[pos:]
+    return source[:pos] + rng.choice("}{;*") + source[pos:]  # swap one char
+
+
+def test_lint_never_crashes_on_fuzzed_sources():
+    """lint_source returns diagnostics (often just R001) for ANY input."""
+    from repro.lang.analysis import CODES, lint_source
+
+    rng = random.Random(0x11A7)
+    linted = 0
+    for _ in range(110):
+        source = program_to_source(random_program(rng))
+        for candidate in [source] + [_mutate_source(rng, source)
+                                     for _ in range(4)]:
+            diagnostics = lint_source(candidate)
+            for diag in diagnostics:
+                assert diag.code in CODES
+            linted += 1
+    assert linted >= 500
+
+
+def test_lint_clean_programs_never_read_uninitialized():
+    """No R101/R102 => the strict-init interpreter never raises.
+
+    The definite-initialization pass under-approximates, so lint silence
+    is a *guarantee*; this differential run is the oracle for it.
+    """
+    from repro.lang.analysis import lint_program
+    from repro.lang.errors import UninitializedReadError
+    from repro.semantics.interp import Interpreter
+
+    rng = random.Random(0xD1FF)
+    checked = 0
+    for index in range(PROGRAM_COUNT):
+        program = random_program(rng)
+        diagnostics = lint_program(program)
+        if any(diag.code in ("R101", "R102") for diag in diagnostics):
+            continue
+        interpreter = Interpreter(program, max_steps=5_000, strict_init=True)
+        for seed in range(3):
+            try:
+                interpreter.run(dict(INPUT_STATE), seed=seed)
+            except UninitializedReadError as exc:
+                raise AssertionError(
+                    f"program {index} lints clean but reads {exc.name!r} "
+                    f"uninitialized:\n{program_to_source(program)}")
+        checked += 1
+    assert checked >= PROGRAM_COUNT // 2
+
+
+def _vexec_accepts(program, scheduler=None) -> bool:
+    from repro.semantics.vexec import VecInterpreter, VectorisationError
+
+    try:
+        VecInterpreter(program, scheduler=scheduler)
+    except VectorisationError:
+        return False
+    return True
+
+
+def _poisoned_programs():
+    """Programs hitting each static vectorisation rejection (and near-misses)."""
+    import repro.lang.ast as ast_mod
+
+    limit = 1 << 61
+    yield B.program(B.proc("main", ["n"], ast_mod.Assign(
+        "x", ast_mod.Const(Fraction(limit + 1)))))          # const too large
+    yield B.program(B.proc("main", ["n"], ast_mod.Assign(
+        "x", ast_mod.Const(Fraction(limit)))))              # boundary: fits
+    yield B.program(B.proc("main", ["n"], ast_mod.Assign(
+        "x", ast_mod.Const(Fraction(1, 2)))))               # non-integral
+    yield B.program(B.proc("main", ["n"],
+                           B.tick(Fraction(10 ** 13))))     # accumulator
+    yield B.program(B.proc("main", ["n"], B.tick(Fraction(1, 2))))  # scaled ok
+    yield B.program(B.proc("main", ["n"], ast_mod.NonDetChoice(
+        B.tick(1), B.skip())))                              # needs choice mode
+
+
+def test_vectorizability_verdict_matches_vexec():
+    """Static verdict == dynamic compile outcome: registry, fuzz, poisons."""
+    from repro.bench.registry import benchmark_names, get_benchmark
+    from repro.lang.analysis import VEC_VALUE_LIMIT, vectorizability_verdict
+    from repro.semantics import vexec
+    from repro.semantics.interp import Scheduler
+    from repro.semantics.sampler import resolve_engine_with_reason
+
+    assert VEC_VALUE_LIMIT == vexec._VALUE_LIMIT  # the drift pin
+
+    programs = []
+    for name in benchmark_names():
+        benchmark = get_benchmark(name)
+        programs.append((name, parse_program(benchmark.source_text())))
+        programs.append((f"{name} (simulation)",
+                         benchmark.build_for_simulation()))
+    rng = random.Random(0xEC)
+    for index in range(20):
+        programs.append((f"fuzz {index}", random_program(rng)))
+    for index, poisoned in enumerate(_poisoned_programs()):
+        programs.append((f"poison {index}", poisoned))
+
+    for label, program in programs:
+        verdict = vectorizability_verdict(program)
+        accepted = _vexec_accepts(program)
+        assert verdict.ok == accepted, (
+            f"{label}: static verdict {verdict.ok} "
+            f"({verdict.reason!r}) != vexec acceptance {accepted}")
+        engine, _, reason = resolve_engine_with_reason("auto", program)
+        assert engine == ("vec" if accepted else "scalar")
+        assert bool(reason) == (not accepted)
+        if not verdict.ok:
+            assert verdict.reason  # every rejection names its construct
+
+    # An unresolvable scheduler blocks '*' lane-wise on both sides.
+    import repro.lang.ast as ast_mod
+    star = B.program(B.proc("main", ["n"],
+                            ast_mod.NonDetChoice(B.tick(1), B.skip())))
+    opaque = Scheduler()
+    mode = vexec.VecInterpreter._resolve_choice_mode(opaque)
+    assert mode is None
+    assert not vectorizability_verdict(star, choice_mode=mode).ok
+    assert not _vexec_accepts(star, scheduler=opaque)
