@@ -15,6 +15,7 @@ compare against a committed baseline::
     python -m repro.bench.perfsmoke --sampler          # sampler throughput
     python -m repro.bench.perfsmoke --domain polyhedra   # other backend
     python -m repro.bench.perfsmoke --compare-domains    # fm vs polyhedra
+    python -m repro.bench.perfsmoke --prefilter-compare  # interval tier gate
     python -m repro.bench.perfsmoke --chaos            # fault-recovery gate
     python -m repro.bench.perfsmoke --serve            # gateway load bench
     python -m repro.bench.perfsmoke --lint             # diagnostics sweep
@@ -57,6 +58,14 @@ underlying analysis and every storm client saw a byte-identical result.
 With ``--check``, hot-tier throughput is additionally gated against the
 baseline's.
 
+``--prefilter-compare`` adds an interval pre-filter section: the suite is
+re-timed cold twice -- interval tier (:mod:`repro.logic.intervals`) on and
+off -- recording per-tier hit counts, the interval-tier hit rate and the
+wall delta under ``prefilter_compare``, asserting bound identity between
+the legs.  The pass fails when the tier decides less than
+``PREFILTER_MIN_HIT_RATE`` of the queries that reach it (the would-be
+exact-backend queries).
+
 ``--lint`` adds a static-diagnostics sweep: every selected benchmark is
 linted through :func:`repro.lang.analysis.lint_program` exactly the way
 the analyzer's pre-flight gate does it (main parameters plus the declared
@@ -84,7 +93,8 @@ from repro.bench.reporting import render_table
 from repro.core.analyzer import analyze_program
 from repro.core.lpsession import (force_cold_solves, resolve_solver_backend,
                                   solver_choices)
-from repro.logic.entailment import available_domains, get_engine, resolve_domain
+from repro.logic.entailment import (active_prefilter, available_domains,
+                                    get_engine, resolve_domain)
 
 #: Default output path (repo root when invoked from a checkout).
 DEFAULT_OUTPUT = "BENCH_entailment.json"
@@ -108,6 +118,14 @@ SAMPLER_MIN_SPEEDUP = 5.0
 ESCALATION_MIN_SOLVE_SPEEDUP = 1.3
 #: The Figure 8 histogram run count (paper scale).
 SAMPLER_RUNS = 10_000
+
+#: Interval pre-filter gate: with ``--prefilter-compare``, the interval
+#: tier (:mod:`repro.logic.intervals`) must decide at least this fraction
+#: of the queries that fall through the memo and syntactic tiers -- i.e.
+#: of the queries that would otherwise hit the exact backend.  Measured
+#: well above this on the Table 1 suite; the floor keeps the tier honest
+#: without flaking on suite composition changes.
+PREFILTER_MIN_HIT_RATE = 0.5
 
 #: Pre-flight lint gate: with ``--check``, the full static-diagnostics
 #: sweep over the suite must cost less than this fraction of the cold
@@ -148,6 +166,7 @@ def run_suite(group: str = "linear",
               domain: Optional[str] = None,
               solver: Optional[str] = None,
               compare_domains: bool = False,
+              prefilter_compare: bool = False,
               chaos: bool = False,
               serve: bool = False,
               lint: bool = False) -> Dict[str, object]:
@@ -168,7 +187,10 @@ def run_suite(group: str = "linear",
     field); ``compare_domains=True`` re-times the suite's entailment load
     once per registered backend and records the per-domain walls and engine
     counters under ``domains``, asserting bound identity across backends
-    along the way.
+    along the way; ``prefilter_compare=True`` re-times the suite cold with
+    the interval pre-filter tier on and off, recording per-tier hit
+    counts, the interval-tier hit rate and the wall delta under
+    ``prefilter`` (bounds asserted identical between the legs).
     """
     domain = resolve_domain(domain)
     resolved_solver = resolve_solver_backend(solver)
@@ -187,7 +209,8 @@ def run_suite(group: str = "linear",
                                              "solver": solver})
         wall = time.perf_counter() - start
         delta = engine.stats.delta(before)
-        answered = delta["memo_hits"] + delta["fast_hits"]
+        answered = (delta["memo_hits"] + delta["fast_hits"]
+                    + delta["interval_hits"])
         stats = result.stats
         rows.append({
             "name": bench.name,
@@ -204,6 +227,7 @@ def run_suite(group: str = "linear",
             "fm_eliminations": delta["eliminations"],
             "cache_memo_hits": delta["memo_hits"],
             "cache_fast_hits": delta["fast_hits"],
+            "cache_interval_hits": delta["interval_hits"],
             "cache_hit_rate": round(answered / delta["queries"], 4)
                               if delta["queries"] else None,
         })
@@ -211,9 +235,13 @@ def run_suite(group: str = "linear",
     # Report the delta over this suite only, so the JSON is comparable to
     # the committed baseline even from a warm or multi-suite process.
     suite_stats = engine.stats.delta(suite_before)
-    answered = suite_stats["memo_hits"] + suite_stats["fast_hits"]
+    answered = (suite_stats["memo_hits"] + suite_stats["fast_hits"]
+                + suite_stats["interval_hits"])
     suite_stats["hit_rate"] = (round(answered / suite_stats["queries"], 4)
                                if suite_stats["queries"] else 0.0)
+    reached = suite_stats["interval_hits"] + suite_stats["misses"]
+    suite_stats["interval_hit_rate"] = (
+        round(suite_stats["interval_hits"] / reached, 4) if reached else 0.0)
 
     suite_wall_parallel: Optional[float] = None
     parallel_speedup: Optional[float] = None
@@ -234,6 +262,10 @@ def run_suite(group: str = "linear",
     domain_summary: Optional[Dict[str, object]] = None
     if compare_domains:
         domain_summary = _domain_comparison_pass(benchmarks)
+
+    prefilter_summary: Optional[Dict[str, object]] = None
+    if prefilter_compare:
+        prefilter_summary = _prefilter_comparison_pass(benchmarks, domain)
 
     chaos_summary: Optional[Dict[str, object]] = None
     if chaos:
@@ -260,6 +292,7 @@ def run_suite(group: str = "linear",
         "machine": platform.machine(),
         "domain": domain,
         "solver": resolved_solver,
+        "prefilter": active_prefilter(),
         "workers": workers,
         "total_wall_seconds": round(total_wall, 3),
         "suite_wall_parallel": suite_wall_parallel,
@@ -267,6 +300,7 @@ def run_suite(group: str = "linear",
         "escalation": escalation_summary,
         "sampler": sampler_summary,
         "domains": domain_summary,
+        "prefilter_compare": prefilter_summary,
         "chaos": chaos_summary,
         "serve": serve_summary,
         "lint": lint_summary,
@@ -481,6 +515,77 @@ def _domain_comparison_pass(benchmarks) -> Dict[str, object]:
             "programs": program_rows,
         }
     return comparison
+
+
+def _prefilter_comparison_pass(benchmarks,
+                               domain: Optional[str] = None
+                               ) -> Dict[str, object]:
+    """Time the suite cold with the interval pre-filter on and off.
+
+    Two legs over the selected benchmarks -- interval tier enabled, then
+    disabled -- each from a fresh engine and cleared rewrite memos, so the
+    walls measure the tier doing (or not doing) the full query load.  The
+    per-leg tier hit counts, the interval-tier hit rate (the fraction of
+    memo/syntactic misses the tier decided -- the number the
+    ``PREFILTER_MIN_HIT_RATE`` gate enforces) and the wall delta land in
+    the report.  Bounds are asserted identical between the legs: the tier
+    only answers when it provably matches the exact backend, so any
+    divergence is a soundness bug worth failing the run for.
+    """
+    from repro.core.rewrite import clear_rewrite_caches
+    from repro.logic.entailment import reset_engine
+
+    domain = resolve_domain(domain)
+    legs: Dict[str, Dict[str, object]] = {}
+    reference_bounds: Dict[str, Optional[str]] = {}
+    for enabled in (True, False):
+        label = "on" if enabled else "off"
+        engine = reset_engine(domain)
+        clear_rewrite_caches()
+        before = engine.stats.snapshot()
+        start = time.perf_counter()
+        for bench in benchmarks:
+            program = bench.build()
+            result = analyze_program(program, **{**bench.analyzer_options,
+                                                 "domain": domain,
+                                                 "prefilter": enabled})
+            bound = result.bound.pretty() if result.bound else None
+            if bench.name in reference_bounds \
+                    and reference_bounds[bench.name] != bound:
+                raise AssertionError(
+                    f"prefilter bound mismatch for {bench.name}: "
+                    f"prefilter={label} found {bound!r} vs "
+                    f"{reference_bounds[bench.name]!r}")
+            reference_bounds.setdefault(bench.name, bound)
+        total_wall = time.perf_counter() - start
+        delta = engine.stats.delta(before)
+        answered = (delta["memo_hits"] + delta["fast_hits"]
+                    + delta["interval_hits"])
+        reached = delta["interval_hits"] + delta["misses"]
+        legs[label] = {
+            "total_wall_seconds": round(total_wall, 3),
+            "queries": delta["queries"],
+            "eliminations": delta["eliminations"],
+            "tiers": {
+                "memo": delta["memo_hits"],
+                "syntactic": delta["fast_hits"],
+                "interval": delta["interval_hits"],
+                "exact": delta["misses"],
+            },
+            "hit_rate": (round(answered / delta["queries"], 4)
+                         if delta["queries"] else None),
+            "interval_hit_rate": (round(delta["interval_hits"] / reached, 4)
+                                  if reached else None),
+        }
+    wall_on = legs["on"]["total_wall_seconds"]
+    wall_off = legs["off"]["total_wall_seconds"]
+    return {
+        "domain": domain,
+        "on": legs["on"],
+        "off": legs["off"],
+        "wall_delta_seconds": round(wall_off - wall_on, 3),
+        "speedup": round(wall_off / wall_on, 3) if wall_on else None,
+    }
 
 
 def _chaos_pass(benchmarks, workers: int = 2,
@@ -1012,6 +1117,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also time the suite once per registered "
                              "backend (fm vs polyhedra), record per-domain "
                              "entailment counters and assert bound identity")
+    parser.add_argument("--prefilter-compare", action="store_true",
+                        help="also time the suite cold with the interval "
+                             "pre-filter tier on and off, record per-tier "
+                             "hit counts and the wall delta, assert bound "
+                             "identity between the legs, and fail unless "
+                             "the tier decides at least "
+                             f"{PREFILTER_MIN_HIT_RATE:.0%} of the queries "
+                             "that reach it")
+    parser.add_argument("--prefilter-min-hit-rate", type=float,
+                        default=PREFILTER_MIN_HIT_RATE,
+                        help="interval-tier hit-rate floor for "
+                             "--prefilter-compare (fraction of memo/"
+                             "syntactic misses the tier must decide)")
     parser.add_argument("--chaos", action="store_true",
                         help="also run the fault-recovery gate: re-run the "
                              "suite with deterministic worker crashes "
@@ -1079,6 +1197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        sampler=args.sampler, sampler_runs=args.sampler_runs,
                        domain=args.domain, solver=args.solver,
                        compare_domains=args.compare_domains,
+                       prefilter_compare=args.prefilter_compare,
                        chaos=args.chaos, serve=args.serve, lint=args.lint)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
@@ -1122,6 +1241,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{summary['eliminations']} eliminations"
                       + (f", hit rate {summary['hit_rate']:.1%}"
                          if summary["hit_rate"] is not None else ""))
+        prefilter_report = report.get("prefilter_compare")
+        if prefilter_report:
+            on = prefilter_report["on"]
+            off = prefilter_report["off"]
+            rate = on["interval_hit_rate"]
+            print(f"prefilter [{prefilter_report['domain']}]: on "
+                  f"{on['total_wall_seconds']:.2f}s vs off "
+                  f"{off['total_wall_seconds']:.2f}s; interval tier "
+                  f"decided {on['tiers']['interval']} of "
+                  f"{on['tiers']['interval'] + on['tiers']['exact']} "
+                  "tier-reaching queries"
+                  + (f" (hit rate {rate:.1%})" if rate is not None else "")
+                  + f", {off['eliminations'] - on['eliminations']} "
+                  "eliminations avoided")
         chaos_report = report.get("chaos")
         if chaos_report:
             if "skipped" in chaos_report:
@@ -1179,6 +1312,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"sampler throughput gate FAILED: vec speedup "
                   f"{speedup} < required {args.sampler_min_speedup}x",
                   file=sys.stderr)
+            return 1
+
+    prefilter_report = report.get("prefilter_compare")
+    if prefilter_report is not None:
+        rate = prefilter_report["on"]["interval_hit_rate"]
+        if rate is None or rate < args.prefilter_min_hit_rate:
+            print(f"interval pre-filter gate FAILED: tier hit rate "
+                  f"{rate} < required {args.prefilter_min_hit_rate:.0%} "
+                  "of tier-reaching queries", file=sys.stderr)
             return 1
 
     escalation_report = report.get("escalation")

@@ -82,6 +82,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return EXIT_PARSE_ERROR
     options = {"max_degree": args.degree, "auto_degree": not args.no_auto_degree,
                "domain": args.domain, "solver": args.solver}
+    if args.prefilter is not None:
+        options["prefilter"] = args.prefilter == "on"
     if args.counter:
         options["resource_counter"] = args.counter
     if args.degree_limit is not None:
@@ -416,6 +418,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.solver is not None:
         # The LP backend selector is hashed the same way (see SCHEMA v5).
         extra_options["solver"] = args.solver
+    if args.prefilter is not None:
+        # Observational, but stamped into the job hash (SCHEMA v7).
+        extra_options["prefilter"] = args.prefilter == "on"
     jobs = _collect_batch_jobs(args.targets, extra_options)
     if not jobs:
         raise SystemExit("nothing to analyze")
@@ -475,6 +480,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_options["domain"] = args.domain
     if args.solver is not None:
         default_options["solver"] = args.solver
+    if args.prefilter is not None:
+        default_options["prefilter"] = args.prefilter == "on"
     if args.async_gateway:
         from repro.service import gateway
         from repro.service.retry import RetryPolicy
@@ -592,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--domain", choices=available_domains(), default=None,
                          help="abstract-domain backend for entailment "
                               "queries (default: $REPRO_DOMAIN or fm)")
+    analyze.add_argument("--prefilter", choices=("on", "off"), default=None,
+                         help="interval pre-filter tier in front of the "
+                              "exact domain; bounds are identical either "
+                              "way (default: $REPRO_PREFILTER or on)")
     analyze.add_argument("--solver", choices=solver_choices(), default=None,
                          help="LP solver backend: auto picks the native "
                               "warm-started highs session when highspy is "
@@ -684,6 +695,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--domain", choices=available_domains(), default=None,
                        help="abstract-domain backend for every job (part "
                             "of the cache key; default: $REPRO_DOMAIN or fm)")
+    batch.add_argument("--prefilter", choices=("on", "off"), default=None,
+                       help="interval pre-filter tier for every job (part "
+                            "of the cache key; default: $REPRO_PREFILTER "
+                            "or on)")
     batch.add_argument("--solver", choices=solver_choices(), default=None,
                        help="LP solver backend selector for every job (part "
                             "of the cache key; default: $REPRO_SOLVER or "
@@ -718,6 +733,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--domain", choices=available_domains(), default=None,
                        help="default abstract-domain backend for requests "
                             "that do not set one (part of the job hash)")
+    serve.add_argument("--prefilter", choices=("on", "off"), default=None,
+                       help="default interval pre-filter setting for "
+                            "requests that do not set one (part of the "
+                            "job hash)")
     serve.add_argument("--solver", choices=solver_choices(), default=None,
                        help="default LP solver backend selector for "
                             "requests that do not set one (part of the "

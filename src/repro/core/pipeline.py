@@ -390,19 +390,25 @@ class AnalysisPipeline:
         The whole run executes with the configured abstract domain active
         (:func:`repro.logic.entailment.use_domain`), so every ``Context``
         operation -- from abstract interpretation to the rewrite-side
-        entailment checks -- is answered by the selected backend.
+        entailment checks -- is answered by the selected backend.  The
+        interval pre-filter setting is activated the same way
+        (:func:`repro.logic.entailment.use_prefilter`): per-analysis, and
+        restored afterwards so a job's setting cannot leak into the next
+        job in the same process.
         """
         from repro.core.analyzer import AnalysisResult
-        from repro.logic.entailment import resolve_domain, use_domain
+        from repro.logic.entailment import (resolve_domain, resolve_prefilter,
+                                            use_domain, use_prefilter)
 
         try:
             domain = resolve_domain(self.config.domain)
+            prefilter = resolve_prefilter(self.config.prefilter)
             resolve_solver_backend(self.config.solver)
         except ValueError as exc:
             return AnalysisResult(
                 False, None, self.config.max_degree, 0.0, 0, 0, None,
                 str(exc), failure_kind="analysis-error", stats=self.stats)
-        with use_domain(domain):
+        with use_domain(domain), use_prefilter(prefilter):
             return self._run_attempts()
 
     def _run_attempts(self) -> "AnalysisResult":

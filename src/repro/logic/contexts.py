@@ -134,13 +134,29 @@ class Context:
             return True
         if other._unreachable:
             return not self.is_satisfiable()
-        # Syntactic subset: every fact of ``other`` appears literally.
+        # Syntactic subset: every fact of ``other`` appears literally.  This
+        # short circuit never reaches the engine, so it is counted in *no*
+        # tier of the engine's per-tier hit statistics -- in particular it
+        # cannot double-count against the interval pre-filter's counters
+        # (``tests/test_intervals.py`` pins this).
         if other._fact_set <= self._fact_set:
             return True
         return all(self.entails_many(other._facts))
 
     def greatest_lower_bound(self, expression: LinExpr) -> Optional[Fraction]:
-        """The largest ``c`` with ``self |= expression >= c`` (``None`` if unbounded)."""
+        """The largest ``c`` with ``self |= expression >= c``, or ``None``.
+
+        ``None`` means "no finite greatest lower bound exists": either
+        ``expression`` is unbounded below under the context, or the
+        context is unsatisfiable/unreachable -- an unreachable context
+        entails ``expression >= c`` for *every* ``c``, so no largest one
+        exists.  Callers (the rewrite generator in
+        :mod:`repro.core.rewrite`) use the returned value as a certified
+        constant, so the sentinel deliberately conflates the two cases:
+        both mean "there is no constant you can cite".  The engine's
+        backends follow the same convention
+        (:func:`repro.logic.fourier_motzkin.greatest_lower_bound`).
+        """
         if self._unreachable:
             return None
         return get_engine().greatest_lower_bound(self._facts, expression,
@@ -173,11 +189,15 @@ class Context:
         if self._unreachable:
             return self
         try:
-            projected = get_engine().assign(self._facts, var, rhs)
+            projected = get_engine().assign(self._facts, var, rhs,
+                                            key=self._fact_set)
+        except fm.ConstraintCapExceeded:
+            # Only the eliminator's *own* cap falls back to the sound
+            # over-approximation; a genuine interpreter MemoryError must
+            # propagate instead of being swallowed as imprecision.
+            return self.havoc(var)
         except fm.Infeasible:
             return Context.unreachable_context()
-        except MemoryError:
-            return self.havoc(var)
         return Context(projected)
 
     def assign_interval(self, var: str, rhs: LinExpr,
@@ -193,11 +213,12 @@ class Context:
         try:
             projected = get_engine().assign(self._facts, var, rhs,
                                             to_fraction(low_shift),
-                                            to_fraction(high_shift))
+                                            to_fraction(high_shift),
+                                            key=self._fact_set)
+        except fm.ConstraintCapExceeded:
+            return self.havoc(var)
         except fm.Infeasible:
             return Context.unreachable_context()
-        except MemoryError:
-            return self.havoc(var)
         return Context(projected)
 
     # -- lattice operations ------------------------------------------------------------

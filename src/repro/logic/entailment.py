@@ -60,12 +60,16 @@ from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
                     Optional, Sequence, Tuple)
 
 from repro.logic import fourier_motzkin as fm
+from repro.logic.intervals import UNDECIDED, IntervalBox
 from repro.utils.linear import LinExpr
 
 FactKey = FrozenSet[LinExpr]
 
 #: Environment variable selecting the process-default domain.
 DOMAIN_ENV = "REPRO_DOMAIN"
+
+#: Environment variable selecting the process-default pre-filter state.
+PREFILTER_ENV = "REPRO_PREFILTER"
 
 #: The built-in default backend.
 FM_DOMAIN = "fm"
@@ -80,24 +84,53 @@ _ZERO = Fraction(0)
 
 
 class EntailmentStats:
-    """Counters describing how queries were answered."""
+    """Counters describing how queries were answered.
 
-    __slots__ = ("queries", "memo_hits", "fast_hits", "misses",
-                 "eliminations", "cap_blowups")
+    The first four counters partition the top-level queries by the tier
+    that answered them (memo -> syntactic -> interval -> exact backend);
+    :meth:`tiers` exposes that partition by tier name.  Note that
+    ``Context.entails_context``'s syntactic-subset short circuit never
+    reaches the engine at all, so it appears in *no* tier -- the counters
+    describe engine queries, not every logical question asked.
+    """
+
+    __slots__ = ("queries", "memo_hits", "fast_hits", "interval_hits",
+                 "misses", "eliminations", "fm_eliminations", "cap_blowups")
 
     def __init__(self) -> None:
-        self.queries = 0        # top-level entails/glb/feasibility queries
-        self.memo_hits = 0      # answered from the (facts, query) memo
-        self.fast_hits = 0      # answered by a syntactic fast path
-        self.misses = 0         # required Fourier-Motzkin work
-        self.eliminations = 0   # actual eliminate/minimize invocations
-        self.cap_blowups = 0    # projections killed by the constraint cap
+        self.queries = 0          # top-level entails/glb/feasibility queries
+        self.memo_hits = 0        # answered from the (facts, query) memo
+        self.fast_hits = 0        # answered by a syntactic fast path
+        self.interval_hits = 0    # answered by the interval pre-filter tier
+        self.misses = 0           # required exact-backend work
+        self.eliminations = 0     # eliminate/minimize/DD-conversion invocations
+        self.fm_eliminations = 0  # Fourier-Motzkin eliminate_all invocations
+        self.cap_blowups = 0      # projections killed by the constraint cap
 
     def hit_rate(self) -> float:
         """Fraction of queries answered without any elimination."""
         if not self.queries:
             return 0.0
-        return (self.memo_hits + self.fast_hits) / self.queries
+        return (self.memo_hits + self.fast_hits
+                + self.interval_hits) / self.queries
+
+    def interval_hit_rate(self) -> float:
+        """Fraction of tier-reaching queries the interval tier decided.
+
+        Measured against the queries that fell through the memo and the
+        syntactic fast paths (``interval_hits + misses``): of the queries
+        that *would have* hit the exact backend, how many did the
+        pre-filter shield?  This is the headline perfsmoke number.
+        """
+        reached = self.interval_hits + self.misses
+        if not reached:
+            return 0.0
+        return self.interval_hits / reached
+
+    def tiers(self) -> Dict[str, int]:
+        """Per-tier answer counts, in the order the tiers are tried."""
+        return {"memo": self.memo_hits, "syntactic": self.fast_hits,
+                "interval": self.interval_hits, "exact": self.misses}
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -109,11 +142,14 @@ class EntailmentStats:
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = self.snapshot()
         data["hit_rate"] = round(self.hit_rate(), 4)
+        data["interval_hit_rate"] = round(self.interval_hit_rate(), 4)
+        data["tiers"] = self.tiers()
         return data
 
     def __repr__(self) -> str:
         return (f"EntailmentStats(queries={self.queries}, "
                 f"memo_hits={self.memo_hits}, fast_hits={self.fast_hits}, "
+                f"interval_hits={self.interval_hits}, "
                 f"misses={self.misses}, eliminations={self.eliminations})")
 
 
@@ -150,8 +186,44 @@ class DomainBackend:
         """Exact projection onto ``keep``; raises ``Infeasible``."""
         raise NotImplementedError
 
+    def assign(self, facts: Sequence[LinExpr], key: FactKey, var: str,
+               rhs: LinExpr, low_shift: Fraction,
+               high_shift: Fraction) -> Tuple[LinExpr, ...]:
+        """Strongest postcondition of ``var := rhs + [low_shift, high_shift]``.
+
+        Must return the *canonical minimal* constraint system of the
+        result region (the :meth:`Polyhedron.constraints
+        <repro.logic.polyhedra.Polyhedron.constraints>` normal form):
+        context fact tuples seed base-function atoms and appear verbatim
+        in certificates, so the byte-level output is part of the
+        cross-domain reproducibility contract.  Raises ``Infeasible`` for
+        unreachable results.
+        """
+        raise NotImplementedError
+
     def clear(self) -> None:
         """Drop any backend-private caches (engine.clear() calls this)."""
+
+
+def assign_system(facts: Sequence[LinExpr], var: str, rhs: LinExpr,
+                  low_shift: Fraction, high_shift: Fraction
+                  ) -> Tuple[List[LinExpr], FrozenSet[str]]:
+    """The renamed constraint system of an assignment, plus its keep set.
+
+    The old value of ``var`` is renamed to a fresh symbol, the defining
+    (in)equalities ``rhs + low <= var' <= rhs + high`` are added, and the
+    caller projects the fresh symbol away.  Shared by every backend so the
+    encoded relation (and thus the result region) is identical.
+    """
+    old = f"__old_{var}__"
+    renamed = [fact.substitute(var, LinExpr.var(old)) for fact in facts]
+    rhs_old = rhs.substitute(var, LinExpr.var(old))
+    new_var = LinExpr.var(var)
+    renamed.append(new_var - rhs_old - LinExpr.const(low_shift))
+    renamed.append(rhs_old + LinExpr.const(high_shift) - new_var)
+    keep = frozenset(v for fact in renamed
+                     for v in fact.variables() if v != old)
+    return renamed, keep
 
 
 class FourierMotzkinBackend(DomainBackend):
@@ -182,7 +254,25 @@ class FourierMotzkinBackend(DomainBackend):
 
     def project(self, facts: Sequence[LinExpr],
                 keep: FrozenSet[str]) -> Tuple[LinExpr, ...]:
+        self.engine.stats.fm_eliminations += 1
         return tuple(fm.eliminate_all(facts, keep=sorted(keep)))
+
+    def assign(self, facts: Sequence[LinExpr], key: FactKey, var: str,
+               rhs: LinExpr, low_shift: Fraction,
+               high_shift: Fraction) -> Tuple[LinExpr, ...]:
+        """FM-project the renamed system, then canonicalise the output.
+
+        The elimination itself is the classic pairwise one (with the
+        constraint cap; ``ConstraintCapExceeded`` propagates so callers
+        keep their havoc fallback), but the *representation* handed back
+        is the shared polyhedral normal form -- that is what makes this
+        byte-identical to the generator-side ``PolyhedraBackend.assign``.
+        """
+        from repro.logic.polyhedra import canonical_constraints
+
+        renamed, keep = assign_system(facts, var, rhs, low_shift, high_shift)
+        projected = self.engine.project(renamed, keep)
+        return canonical_constraints(projected)
 
 
 class EntailmentEngine:
@@ -202,6 +292,13 @@ class EntailmentEngine:
         self._glb_cache: Dict[Tuple[FactKey, LinExpr], Optional[Fraction]] = {}
         self._feasible_cache: Dict[FactKey, bool] = {}
         self._projection_cache: Dict[Tuple[FactKey, FrozenSet[str]], object] = {}
+        self._assign_cache: Dict[Tuple[FactKey, str, LinExpr, Fraction,
+                                       Fraction], object] = {}
+        # Per-context interval boxes for the pre-filter tier.  Safe to keep
+        # populated (and to share answers through the memo caches) with the
+        # pre-filter off: a decided interval answer always equals the exact
+        # backend's answer, so cache contents are toggle-independent.
+        self._box_cache: Dict[FactKey, IntervalBox] = {}
         # Per-context index for the single-fact fast path: canonical linear
         # part -> smallest canonical constant among the facts.
         self._norm_index: Dict[FactKey, Dict[Tuple, Fraction]] = {}
@@ -219,6 +316,8 @@ class EntailmentEngine:
         self._glb_cache.clear()
         self._feasible_cache.clear()
         self._projection_cache.clear()
+        self._assign_cache.clear()
+        self._box_cache.clear()
         self._norm_index.clear()
         self.backend.clear()
 
@@ -267,6 +366,13 @@ class EntailmentEngine:
                 self._store_entails(key, query, fast)
                 results[index] = fast
                 continue
+            if active_prefilter():
+                verdict = self._box_for(key).entails(query)
+                if verdict is not UNDECIDED:
+                    self.stats.interval_hits += 1
+                    self._store_entails(key, query, verdict)
+                    results[index] = verdict
+                    continue
             pending.append(index)
         if pending:
             self.stats.misses += len(pending)
@@ -313,6 +419,13 @@ class EntailmentEngine:
             self.stats.fast_hits += 1
             self._feasible_cache[key] = True
             return True
+        if active_prefilter():
+            verdict = self._box_for(key).is_satisfiable()
+            if verdict is not UNDECIDED:
+                self.stats.interval_hits += 1
+                self._guard(self._feasible_cache)
+                self._feasible_cache[key] = verdict
+                return verdict
         self.stats.misses += 1
         result = self.backend.is_feasible(facts, key)
         self._guard(self._feasible_cache)
@@ -343,6 +456,13 @@ class EntailmentEngine:
             result = None
         else:
             fast_answered = False
+            if active_prefilter():
+                verdict = self._box_for(key).glb(expression)
+                if verdict is not UNDECIDED:
+                    self.stats.interval_hits += 1
+                    self._guard(self._glb_cache)
+                    self._glb_cache[cache_key] = verdict
+                    return verdict
             self.stats.misses += 1
             result = self._glb_cold(facts, key, expression)
         if fast_answered:
@@ -395,6 +515,15 @@ class EntailmentEngine:
         self._guard(self._entails_cache)
         self._entails_cache[(key, query)] = result
 
+    def _box_for(self, key: FactKey) -> IntervalBox:
+        """The (cached) interval box of a context, for the pre-filter tier."""
+        box = self._box_cache.get(key)
+        if box is None:
+            box = IntervalBox.from_facts(key)
+            self._guard(self._box_cache)
+            self._box_cache[key] = box
+        return box
+
     def _entails_impl(self, facts: Sequence[LinExpr], key: FactKey,
                       query: LinExpr, count: bool = True) -> bool:
         cached = self._entails_cache.get((key, query))
@@ -408,6 +537,16 @@ class EntailmentEngine:
                 self.stats.fast_hits += 1
             self._store_entails(key, query, fast)
             return fast
+        # Interval pre-filter tier: only on counted (top-level) queries --
+        # the ``count=False`` calls from :meth:`entails_many` are either
+        # already-projected residues or pending queries whose tier checks
+        # ran in the batch loop, and both were counted as misses there.
+        if count and active_prefilter():
+            verdict = self._box_for(key).entails(query)
+            if verdict is not UNDECIDED:
+                self.stats.interval_hits += 1
+                self._store_entails(key, query, verdict)
+                return verdict
         if count:
             self.stats.misses += 1
         result = self._entails_cold(facts, key, query)
@@ -472,25 +611,39 @@ class EntailmentEngine:
 
     def assign(self, facts: Sequence[LinExpr], var: str, rhs: LinExpr,
                low_shift: Fraction = _ZERO,
-               high_shift: Fraction = _ZERO) -> Tuple[LinExpr, ...]:
+               high_shift: Fraction = _ZERO,
+               key: Optional[FactKey] = None) -> Tuple[LinExpr, ...]:
         """Strongest postcondition of ``var := rhs + [low_shift, high_shift]``.
 
-        The old value of ``var`` is renamed to a fresh symbol, the defining
-        (in)equalities for the new value are added, and the fresh symbol is
-        projected away through the backend.  Raises
+        Delegated to the backend (see :meth:`DomainBackend.assign`): the
+        Fourier-Motzkin backend renames the old value of ``var`` to a
+        fresh symbol and projects it away, the polyhedra backend applies
+        the assignment to the generator representation directly.  Both
+        return the *canonical minimal* constraint system of the result, so
+        the output is byte-identical across backends.  Raises
         :class:`~repro.logic.fourier_motzkin.Infeasible` for unreachable
         results; ``MemoryError`` from the eliminator's constraint cap
-        propagates (callers fall back to ``havoc``).
+        propagates (callers fall back to ``havoc``) and is never cached.
         """
-        old = f"__old_{var}__"
-        renamed = [fact.substitute(var, LinExpr.var(old)) for fact in facts]
-        rhs_old = rhs.substitute(var, LinExpr.var(old))
-        new_var = LinExpr.var(var)
-        renamed.append(new_var - rhs_old - LinExpr.const(low_shift))
-        renamed.append(rhs_old + LinExpr.const(high_shift) - new_var)
-        keep = frozenset(v for fact in renamed
-                         for v in fact.variables() if v != old)
-        return self.project(renamed, keep)
+        if key is None:
+            key = frozenset(facts)
+        cache_key = (key, var, rhs, low_shift, high_shift)
+        cached = self._assign_cache.get(cache_key)
+        if cached is not None:
+            if cached is _INFEASIBLE:
+                raise fm.Infeasible()
+            return cached  # type: ignore[return-value]
+        try:
+            result = self.backend.assign(facts, key, var, rhs,
+                                         low_shift, high_shift)
+        except fm.Infeasible:
+            self._guard(self._assign_cache)
+            self._assign_cache[cache_key] = _INFEASIBLE
+            raise
+        result = tuple(result)
+        self._guard(self._assign_cache)
+        self._assign_cache[cache_key] = result
+        return result
 
     # -- syntactic fast paths ----------------------------------------------
 
@@ -603,6 +756,82 @@ class EntailmentEngine:
             if a * m1.get(var, _ZERO) + b * m2.get(var, _ZERO) != qmap[var]:
                 return None
         return a, b
+
+
+# ---------------------------------------------------------------------------
+# The interval pre-filter toggle
+# ---------------------------------------------------------------------------
+#
+# The pre-filter is observational: every answer the interval tier decides
+# equals the exact backend's answer, so toggling it changes *which tier*
+# answers (and how fast), never *what* is answered.  The toggle is still
+# plumbed like the domain -- env default, per-analysis override, job-hash
+# participation -- so perfsmoke can compare the two configurations and the
+# result store never conflates their provenance.
+
+#: The process-wide pre-filter override; ``None`` = process default.
+_ACTIVE_PREFILTER: Optional[bool] = None
+
+
+def resolve_prefilter(value) -> bool:
+    """Normalise a pre-filter setting (bool, ``"on"``/``"off"``, ``None``).
+
+    ``None`` resolves to the *active* setting (mirroring
+    :func:`resolve_domain`), so an analysis without an explicit choice
+    inherits an enclosing :func:`use_prefilter` block or the process
+    default.
+    """
+    if value is None:
+        return active_prefilter()
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("on", "1", "true", "yes"):
+            return True
+        if lowered in ("off", "0", "false", "no"):
+            return False
+        raise ValueError(f"invalid pre-filter setting {value!r}; "
+                         f"expected 'on' or 'off'")
+    return bool(value)
+
+
+def default_prefilter() -> bool:
+    """The process-default pre-filter state: ``$REPRO_PREFILTER`` or on."""
+    value = os.environ.get(PREFILTER_ENV)
+    if value is None or not value.strip():
+        return True
+    return resolve_prefilter(value)
+
+
+def active_prefilter() -> bool:
+    """Whether the interval tier currently fronts the exact backends."""
+    return (_ACTIVE_PREFILTER if _ACTIVE_PREFILTER is not None
+            else default_prefilter())
+
+
+def set_active_prefilter(enabled: Optional[bool]) -> bool:
+    """Switch the pre-filter; returns the previously active state."""
+    global _ACTIVE_PREFILTER
+    previous = active_prefilter()
+    _ACTIVE_PREFILTER = (resolve_prefilter(enabled)
+                         if enabled is not None else None)
+    return previous
+
+
+@contextmanager
+def use_prefilter(enabled: Optional[bool]) -> Iterator[bool]:
+    """Run a block with the pre-filter forced on/off (restored on exit).
+
+    The analyzer pipeline wraps each analysis in this (from
+    ``AnalyzerConfig.prefilter``), mirroring :func:`use_domain`.
+    """
+    state = resolve_prefilter(enabled)
+    global _ACTIVE_PREFILTER
+    saved = _ACTIVE_PREFILTER
+    _ACTIVE_PREFILTER = state
+    try:
+        yield state
+    finally:
+        _ACTIVE_PREFILTER = saved
 
 
 # ---------------------------------------------------------------------------
@@ -726,6 +955,18 @@ def reset_engine(domain: Optional[str] = None) -> EntailmentEngine:
         return _ENGINES[name]
     _ENGINES.clear()
     return get_engine()
+
+
+def engine_stats(domain: Optional[str] = None) -> Dict[str, object]:
+    """One engine's counters as a dict, including the per-tier breakdown.
+
+    The ``tiers`` entry partitions answered queries by the tier that
+    decided them (``memo`` -> ``syntactic`` -> ``interval`` -> ``exact``);
+    ``prefilter`` records whether the interval tier is currently active.
+    """
+    data = get_engine(domain).stats.as_dict()
+    data["prefilter"] = active_prefilter()
+    return data
 
 
 def engine_fingerprint(domain: Optional[str] = None) -> Dict[str, object]:

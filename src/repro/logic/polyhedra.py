@@ -327,6 +327,78 @@ class Polyhedron:
 
     # -- conversions -------------------------------------------------------
 
+    def extend(self, variables: Iterable[str]) -> "Polyhedron":
+        """Embed into the space over ``variables`` (a superset of ours).
+
+        New coordinates are unconstrained: each is added as a full line,
+        and existing generators get zero entries in the new columns.
+        """
+        names = sorted(set(variables) | set(self.variables))
+        if tuple(names) == self.variables:
+            return self
+        column = {var: i for i, var in enumerate(self.variables)}
+        dim = len(names) + 1
+        positions = [column.get(var) for var in names] + [len(self.variables)]
+
+        def grow(vector: Vector) -> Vector:
+            return tuple(_ZERO if source is None else vector[source]
+                         for source in positions)
+
+        lines = [grow(line) for line in self.lines]
+        lines.extend(_unit(dim, i) for i, var in enumerate(names)
+                     if var not in column)
+        return Polyhedron(tuple(names), lines,
+                          [grow(ray) for ray in self.rays])
+
+    def assign(self, var: str, rhs: LinExpr, low_shift: Fraction = _ZERO,
+               high_shift: Fraction = _ZERO) -> "Polyhedron":
+        """Image under ``var := rhs + [low_shift, high_shift]`` -- no FM.
+
+        The affine substitution is applied to the generators directly (the
+        image of a polyhedron's generators generates the image), then the
+        nondeterministic shift is a Minkowski sum with the segment
+        ``[low_shift, high_shift]`` along the ``var`` axis: each vertex
+        splits into its two shifted endpoints, recession rays and lines
+        pass through the (shift-invariant) linear part unchanged.
+        """
+        extended = self.extend(set(rhs.variables()) | {var})
+        names = extended.variables
+        index = names.index(var)
+        column = {name: i for i, name in enumerate(names)}
+        coeffs = [(column[name], coeff) for name, coeff in rhs.coeff_items]
+        constant = rhs.const_term
+
+        def image(vector: Vector) -> Vector:
+            # The homogenising coordinate scales the constant term; for
+            # lines and recession rays it is zero, so they map linearly.
+            value = sum((coeff * vector[i] for i, coeff in coeffs), _ZERO)
+            value += constant * vector[-1]
+            return vector[:index] + (value,) + vector[index + 1:]
+
+        lines = []
+        seen: Set[Vector] = set()
+        for line in extended.lines:
+            mapped = _primitive(image(line))
+            if any(value != 0 for value in mapped) and mapped not in seen \
+                    and tuple(-v for v in mapped) not in seen:
+                seen.add(mapped)
+                lines.append(mapped)
+        rays = []
+        seen_rays: Set[Vector] = set()
+        for ray in extended.rays:
+            mapped = image(ray)
+            shifts = ({low_shift, high_shift} if ray[-1] > 0 else {_ZERO})
+            for shift in shifts:
+                shifted = mapped[:index] \
+                    + (mapped[index] + shift * ray[-1],) \
+                    + mapped[index + 1:]
+                small = _primitive(shifted)
+                if any(value != 0 for value in small) \
+                        and small not in seen_rays:
+                    seen_rays.add(small)
+                    rays.append(small)
+        return Polyhedron(names, lines, rays)
+
     def project(self, keep: Iterable[str]) -> "Polyhedron":
         """Project onto the ``keep`` variables (generator-side: drop columns)."""
         keep_set = set(keep)
@@ -412,6 +484,20 @@ class Polyhedron:
 # The EntailmentEngine backend
 # ---------------------------------------------------------------------------
 
+def canonical_constraints(facts: Iterable[LinExpr]) -> Tuple[LinExpr, ...]:
+    """The canonical minimal constraint system of ``{x : facts}``.
+
+    One primal DD conversion plus one dual conversion; the output is the
+    :meth:`Polyhedron.constraints` normal form, which depends only on the
+    described *point set* -- every backend funnels representation-producing
+    results (``Context.assign``) through this form, which is what makes
+    context fact tuples (and therefore base-function atoms and
+    certificates) byte-identical across backends and pre-filter settings.
+    Raises :class:`~repro.logic.fourier_motzkin.Infeasible` when empty.
+    """
+    return Polyhedron.from_facts(facts).constraints()
+
+
 class PolyhedraBackend:
     """Adapts :class:`Polyhedron` to the entailment-engine backend interface.
 
@@ -420,15 +506,15 @@ class PolyhedraBackend:
     (one Chernikova conversion), cached under the context's fact key, and
     every further query is a generator enumeration.
 
-    Projections used to *rebuild contexts* (``Context.assign``) reuse the
-    Fourier-Motzkin eliminator as the shared representation converter:
-    context fact tuples seed base-function atoms and appear verbatim in
-    certificates, so sharing the representation is what makes analyses
-    byte-identical across domains (the registry-wide bound/certificate
-    identity in ``tests/test_domain_identity.py`` pins this).  The
-    generator-side projection remains available as
-    :meth:`Polyhedron.project` + :meth:`Polyhedron.constraints` and is
-    differentially tested for semantic agreement with the eliminator.
+    Representation-producing operations never touch the Fourier-Motzkin
+    eliminator: ``assign`` applies the affine substitution to the cached
+    generators (:meth:`Polyhedron.assign`) and projection drops generator
+    columns, so dense contexts that drive FM into its constraint cap cost
+    one generator pass here.  Both operations emit the canonical
+    constraint normal form (:meth:`Polyhedron.constraints`), the same form
+    the FM backend canonicalises its eliminations into -- the registry-wide
+    bound/certificate identity in ``tests/test_domain_identity.py`` pins
+    that the two backends stay byte-identical.
     """
 
     name = "polyhedra"
@@ -472,8 +558,25 @@ class PolyhedraBackend:
 
     def project(self, facts: Sequence[LinExpr],
                 keep: FrozenSet[str]) -> Tuple[LinExpr, ...]:
-        """Representation-producing projection (feeds ``Context.assign``)."""
-        return tuple(fm.eliminate_all(facts, keep=sorted(keep)))
+        """Generator-side projection, in the canonical constraint form."""
+        polyhedron = Polyhedron.from_facts(facts)
+        if self.engine is not None:
+            self.engine.stats.eliminations += 1
+        return polyhedron.project(keep).constraints()
+
+    def assign(self, facts: Sequence[LinExpr], key: FrozenSet[LinExpr],
+               var: str, rhs: LinExpr, low_shift: Fraction,
+               high_shift: Fraction) -> Tuple[LinExpr, ...]:
+        """Strongest postcondition from the generator side -- zero FM work.
+
+        Reuses the context's cached polyhedron, so a fixpoint that assigns
+        under the same context repeatedly pays one Chernikova conversion
+        for the context plus one dual conversion per distinct assignment.
+        Raises :class:`~repro.logic.fourier_motzkin.Infeasible` when the
+        result is empty (unreachable), like the FM path.
+        """
+        polyhedron = self.polyhedron_for(facts, key)
+        return polyhedron.assign(var, rhs, low_shift, high_shift).constraints()
 
     def clear(self) -> None:
         self._polyhedra.clear()

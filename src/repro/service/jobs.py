@@ -57,7 +57,12 @@ from repro.utils.polynomials import IntervalAtom, Monomial, Polynomial
 #: list of :meth:`repro.lang.analysis.Diagnostic.to_dict` records) and the
 #: pre-flight gate's ``lint-error`` status joins the cacheable set (lint is
 #: a deterministic function of the job content).
-SCHEMA_VERSION = 6
+#: v7: the interval pre-filter setting (``prefilter`` option) is stamped
+#: into every job like ``domain``/``solver``.  The pre-filter is
+#: observational (bounds and certificates are byte-identical on and off),
+#: but the stamp keeps provenance explicit and lets perfsmoke's
+#: ``--prefilter-compare`` leg address the two configurations separately.
+SCHEMA_VERSION = 7
 
 #: Statuses a job can end in.  ``ok``/``no-bound``/``parse-error`` are
 #: deterministic outcomes of the job's content and therefore cacheable;
@@ -123,15 +128,24 @@ class AnalysisJob:
         resolves per machine, but the backends are byte-identical by the
         warm/cold identity pin, so hashing the selector keeps one cache key
         across heterogeneous workers.
+
+        The interval ``prefilter`` toggle is stamped as a bool (resolving
+        the per-process ``$REPRO_PREFILTER`` default now, schema v7).
         """
         from repro.core.lpsession import default_solver
-        from repro.logic.entailment import active_domain
+        from repro.logic.entailment import active_prefilter, resolve_prefilter
 
         merged = dict(options or {})
         if not merged.get("domain"):
+            from repro.logic.entailment import active_domain
+
             merged["domain"] = active_domain()
         if not merged.get("solver"):
             merged["solver"] = default_solver()
+        if merged.get("prefilter") is None:
+            merged["prefilter"] = active_prefilter()
+        else:
+            merged["prefilter"] = resolve_prefilter(merged["prefilter"])
         items = tuple(sorted(merged.items()))
         return cls(name=name, source=source, options=items)
 

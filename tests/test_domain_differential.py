@@ -33,7 +33,9 @@ from typing import Callable, List, Sequence, Set, Tuple
 import pytest
 
 from repro.logic import fourier_motzkin as fm
-from repro.logic.entailment import EntailmentEngine, FourierMotzkinBackend
+from repro.logic.entailment import (EntailmentEngine, FourierMotzkinBackend,
+                                    use_prefilter)
+from repro.logic.intervals import UNDECIDED, IntervalBox
 from repro.logic.polyhedra import PolyhedraBackend, Polyhedron
 from repro.utils.linear import LinExpr
 
@@ -207,6 +209,74 @@ class TestDecisionQueries:
                             != b.entails_many(tuple(candidate), queries))
 
                 _fail(facts, disagrees, f"entails_many({queries!r}) differs")
+
+
+class TestIntervalTier:
+    """Every *decided* interval-tier answer equals both exact backends'.
+
+    The :class:`~repro.logic.intervals.IntervalBox` deciders are allowed
+    to answer :data:`~repro.logic.intervals.UNDECIDED`, but a decided
+    ``entails`` / ``is_satisfiable`` / ``glb`` must match the exact answer
+    bit-for-bit -- that discipline is what makes the pre-filter
+    observational (memo caches shared between prefilter on and off).  The
+    exact answers are taken with the pre-filter forced *off* so the tier
+    can never be compared against itself.
+    """
+
+    def test_decided_answers_match_both_backends(self):
+        rng = random.Random(0x1B0CCE)
+        for _ in range(CASES_PER_OPERATION):
+            dimension, facts = random_system(rng)
+            query = random_expr(rng, dimension)
+            box = IntervalBox.from_facts(frozenset(facts))
+
+            def mismatch(candidate: Sequence[LinExpr]) -> List[str]:
+                candidate_box = IntervalBox.from_facts(frozenset(candidate))
+                problems: List[str] = []
+                with use_prefilter(False):
+                    for engine in fresh_engines():
+                        name = engine.backend.name
+                        verdict = candidate_box.entails(query)
+                        if verdict is not UNDECIDED and verdict \
+                                != engine.entails(tuple(candidate), query):
+                            problems.append(f"entails vs {name}")
+                        sat = candidate_box.is_satisfiable()
+                        if sat is not UNDECIDED and sat \
+                                != engine.is_feasible(tuple(candidate)):
+                            problems.append(f"is_satisfiable vs {name}")
+                        value = candidate_box.glb(query)
+                        if value is not UNDECIDED and value \
+                                != engine.greatest_lower_bound(
+                                    tuple(candidate), query):
+                            problems.append(f"glb vs {name}")
+                return problems
+
+            def disagrees(candidate: Sequence[LinExpr]) -> bool:
+                return bool(mismatch(candidate))
+
+            try:
+                problems = mismatch(facts)
+            except MemoryError:
+                continue
+            if problems:
+                _fail(facts, disagrees,
+                      f"interval tier wrong on {problems} for "
+                      f"query={query!r}; box={box!r}")
+
+    def test_undecided_is_common_but_not_total(self):
+        """Sanity: the tier decides some queries and punts on others."""
+        rng = random.Random(0x0DD)
+        decided = undecided = 0
+        for _ in range(200):
+            dimension, facts = random_system(rng)
+            query = random_expr(rng, dimension)
+            verdict = IntervalBox.from_facts(frozenset(facts)).entails(query)
+            if verdict is UNDECIDED:
+                undecided += 1
+            else:
+                decided += 1
+        assert decided > 0
+        assert undecided > 0
 
 
 class TestProjection:

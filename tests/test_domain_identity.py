@@ -27,12 +27,12 @@ from repro.lang import ast
 from repro.service.jobs import bound_payload, certificate_payload
 
 
-def _analyze(bench, domain: str):
+def _analyze(bench, domain: str, **options):
     """Fresh build (deterministic node ids) + analysis under ``domain``."""
     ast._NODE_COUNTER = itertools.count(1)
     program = bench.build()
     return analyze_program(program, **{**bench.analyzer_options,
-                                       "domain": domain})
+                                       "domain": domain, **options})
 
 
 def _serialised(result):
@@ -62,3 +62,28 @@ def test_registry_bounds_and_certificates_identical(bench):
         f"{bench.name}: analysis diverges between domains\n"
         f"fm:        {left[:400]}\n"
         f"polyhedra: {right[:400]}")
+
+
+#: Every third benchmark: enough variety (linear, polynomial, recursive)
+#: to exercise all tier paths without doubling the tier-1 wall; the full
+#: registry runs through ``perfsmoke --prefilter-compare``.
+_PREFILTER_SAMPLE = all_benchmarks()[::3]
+
+
+@pytest.mark.parametrize("domain", ["fm", "polyhedra"])
+@pytest.mark.parametrize("bench", _PREFILTER_SAMPLE,
+                         ids=lambda bench: bench.name)
+def test_prefilter_on_off_identical(bench, domain):
+    """The interval tier is observational: results match bit-for-bit.
+
+    The tier only answers when it provably matches the exact backend, so
+    an analysis with the pre-filter enabled must serialise byte-identically
+    to one without it -- bounds, LP shape and the full certificate.
+    """
+    with_tier = _analyze(bench, domain, prefilter=True)
+    without_tier = _analyze(bench, domain, prefilter=False)
+    left, right = _serialised(with_tier), _serialised(without_tier)
+    assert left == right, (
+        f"{bench.name} [{domain}]: the pre-filter changed the analysis\n"
+        f"on:  {left[:400]}\n"
+        f"off: {right[:400]}")

@@ -157,14 +157,32 @@ class TestEdgeCases:
             engine.project(facts, frozenset())
 
     def test_memory_error_fallback_in_context_assign(self, monkeypatch):
-        # Force the constraint cap to blow immediately: the strongest-post
-        # projection must fall back to havoc instead of crashing.
+        # Force the constraint cap to blow immediately: under the FM
+        # backend the strongest-post projection must fall back to havoc
+        # instead of crashing.
+        from repro.logic import entailment
         monkeypatch.setattr(fm, "MAX_CONSTRAINTS", 0)
         context = Context([X - 1, 10 - X, Y - 2])
-        result = context.assign("x", X + Y)
-        havoced = context.havoc("x")
-        assert set(result.facts) == set(havoced.facts)
-        assert not result.is_unreachable
+        with entailment.use_domain("fm"):
+            result = context.assign("x", X + Y)
+            havoced = context.havoc("x")
+            assert set(result.facts) == set(havoced.facts)
+            assert not result.is_unreachable
+
+    def test_polyhedra_assign_immune_to_constraint_cap(self, monkeypatch):
+        # The generator-side assign never runs Fourier-Motzkin, so the FM
+        # constraint cap cannot degrade it: even with the cap at zero the
+        # strongest post stays exact (no havoc fallback).
+        from repro.logic import entailment
+        original_cap = fm.MAX_CONSTRAINTS
+        monkeypatch.setattr(fm, "MAX_CONSTRAINTS", 0)
+        context = Context([X - 1, 10 - X, Y - 2])
+        with entailment.use_domain("polyhedra"):
+            exact = context.assign("x", X + Y)
+        with entailment.use_domain("fm"):
+            monkeypatch.setattr(fm, "MAX_CONSTRAINTS", original_cap)
+            reference = context.assign("x", X + Y)
+        assert set(exact.facts) == set(reference.facts)
 
     def test_assign_detects_infeasibility(self):
         context = Context([X - 1])
